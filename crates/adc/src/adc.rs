@@ -1,0 +1,661 @@
+//! Top-level SAR ADC IP: composition of every block in Figs. 2–4, the
+//! conversion engine, and the SymBIST observation taps.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use symbist_circuit::rng::Rng;
+
+use crate::bandgap::{Bandgap, BandgapMismatch};
+use crate::comparator::{ComparatorChain, ComparatorMismatch};
+use crate::config::AdcConfig;
+use crate::digital::{PhaseGenerator, Pulse, SarControl, SarLogic};
+use crate::fault::{check_site, BlockKind, ComponentInfo, DefectSite, Faultable};
+use crate::refnet::{solve_ref_network, RefBufMismatch, RefOutputs, ReferenceBuffer, SubDac};
+use crate::sc_array::{ScArray, ScMismatch, ScTraces, SideLevels};
+use crate::vcm::{VcmGenerator, VcmMismatch};
+
+/// Everything the SymBIST checkers observe for one counter code: the
+/// signal nodes of Eqs. (2)–(5) plus the on-chip reference nodes each
+/// window comparator is wired to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestObservation {
+    /// The 5-bit counter code driving both sub-DACs.
+    pub code: u8,
+    /// SUBDAC1 outputs.
+    pub m_plus: f64,
+    /// SUBDAC1 complementary output.
+    pub m_minus: f64,
+    /// SUBDAC2 outputs.
+    pub l_plus: f64,
+    /// SUBDAC2 complementary output.
+    pub l_minus: f64,
+    /// SC-array outputs.
+    pub dac_plus: f64,
+    /// SC-array complementary output.
+    pub dac_minus: f64,
+    /// Preamp outputs.
+    pub lin_plus: f64,
+    /// Preamp complementary output.
+    pub lin_minus: f64,
+    /// Latch outputs.
+    pub q_plus: f64,
+    /// Latch complementary output.
+    pub q_minus: f64,
+    /// On-chip VREF\[32\] tap (reference of checkers I1/I2).
+    pub vref32: f64,
+    /// On-chip VREF\[16\] tap (reference of checker I3).
+    pub vref16: f64,
+    /// Digital supply (reference of checker I6).
+    pub vdd: f64,
+}
+
+/// The 65 nm 10-bit SAR ADC IP model.
+///
+/// # Examples
+///
+/// ```
+/// use symbist_adc::{AdcConfig, SarAdc};
+///
+/// let adc = SarAdc::new(AdcConfig::default());
+/// // Convert a mid-scale differential input.
+/// let code = adc.convert(0.0);
+/// assert!((500..560).contains(&code), "mid-scale code {code}");
+/// ```
+#[derive(Debug)]
+pub struct SarAdc {
+    cfg: AdcConfig,
+    bandgap: Bandgap,
+    refbuf: ReferenceBuffer,
+    sd1: SubDac,
+    sd2: SubDac,
+    sc: ScArray,
+    chain: ComparatorChain,
+    vcm: VcmGenerator,
+    control: SarControl,
+    phase: PhaseGenerator,
+    catalog: Vec<ComponentInfo>,
+    /// Global component index ranges per sub-block, in catalog order.
+    ranges: Vec<(SubBlock, std::ops::Range<usize>)>,
+    injected: Option<DefectSite>,
+    /// Cache of reference-network solves keyed by (m, l) select codes,
+    /// invalidated on any state change. A mutex (not `RefCell`) so the
+    /// defect campaign can share one base instance across worker threads.
+    ref_cache: Mutex<HashMap<(u8, u8), RefOutputs>>,
+}
+
+/// Internal addressing of the owning sub-block structs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SubBlock {
+    Bandgap,
+    RefBuf,
+    SubDac1,
+    SubDac2,
+    Sc,
+    Vcm,
+    Chain,
+}
+
+/// Mismatch sample for a whole ADC instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdcMismatch {
+    /// Bandgap block mismatch.
+    pub bandgap: BandgapMismatch,
+    /// Reference buffer + ladder mismatch.
+    pub refbuf: RefBufMismatch,
+    /// SC array capacitor mismatch.
+    pub sc: ScMismatch,
+    /// Vcm generator mismatch.
+    pub vcm: VcmMismatch,
+    /// Comparator chain mismatch.
+    pub chain: ComparatorMismatch,
+}
+
+impl AdcMismatch {
+    /// Draws a process-plausible mismatch sample (65 nm-scale σ values).
+    pub fn sample(rng: &mut Rng) -> Self {
+        let mut ladder = [0.0; 32];
+        for slot in &mut ladder {
+            *slot = rng.normal(0.0, 0.0015);
+        }
+        Self {
+            // Bandgap mismatch stays small: the amp offset is amplified by
+            // R2/R1 ≈ 10 into VBG, and VBG feeds Vcm — an over-dispersed
+            // bandgap would force the I3 window wide open.
+            bandgap: BandgapMismatch {
+                r1: rng.normal(0.0, 0.005),
+                r2: rng.normal(0.0, 0.005),
+                amp_offset: rng.normal(0.0, 0.0005),
+                mirror: rng.normal(0.0, 0.003),
+            },
+            // Matched unit structures (common-centroid ladder, divider
+            // pairs) sit well below 0.2 % in 65 nm — these σ values set
+            // the I1–I3 window widths and thus the smallest detectable
+            // charge error.
+            refbuf: RefBufMismatch {
+                offset: rng.normal(0.0, 0.002),
+                gain_err: rng.normal(0.0, 0.003),
+                ladder,
+            },
+            sc: ScMismatch {
+                cm_p: rng.normal(0.0, 0.002),
+                cl_p: rng.normal(0.0, 0.004),
+                cm_n: rng.normal(0.0, 0.002),
+                cl_n: rng.normal(0.0, 0.004),
+            },
+            vcm: VcmMismatch {
+                r_top: rng.normal(0.0, 0.002),
+                r_bot: rng.normal(0.0, 0.002),
+                buf_offset: rng.normal(0.0, 0.001),
+            },
+            chain: ComparatorMismatch {
+                preamp_offset: rng.normal(0.0, 0.004),
+                vcm2_err: rng.normal(0.0, 0.002),
+                gain_err: rng.normal(0.0, 0.03),
+                latch_offset: rng.normal(0.0, 0.006),
+            },
+        }
+    }
+}
+
+impl Clone for SarAdc {
+    fn clone(&self) -> Self {
+        Self {
+            cfg: self.cfg.clone(),
+            bandgap: self.bandgap.clone(),
+            refbuf: self.refbuf.clone(),
+            sd1: self.sd1.clone(),
+            sd2: self.sd2.clone(),
+            sc: self.sc.clone(),
+            chain: self.chain.clone(),
+            vcm: self.vcm.clone(),
+            control: self.control,
+            phase: self.phase,
+            catalog: self.catalog.clone(),
+            ranges: self.ranges.clone(),
+            injected: self.injected,
+            ref_cache: Mutex::new(
+                self.ref_cache.lock().expect("cache poisoned").clone(),
+            ),
+        }
+    }
+}
+
+impl SarAdc {
+    /// Builds a nominal (zero-mismatch, defect-free) ADC instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: AdcConfig) -> Self {
+        cfg.validate();
+        let bandgap = Bandgap::new(&cfg);
+        let vbg_nominal = bandgap.solve().vbg;
+        let refbuf = ReferenceBuffer::new(&cfg, vbg_nominal);
+        let sd1 = SubDac::new(BlockKind::SubDac1);
+        let sd2 = SubDac::new(BlockKind::SubDac2);
+        let sc = ScArray::new(&cfg);
+        let chain = ComparatorChain::new(&cfg, vbg_nominal);
+        let vcm = VcmGenerator::new(&cfg);
+
+        let mut catalog = Vec::new();
+        let mut ranges = Vec::new();
+        let add = |sb: SubBlock, comps: &[ComponentInfo], catalog: &mut Vec<ComponentInfo>,
+                       ranges: &mut Vec<(SubBlock, std::ops::Range<usize>)>| {
+            let start = catalog.len();
+            catalog.extend_from_slice(comps);
+            ranges.push((sb, start..catalog.len()));
+        };
+        add(SubBlock::Bandgap, bandgap.components(), &mut catalog, &mut ranges);
+        add(SubBlock::RefBuf, refbuf.components(), &mut catalog, &mut ranges);
+        add(SubBlock::SubDac1, sd1.components(), &mut catalog, &mut ranges);
+        add(SubBlock::SubDac2, sd2.components(), &mut catalog, &mut ranges);
+        add(SubBlock::Sc, sc.components(), &mut catalog, &mut ranges);
+        add(SubBlock::Vcm, vcm.components(), &mut catalog, &mut ranges);
+        add(SubBlock::Chain, chain.components(), &mut catalog, &mut ranges);
+
+        Self {
+            cfg,
+            bandgap,
+            refbuf,
+            sd1,
+            sd2,
+            sc,
+            chain,
+            vcm,
+            control: SarControl::new(),
+            phase: PhaseGenerator::new(),
+            catalog,
+            ranges,
+            injected: None,
+            ref_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Builds an instance with a random process-mismatch sample.
+    pub fn with_mismatch(cfg: AdcConfig, rng: &mut Rng) -> Self {
+        let mut adc = Self::new(cfg);
+        adc.apply_mismatch(&AdcMismatch::sample(rng));
+        adc
+    }
+
+    /// Applies an explicit mismatch sample.
+    pub fn apply_mismatch(&mut self, m: &AdcMismatch) {
+        self.bandgap.set_mismatch(m.bandgap);
+        self.refbuf.set_mismatch(m.refbuf.clone());
+        self.sc.set_mismatch(m.sc);
+        self.vcm.set_mismatch(m.vcm);
+        self.chain.set_mismatch(m.chain);
+        self.ref_cache.lock().expect("cache poisoned").clear();
+    }
+
+    /// The electrical configuration.
+    pub fn config(&self) -> &AdcConfig {
+        &self.cfg
+    }
+
+    /// The SAR control block (digital; exposed for frame timing).
+    pub fn control(&self) -> &SarControl {
+        &self.control
+    }
+
+    /// The phase generator block.
+    pub fn phase_generator(&self) -> &PhaseGenerator {
+        &self.phase
+    }
+
+    /// The Vcm generator block (exposed for the AC-BIST extension, which
+    /// probes its ripple-attenuation transfer function).
+    pub fn vcm_generator(&self) -> &VcmGenerator {
+        &self.vcm
+    }
+
+    fn vbg(&self) -> f64 {
+        self.bandgap.solve().vbg
+    }
+
+    /// The actual buffered reference (ladder top tap) feeding the Vcm
+    /// generator's divider.
+    fn vrefp(&self, vbg: f64) -> f64 {
+        self.ref_solve(vbg, 0, 0).vref32
+    }
+
+    /// The exported common-mode pin: the ladder mid-tap `VREF[16]`, which
+    /// external circuitry (and the ATE during BIST) uses to bias the FD
+    /// input. Referencing the stimulus to this pin keeps the I3 invariance
+    /// immune to absolute reference-scale error while leaving
+    /// Vcm-generator defects fully observable.
+    fn vcm_pin(&self, vbg: f64) -> f64 {
+        self.ref_solve(vbg, 0, 0).vref16
+    }
+
+    fn ref_solve(&self, vbg: f64, m: u8, l: u8) -> RefOutputs {
+        if let Some(out) = self.ref_cache.lock().expect("cache poisoned").get(&(m, l)) {
+            return *out;
+        }
+        let out = solve_ref_network(&self.refbuf, &self.sd1, &self.sd2, vbg, m, l);
+        self.ref_cache
+            .lock()
+            .expect("cache poisoned")
+            .insert((m, l), out);
+        out
+    }
+
+    /// Runs the SymBIST counter stimulus (paper §IV-2): the FD input is
+    /// held at the DC value `din` (externally supplied, common mode at the
+    /// nominal `vcm`), a 5-bit counter sweeps all 32 codes onto both
+    /// sub-DACs, and every invariance node is observed per code.
+    pub fn symbist_observations(&self, din: f64) -> Vec<TestObservation> {
+        let mut stream = self.observation_stream(din);
+        (0..32u8).map(|c| *stream.observe(c)).collect()
+    }
+
+    /// Starts a lazy observation stream over the counter stimulus.
+    ///
+    /// The SC array holds charge across codes, so code `c` can only be
+    /// observed after codes `0..c` have been applied; the stream advances
+    /// the analog simulation exactly as far as requested. This is what
+    /// makes stop-on-detection genuinely cheaper: a defect caught at
+    /// counter code 3 costs 4 conversion cycles of simulation, not 32.
+    pub fn observation_stream(&self, din: f64) -> ObservationStream<'_> {
+        let vbg = self.vbg();
+        let vcm_v = self.vcm.solve(self.vrefp(vbg));
+        let v_pin = self.vcm_pin(vbg);
+        let in_p = v_pin + din / 2.0;
+        let in_n = v_pin - din / 2.0;
+        ObservationStream {
+            adc: self,
+            vbg,
+            session: self.sc.begin(in_p, in_n, vcm_v, false),
+            computed: Vec::with_capacity(32),
+        }
+    }
+
+    /// Full-waveform run of the invariance-I3 signal `DAC+ + DAC−` over the
+    /// counter stimulus — the paper's Fig. 5 trace.
+    pub fn invariance3_trace(&self, din: f64) -> ScTraces {
+        let vbg = self.vbg();
+        let vcm_v = self.vcm.solve(self.vrefp(vbg));
+        let v_pin = self.vcm_pin(vbg);
+        let in_p = v_pin + din / 2.0;
+        let in_n = v_pin - din / 2.0;
+        let mut levels_p = Vec::with_capacity(32);
+        let mut levels_n = Vec::with_capacity(32);
+        for c in 0..32u8 {
+            let r = self.ref_solve(vbg, c, c);
+            levels_p.push(SideLevels {
+                m: r.m_plus,
+                l: r.l_plus,
+            });
+            levels_n.push(SideLevels {
+                m: r.m_minus,
+                l: r.l_minus,
+            });
+        }
+        self.sc.trace_codes(in_p, in_n, vcm_v, &levels_p, &levels_n)
+    }
+
+    /// Converts one differential input sample through the full 12-pulse
+    /// frame: sample, ten comparator-in-the-loop bit decisions, capture.
+    ///
+    /// Returns the captured 10-bit output code.
+    pub fn convert(&self, din: f64) -> u16 {
+        let vbg = self.vbg();
+        let vcm_v = self.vcm.solve(self.vrefp(vbg));
+        let v_pin = self.vcm_pin(vbg);
+        let in_p = v_pin + din / 2.0;
+        let in_n = v_pin - din / 2.0;
+
+        let mut sar = SarLogic::new(self.cfg.bits);
+        let mut session = None;
+        for cycle in 0..self.cfg.pulses_per_conversion {
+            match self.control.pulse(cycle) {
+                Pulse::Sample => {
+                    sar.begin();
+                    session = Some(self.sc.begin(in_p, in_n, vcm_v, false));
+                }
+                Pulse::Bit(_) => {
+                    let trial = sar.trial_code();
+                    let m = (trial >> 5) as u8;
+                    let l = (trial & 0x1F) as u8;
+                    let r = self.ref_solve(vbg, m, l);
+                    let sess = session.as_mut().expect("sample pulse precedes bits");
+                    let (dac_p, dac_n) = sess.apply_code(
+                        SideLevels {
+                            m: r.m_plus,
+                            l: r.l_plus,
+                        },
+                        SideLevels {
+                            m: r.m_minus,
+                            l: r.l_minus,
+                        },
+                    );
+                    let (_, q) = self.chain.compare(dac_p, dac_n, vbg);
+                    // decision true ⇔ DAC level above the input.
+                    sar.apply_decision(q.decision);
+                }
+                Pulse::Capture => sar.capture(),
+            }
+        }
+        sar.output().expect("capture pulse ran")
+    }
+
+    /// The ideal decision level (differential volts) of code `c` for this
+    /// architecture: `(c − 528)/528 · VREF_FS`.
+    pub fn ideal_level(&self, code: u16) -> f64 {
+        (code as f64 - 528.0) / 528.0 * self.cfg.vref_fs
+    }
+}
+
+/// A lazily-advanced run of the counter stimulus; see
+/// [`SarAdc::observation_stream`].
+#[derive(Debug)]
+pub struct ObservationStream<'a> {
+    adc: &'a SarAdc,
+    vbg: f64,
+    session: crate::sc_array::ScSession,
+    computed: Vec<TestObservation>,
+}
+
+impl ObservationStream<'_> {
+    /// Observes counter code `code`, advancing the analog simulation as
+    /// needed. Earlier codes are computed (and cached) on the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= 32`.
+    pub fn observe(&mut self, code: u8) -> &TestObservation {
+        assert!(code < 32, "counter codes are 5-bit");
+        while self.computed.len() <= code as usize {
+            let c = self.computed.len() as u8;
+            let r = self.adc.ref_solve(self.vbg, c, c);
+            let (dac_p, dac_n) = self.session.apply_code(
+                SideLevels {
+                    m: r.m_plus,
+                    l: r.l_plus,
+                },
+                SideLevels {
+                    m: r.m_minus,
+                    l: r.l_minus,
+                },
+            );
+            let (pre, q) = self.adc.chain.compare(dac_p, dac_n, self.vbg);
+            self.computed.push(TestObservation {
+                code: c,
+                m_plus: r.m_plus,
+                m_minus: r.m_minus,
+                l_plus: r.l_plus,
+                l_minus: r.l_minus,
+                dac_plus: dac_p,
+                dac_minus: dac_n,
+                lin_plus: pre.lin_p,
+                lin_minus: pre.lin_n,
+                q_plus: q.q_p,
+                q_minus: q.q_n,
+                vref32: r.vref32,
+                vref16: r.vref16,
+                vdd: self.adc.cfg.vdd,
+            });
+        }
+        &self.computed[code as usize]
+    }
+
+    /// Codes observed so far.
+    pub fn observed(&self) -> &[TestObservation] {
+        &self.computed
+    }
+}
+
+impl Faultable for SarAdc {
+    fn components(&self) -> &[ComponentInfo] {
+        &self.catalog
+    }
+
+    fn inject(&mut self, site: DefectSite) {
+        check_site(&self.catalog, site);
+        self.clear_defects();
+        let (sb, range) = self
+            .ranges
+            .iter()
+            .find(|(_, r)| r.contains(&site.component))
+            .expect("ranges cover the catalog")
+            .clone();
+        let local = site.component - range.start;
+        let d = Some((local, site.kind));
+        match sb {
+            SubBlock::Bandgap => self.bandgap.set_defect(d),
+            SubBlock::RefBuf => self.refbuf.set_defect(d),
+            SubBlock::SubDac1 => self.sd1.set_defect(d),
+            SubBlock::SubDac2 => self.sd2.set_defect(d),
+            SubBlock::Sc => self.sc.set_defect(d),
+            SubBlock::Vcm => self.vcm.set_defect(d),
+            SubBlock::Chain => self.chain.set_defect(d),
+        }
+        self.injected = Some(site);
+        self.ref_cache.lock().expect("cache poisoned").clear();
+    }
+
+    fn clear_defects(&mut self) {
+        self.bandgap.set_defect(None);
+        self.refbuf.set_defect(None);
+        self.sd1.set_defect(None);
+        self.sd2.set_defect(None);
+        self.sc.set_defect(None);
+        self.vcm.set_defect(None);
+        self.chain.set_defect(None);
+        self.injected = None;
+        self.ref_cache.lock().expect("cache poisoned").clear();
+    }
+
+    fn injected(&self) -> Option<DefectSite> {
+        self.injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{ComponentKind, DefectKind};
+
+    fn adc() -> SarAdc {
+        SarAdc::new(AdcConfig::default())
+    }
+
+    #[test]
+    fn catalog_covers_all_blocks() {
+        let a = adc();
+        for block in BlockKind::ALL {
+            assert!(
+                a.components().iter().any(|c| c.block == block),
+                "no components for {block}"
+            );
+        }
+        // Order matches Table I grouping expectations.
+        assert!(a.components().len() > 600, "catalog size {}", a.components().len());
+    }
+
+    #[test]
+    fn observations_satisfy_all_invariances_when_healthy() {
+        let a = adc();
+        let obs = a.symbist_observations(0.05);
+        assert_eq!(obs.len(), 32);
+        for o in &obs {
+            assert!((o.m_plus + o.m_minus - o.vref32).abs() < 1e-4, "I1 @ {}", o.code);
+            assert!((o.l_plus + o.l_minus - o.vref32).abs() < 1e-4, "I2 @ {}", o.code);
+            assert!(
+                (o.dac_plus + o.dac_minus - 2.0 * o.vref16).abs() < 5e-3,
+                "I3 @ {}: {}",
+                o.code,
+                o.dac_plus + o.dac_minus
+            );
+            // I4 holds at every code: preamp saturation is symmetric.
+            assert!(
+                (o.lin_plus + o.lin_minus - 2.0 * a.config().vcm2).abs() < 5e-3,
+                "I4 @ {}",
+                o.code
+            );
+            // I5: latch decision consistent with the preamp sign.
+            assert_eq!(
+                o.q_plus > o.q_minus,
+                o.lin_plus > o.lin_minus,
+                "I5 @ {}",
+                o.code
+            );
+            // I6.
+            assert!((o.q_plus + o.q_minus - o.vdd).abs() < 1e-9, "I6 @ {}", o.code);
+        }
+    }
+
+    #[test]
+    fn conversion_is_monotone_and_centered() {
+        let a = adc();
+        let codes: Vec<u16> = [-0.9, -0.5, -0.1, 0.0, 0.1, 0.5, 0.9]
+            .iter()
+            .map(|d| a.convert(*d))
+            .collect();
+        assert!(codes.windows(2).all(|w| w[1] >= w[0]), "monotone: {codes:?}");
+        // ΔIN = 0 → code near 528 (the architectural midpoint).
+        assert!((codes[3] as i32 - 528).abs() <= 2, "mid code {}", codes[3]);
+    }
+
+    #[test]
+    fn conversion_matches_ideal_levels() {
+        let a = adc();
+        for target in [100u16, 300, 528, 700, 1000] {
+            // An input exactly between level(target−1) and level(target)
+            // must convert to the target (within 1 LSB of settling error).
+            let din = (a.ideal_level(target) + a.ideal_level(target.saturating_sub(1))) / 2.0;
+            let got = a.convert(din);
+            assert!(
+                (got as i32 - target as i32).abs() <= 1,
+                "target {target} got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn inject_routes_to_the_right_block() {
+        let mut a = adc();
+        // Find a Vcm-generator resistor and short it.
+        let idx = a
+            .components()
+            .iter()
+            .position(|c| c.block == BlockKind::VcmGenerator && c.kind == ComponentKind::Resistor)
+            .unwrap();
+        a.inject(DefectSite {
+            component: idx,
+            kind: DefectKind::Short,
+        });
+        assert!(a.injected().is_some());
+        let obs = a.symbist_observations(0.0);
+        // Vcm defect: I3 deviates for every code (Fig. 5's always-detectable case).
+        for o in &obs {
+            assert!(
+                (o.dac_plus + o.dac_minus - 2.0 * o.vref16).abs() > 0.2,
+                "I3 must deviate at code {}",
+                o.code
+            );
+        }
+        a.clear_defects();
+        let obs = a.symbist_observations(0.0);
+        assert!((obs[5].dac_plus + obs[5].dac_minus - 2.0 * obs[5].vref16).abs() < 5e-3);
+    }
+
+    #[test]
+    fn injection_replaces_previous_defect() {
+        let mut a = adc();
+        a.inject(DefectSite {
+            component: 0,
+            kind: DefectKind::Short,
+        });
+        a.inject(DefectSite {
+            component: 3,
+            kind: DefectKind::Open,
+        });
+        assert_eq!(a.injected().unwrap().component, 3);
+    }
+
+    #[test]
+    fn mismatch_instances_stay_within_window_scale() {
+        let mut rng = Rng::seed_from_u64(42);
+        let a = SarAdc::with_mismatch(AdcConfig::default(), &mut rng);
+        let obs = a.symbist_observations(0.0);
+        for o in &obs {
+            // Mismatch moves invariance signals by millivolts, not tenths.
+            assert!((o.m_plus + o.m_minus - o.vref32).abs() < 0.02);
+            assert!((o.dac_plus + o.dac_minus - 2.0 * o.vref16).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn fig5_trace_has_32_conversion_cycles() {
+        let a = adc();
+        let tr = a.invariance3_trace(0.1);
+        assert_eq!(tr.settled.len(), 32);
+        assert!(!tr.sum.is_empty());
+        // Total time: 33 cycles (1 sample + 32 codes).
+        let expect = 33.0 / a.config().fclk;
+        let last = *tr.sum.times().last().unwrap();
+        assert!((last - expect).abs() < 2.0 / a.config().fclk);
+    }
+}

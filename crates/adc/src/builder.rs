@@ -1,0 +1,314 @@
+//! Netlist-emission helpers shared by the structural blocks.
+//!
+//! Each helper emits one physical component into a [`Netlist`], honoring an
+//! optional injected defect according to the paper's model (§V): 10 Ω
+//! shorts, weak pulls replacing ideal opens, ±50 % passive variation.
+
+use symbist_circuit::netlist::{DeviceId, MosPolarity, Netlist, NodeId};
+
+use crate::config::AdcConfig;
+use crate::fault::DefectKind;
+
+/// Emits a resistor with an optional defect.
+///
+/// * `Short` — the nominal resistor stays, with `defect_rshort` in parallel.
+/// * `Open` — the resistor is replaced by the weak pull (`defect_rweak`)
+///   bridging the break.
+/// * `ParamLow`/`ParamHigh` — value scaled by 0.5 / 1.5.
+///
+/// # Panics
+///
+/// Panics if a MOS-only defect kind is passed.
+pub(crate) fn emit_resistor(
+    nl: &mut Netlist,
+    a: NodeId,
+    b: NodeId,
+    ohms: f64,
+    defect: Option<DefectKind>,
+    cfg: &AdcConfig,
+) {
+    match defect {
+        None => {
+            nl.resistor(a, b, ohms);
+        }
+        Some(DefectKind::Short) => {
+            nl.resistor(a, b, ohms);
+            nl.resistor(a, b, cfg.defect_rshort);
+        }
+        Some(DefectKind::Open) => {
+            nl.resistor(a, b, cfg.defect_rweak);
+        }
+        Some(DefectKind::ParamLow) => {
+            nl.resistor(a, b, ohms * 0.5);
+        }
+        Some(DefectKind::ParamHigh) => {
+            nl.resistor(a, b, ohms * 1.5);
+        }
+        Some(other) => panic!("defect {other} not applicable to a resistor"),
+    }
+}
+
+/// Emits a capacitor with an optional defect.
+///
+/// * `Short` — nominal capacitor plus `defect_rshort` in parallel.
+/// * `Open` — the capacitor dwindles to a 2 % fringe remnant.
+/// * `ParamLow`/`ParamHigh` — value scaled by 0.5 / 1.5.
+///
+/// # Panics
+///
+/// Panics if a MOS-only defect kind is passed.
+pub(crate) fn emit_capacitor(
+    nl: &mut Netlist,
+    a: NodeId,
+    b: NodeId,
+    farads: f64,
+    ic: Option<f64>,
+    defect: Option<DefectKind>,
+    cfg: &AdcConfig,
+) {
+    let emit = |nl: &mut Netlist, f: f64| match ic {
+        Some(v) => nl.capacitor_with_ic(a, b, f, v),
+        None => nl.capacitor(a, b, f),
+    };
+    match defect {
+        None => {
+            emit(nl, farads);
+        }
+        Some(DefectKind::Short) => {
+            emit(nl, farads);
+            nl.resistor(a, b, cfg.defect_rshort);
+        }
+        Some(DefectKind::Open) => {
+            emit(nl, farads * 0.02);
+        }
+        Some(DefectKind::ParamLow) => {
+            emit(nl, farads * 0.5);
+        }
+        Some(DefectKind::ParamHigh) => {
+            emit(nl, farads * 1.5);
+        }
+        Some(other) => panic!("defect {other} not applicable to a capacitor"),
+    }
+}
+
+/// Emits a diode with an optional defect.
+///
+/// # Panics
+///
+/// Panics if a kind other than `Short`/`Open` is passed.
+pub(crate) fn emit_diode(
+    nl: &mut Netlist,
+    anode: NodeId,
+    cathode: NodeId,
+    i_sat: f64,
+    defect: Option<DefectKind>,
+    cfg: &AdcConfig,
+) {
+    match defect {
+        None => {
+            nl.diode(anode, cathode, i_sat, 1.0);
+        }
+        Some(DefectKind::Short) => {
+            nl.diode(anode, cathode, i_sat, 1.0);
+            nl.resistor(anode, cathode, cfg.defect_rshort);
+        }
+        Some(DefectKind::Open) => {
+            nl.resistor(anode, cathode, cfg.defect_rweak);
+        }
+        Some(other) => panic!("defect {other} not applicable to a diode"),
+    }
+}
+
+/// Emits a MOSFET with an optional terminal defect.
+///
+/// Shorts add `defect_rshort` between the named terminals. Opens detach the
+/// terminal through a fresh internal node with a weak pull toward
+/// `pull_rail` (ground for NMOS-style sites, the supply for PMOS-style
+/// sites — the caller picks).
+///
+/// # Panics
+///
+/// Panics if a passive-only defect kind is passed.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_mosfet(
+    nl: &mut Netlist,
+    d: NodeId,
+    g: NodeId,
+    s: NodeId,
+    polarity: MosPolarity,
+    vth: f64,
+    kp: f64,
+    lambda: f64,
+    defect: Option<DefectKind>,
+    pull_rail: NodeId,
+    cfg: &AdcConfig,
+) -> DeviceId {
+    match defect {
+        None => nl.mosfet(d, g, s, polarity, vth, kp, lambda),
+        Some(DefectKind::ShortGd) => {
+            let id = nl.mosfet(d, g, s, polarity, vth, kp, lambda);
+            nl.resistor(g, d, cfg.defect_rshort);
+            id
+        }
+        Some(DefectKind::ShortGs) => {
+            let id = nl.mosfet(d, g, s, polarity, vth, kp, lambda);
+            nl.resistor(g, s, cfg.defect_rshort);
+            id
+        }
+        Some(DefectKind::ShortDs) => {
+            let id = nl.mosfet(d, g, s, polarity, vth, kp, lambda);
+            nl.resistor(d, s, cfg.defect_rshort);
+            id
+        }
+        Some(DefectKind::OpenGate) => {
+            let g2 = nl.fresh_node();
+            nl.resistor(g2, pull_rail, cfg.defect_rweak);
+            nl.mosfet(d, g2, s, polarity, vth, kp, lambda)
+        }
+        Some(DefectKind::OpenDrain) => {
+            let d2 = nl.fresh_node();
+            nl.resistor(d2, pull_rail, cfg.defect_rweak);
+            nl.mosfet(d2, g, s, polarity, vth, kp, lambda)
+        }
+        Some(DefectKind::OpenSource) => {
+            let s2 = nl.fresh_node();
+            nl.resistor(s2, pull_rail, cfg.defect_rweak);
+            nl.mosfet(d, g, s2, polarity, vth, kp, lambda)
+        }
+        Some(other) => panic!("defect {other} not applicable to a MOSFET"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbist_circuit::dc::DcSolver;
+
+    fn cfg() -> AdcConfig {
+        AdcConfig::default()
+    }
+
+    #[test]
+    fn resistor_defects_change_divider() {
+        // Divider 1k/1k from 1 V; defect on the top resistor.
+        let solve = |defect: Option<DefectKind>| {
+            let mut nl = Netlist::new();
+            let top = nl.node("top");
+            let mid = nl.node("mid");
+            nl.vsource(top, Netlist::GND, 1.0);
+            emit_resistor(&mut nl, top, mid, 1000.0, defect, &cfg());
+            nl.resistor(mid, Netlist::GND, 1000.0);
+            DcSolver::new().solve(&nl).unwrap().voltage(mid)
+        };
+        assert!((solve(None) - 0.5).abs() < 1e-9);
+        // Short: mid pulled to ~1 V.
+        assert!(solve(Some(DefectKind::Short)) > 0.98);
+        // Open: mid pulled to ~0 V through the weak pull.
+        assert!(solve(Some(DefectKind::Open)) < 0.01);
+        // −50%: 500/1000 divider → 2/3.
+        assert!((solve(Some(DefectKind::ParamLow)) - 2.0 / 3.0).abs() < 1e-6);
+        // +50%: 1500/1000 → 0.4.
+        assert!((solve(Some(DefectKind::ParamHigh)) - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mosfet_short_ds_conducts_when_off() {
+        let solve = |defect: Option<DefectKind>| {
+            let mut nl = Netlist::new();
+            let vdd = nl.node("vdd");
+            let d = nl.node("d");
+            let g = nl.node("g");
+            nl.vsource(vdd, Netlist::GND, 1.2);
+            nl.vsource(g, Netlist::GND, 0.0); // gate off
+            nl.resistor(vdd, d, 10_000.0);
+            emit_mosfet(
+                &mut nl,
+                d,
+                g,
+                Netlist::GND,
+                MosPolarity::Nmos,
+                0.4,
+                1e-3,
+                0.0,
+                defect,
+                Netlist::GND,
+                &cfg(),
+            );
+            DcSolver::new().solve(&nl).unwrap().voltage(d)
+        };
+        // Healthy, gate low: no current, drain at VDD.
+        assert!(solve(None) > 1.19);
+        // DS short: drain pulled to ground.
+        assert!(solve(Some(DefectKind::ShortDs)) < 0.01);
+    }
+
+    #[test]
+    fn mosfet_open_gate_disables_device() {
+        let solve = |defect: Option<DefectKind>| {
+            let mut nl = Netlist::new();
+            let vdd = nl.node("vdd");
+            let d = nl.node("d");
+            let g = nl.node("g");
+            nl.vsource(vdd, Netlist::GND, 1.2);
+            nl.vsource(g, Netlist::GND, 1.2); // gate on
+            nl.resistor(vdd, d, 10_000.0);
+            emit_mosfet(
+                &mut nl,
+                d,
+                g,
+                Netlist::GND,
+                MosPolarity::Nmos,
+                0.4,
+                1e-3,
+                0.0,
+                defect,
+                Netlist::GND,
+                &cfg(),
+            );
+            DcSolver::new().solve(&nl).unwrap().voltage(d)
+        };
+        // Healthy on-device pulls the drain low.
+        assert!(solve(None) < 0.3);
+        // Floating gate with weak pull-down: device off, drain high.
+        assert!(solve(Some(DefectKind::OpenGate)) > 1.1);
+        // Open drain: no path, drain high.
+        assert!(solve(Some(DefectKind::OpenDrain)) > 1.1);
+    }
+
+    #[test]
+    fn diode_defects() {
+        let solve = |defect: Option<DefectKind>| {
+            let mut nl = Netlist::new();
+            let vdd = nl.node("vdd");
+            let a = nl.node("a");
+            nl.vsource(vdd, Netlist::GND, 1.8);
+            nl.resistor(vdd, a, 100_000.0);
+            emit_diode(&mut nl, a, Netlist::GND, 1e-16, defect, &cfg());
+            DcSolver::new().solve(&nl).unwrap().voltage(a)
+        };
+        let healthy = solve(None);
+        assert!((0.5..0.85).contains(&healthy));
+        assert!(solve(Some(DefectKind::Short)) < 0.01);
+        assert!(solve(Some(DefectKind::Open)) > 1.7);
+    }
+
+    #[test]
+    fn capacitor_short_grounds_node_dc() {
+        let mut nl = Netlist::new();
+        let top = nl.node("top");
+        let mid = nl.node("mid");
+        nl.vsource(top, Netlist::GND, 1.0);
+        nl.resistor(top, mid, 1000.0);
+        emit_capacitor(
+            &mut nl,
+            mid,
+            Netlist::GND,
+            1e-12,
+            None,
+            Some(DefectKind::Short),
+            &cfg(),
+        );
+        let op = DcSolver::new().solve(&nl).unwrap();
+        assert!(op.voltage(mid) < 0.02);
+    }
+}

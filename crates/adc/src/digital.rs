@@ -1,0 +1,289 @@
+//! Purely digital blocks of the IP: SAR Control, Phase Generator, and SAR
+//! Logic (Figs. 2–3).
+//!
+//! In the paper these are covered by standard digital BIST (scan plus
+//! ATPG), not by SymBIST, so they carry no analog defect sites here; they
+//! are implemented functionally because the conversion loop and the
+//! SymBIST stimulus sequencing depend on them.
+
+/// The 12 control pulses P<0:11> of one conversion frame (SAR Control,
+/// Fig. 2): one sampling pulse, ten bit-decision pulses, one capture pulse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pulse {
+    /// P0 — track/sample the input.
+    Sample,
+    /// P1..=P10 — decide bit `9 − (index − 1)`.
+    Bit(u8),
+    /// P11 — transfer B<0:9> to the output register.
+    Capture,
+}
+
+/// SAR Control: maps a frame-relative clock index to its pulse.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SarControl;
+
+impl SarControl {
+    /// Creates the controller.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Pulse for clock cycle `cycle` within a 12-cycle frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle >= 12`.
+    pub fn pulse(&self, cycle: u32) -> Pulse {
+        match cycle {
+            0 => Pulse::Sample,
+            c @ 1..=10 => Pulse::Bit(10 - c as u8), // bit 9 first
+            11 => Pulse::Capture,
+            _ => panic!("cycle {cycle} outside the 12-pulse frame"),
+        }
+    }
+}
+
+/// Phase Generator: expands each pulse into the analog-domain switch
+/// phases (sampling vs conversion) used by the SC array.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseGenerator;
+
+/// Analog phases derived from the control pulses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phases {
+    /// Bottom plates to the input, top plate to Vcm.
+    pub sampling: bool,
+    /// Bottom plates to the sub-DAC outputs.
+    pub converting: bool,
+    /// Comparator strobe active at the end of the cycle.
+    pub strobe: bool,
+}
+
+impl PhaseGenerator {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Phases for a pulse.
+    pub fn phases(&self, pulse: Pulse) -> Phases {
+        match pulse {
+            Pulse::Sample => Phases {
+                sampling: true,
+                converting: false,
+                strobe: false,
+            },
+            Pulse::Bit(_) => Phases {
+                sampling: false,
+                converting: true,
+                strobe: true,
+            },
+            Pulse::Capture => Phases {
+                sampling: false,
+                converting: false,
+                strobe: false,
+            },
+        }
+    }
+}
+
+/// SAR Logic: the successive-approximation register. Provides the trial
+/// code to the DAC each bit cycle, accumulates comparator decisions, and
+/// presents D<0:9> after capture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SarLogic {
+    bits: u32,
+    acc: u16,
+    bit: Option<u8>,
+    captured: Option<u16>,
+}
+
+impl SarLogic {
+    /// Creates the register for `bits`-bit conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or above 16.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=16).contains(&bits));
+        Self {
+            bits,
+            acc: 0,
+            bit: None,
+            captured: None,
+        }
+    }
+
+    /// Begins a conversion (on the sample pulse).
+    pub fn begin(&mut self) {
+        self.acc = 0;
+        self.bit = Some((self.bits - 1) as u8);
+        self.captured = None;
+    }
+
+    /// The code to present to the DAC for the current bit trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no conversion is in progress.
+    pub fn trial_code(&self) -> u16 {
+        let bit = self.bit.expect("no conversion in progress");
+        self.acc | (1 << bit)
+    }
+
+    /// Records the comparator decision for the current bit.
+    ///
+    /// `above` means the DAC level for the trial code was *above* the
+    /// input (comparator saw DAC+ > DAC−, i.e. level > ΔIN), so the bit
+    /// resolves to 0; otherwise it stays 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no conversion is in progress.
+    pub fn apply_decision(&mut self, above: bool) {
+        let bit = self.bit.expect("no conversion in progress");
+        if !above {
+            self.acc |= 1 << bit;
+        }
+        self.bit = if bit == 0 { None } else { Some(bit - 1) };
+    }
+
+    /// True when all bits are decided.
+    pub fn done(&self) -> bool {
+        self.bit.is_none()
+    }
+
+    /// Latches the result into the output register (capture pulse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conversion is not complete.
+    pub fn capture(&mut self) {
+        assert!(self.done(), "capture before all bits decided");
+        self.captured = Some(self.acc);
+    }
+
+    /// The captured output D<0:9>, if any.
+    pub fn output(&self) -> Option<u16> {
+        self.captured
+    }
+}
+
+/// The SymBIST 5-bit test counter (paper §IV-2): sweeps all 2⁵ codes onto
+/// both sub-DAC inputs, `B<0:4> = B<5:9>`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TestCounter {
+    value: u8,
+    wrapped: bool,
+}
+
+impl TestCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current 5-bit value.
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// Advances; sets the wrap flag after 32 increments.
+    pub fn tick(&mut self) {
+        self.value = (self.value + 1) & 0x1F;
+        if self.value == 0 {
+            self.wrapped = true;
+        }
+    }
+
+    /// True once the counter has produced all 32 codes.
+    pub fn wrapped(&self) -> bool {
+        self.wrapped
+    }
+
+    /// The full 10-bit DAC code this counter value drives (B<0:4> =
+    /// B<5:9> = value).
+    pub fn dac_code(&self) -> u16 {
+        (self.value as u16) << 5 | self.value as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_sequence() {
+        let ctl = SarControl::new();
+        assert_eq!(ctl.pulse(0), Pulse::Sample);
+        assert_eq!(ctl.pulse(1), Pulse::Bit(9));
+        assert_eq!(ctl.pulse(10), Pulse::Bit(0));
+        assert_eq!(ctl.pulse(11), Pulse::Capture);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_frame_panics() {
+        SarControl::new().pulse(12);
+    }
+
+    #[test]
+    fn phases_follow_pulses() {
+        let pg = PhaseGenerator::new();
+        assert!(pg.phases(Pulse::Sample).sampling);
+        let bitp = pg.phases(Pulse::Bit(4));
+        assert!(bitp.converting && bitp.strobe && !bitp.sampling);
+        let cap = pg.phases(Pulse::Capture);
+        assert!(!cap.sampling && !cap.converting);
+    }
+
+    #[test]
+    fn sar_binary_search() {
+        // Emulate an ideal comparator against a known target level.
+        let mut sar = SarLogic::new(10);
+        sar.begin();
+        let target = 613u16;
+        while !sar.done() {
+            let trial = sar.trial_code();
+            sar.apply_decision(trial > target);
+        }
+        sar.capture();
+        assert_eq!(sar.output(), Some(target));
+    }
+
+    #[test]
+    fn sar_extremes() {
+        for target in [0u16, 1, 511, 512, 1023] {
+            let mut sar = SarLogic::new(10);
+            sar.begin();
+            while !sar.done() {
+                let trial = sar.trial_code();
+                sar.apply_decision(trial > target);
+            }
+            sar.capture();
+            assert_eq!(sar.output(), Some(target), "target {target}");
+        }
+    }
+
+    #[test]
+    fn counter_covers_all_codes_once() {
+        let mut c = TestCounter::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..32 {
+            seen.insert(c.value());
+            c.tick();
+        }
+        assert_eq!(seen.len(), 32);
+        assert!(c.wrapped());
+    }
+
+    #[test]
+    fn counter_drives_both_subdacs() {
+        let mut c = TestCounter::new();
+        for _ in 0..7 {
+            c.tick();
+        }
+        assert_eq!(c.value(), 7);
+        assert_eq!(c.dac_code(), (7 << 5) | 7);
+    }
+}

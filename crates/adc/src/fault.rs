@@ -1,0 +1,348 @@
+//! Fault-site vocabulary: the physical components of the IP and the defect
+//! model of the paper (§V).
+//!
+//! Every analog block of the ADC publishes its physical components as
+//! [`ComponentInfo`] entries; the defect simulator in `symbist-defects`
+//! builds the defect universe by crossing each component with the defects
+//! applicable to its kind:
+//!
+//! * transistors and diodes — short- and open-circuits across terminals,
+//! * passives (R, C) — short, open, and ±50 % parameter variation,
+//!
+//! with a 10 Ω short resistance and a weak pull replacing ideal opens,
+//! exactly as in the paper.
+
+use std::fmt;
+
+/// The A/M-S blocks of the SAR ADC IP, in the order of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockKind {
+    /// Bandgap reference (Fig. 2).
+    Bandgap,
+    /// Reference buffer producing VREF<0:32> (Fig. 2).
+    ReferenceBuffer,
+    /// SUBDAC1 — MSB tap mux (Fig. 4).
+    SubDac1,
+    /// SUBDAC2 — LSB tap mux (Fig. 4).
+    SubDac2,
+    /// Switched-capacitor array (Fig. 4).
+    ScArray,
+    /// Common-mode voltage generator (Fig. 3).
+    VcmGenerator,
+    /// Comparator pre-amplifier (Fig. 3).
+    Preamplifier,
+    /// Regenerative comparator latch.
+    ComparatorLatch,
+    /// RS output latch.
+    RsLatch,
+    /// Pre-amplifier offset-compensation circuit.
+    OffsetCompensation,
+}
+
+impl BlockKind {
+    /// All A/M-S blocks in Table I order.
+    pub const ALL: [BlockKind; 10] = [
+        BlockKind::Bandgap,
+        BlockKind::ReferenceBuffer,
+        BlockKind::SubDac1,
+        BlockKind::SubDac2,
+        BlockKind::ScArray,
+        BlockKind::VcmGenerator,
+        BlockKind::Preamplifier,
+        BlockKind::ComparatorLatch,
+        BlockKind::RsLatch,
+        BlockKind::OffsetCompensation,
+    ];
+
+    /// Human-readable name matching the paper's Table I rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockKind::Bandgap => "BandGap",
+            BlockKind::ReferenceBuffer => "Reference Buffer",
+            BlockKind::SubDac1 => "SUBDAC1",
+            BlockKind::SubDac2 => "SUBDAC2",
+            BlockKind::ScArray => "SC Array",
+            BlockKind::VcmGenerator => "Vcm Generator",
+            BlockKind::Preamplifier => "Preamplifier",
+            BlockKind::ComparatorLatch => "Comparator Latch",
+            BlockKind::RsLatch => "RS Latch",
+            BlockKind::OffsetCompensation => "Offset Compensation circuit",
+        }
+    }
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Physical component classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// Poly/diffusion resistor.
+    Resistor,
+    /// MiM/MoM capacitor.
+    Capacitor,
+    /// MOS transistor (any role: switch, amplifier, mirror, logic).
+    Mosfet,
+    /// Junction diode (bandgap core).
+    Diode,
+}
+
+impl ComponentKind {
+    /// Defects applicable to this component class under the paper's model.
+    pub fn applicable_defects(self) -> &'static [DefectKind] {
+        match self {
+            ComponentKind::Resistor | ComponentKind::Capacitor => &[
+                DefectKind::Short,
+                DefectKind::Open,
+                DefectKind::ParamLow,
+                DefectKind::ParamHigh,
+            ],
+            ComponentKind::Mosfet => &[
+                DefectKind::ShortGd,
+                DefectKind::ShortGs,
+                DefectKind::ShortDs,
+                DefectKind::OpenGate,
+                DefectKind::OpenDrain,
+                DefectKind::OpenSource,
+            ],
+            ComponentKind::Diode => &[DefectKind::Short, DefectKind::Open],
+        }
+    }
+
+    /// Default relative layout area, used for likelihood weighting when a
+    /// block does not override it (arbitrary units; MOS = 1).
+    pub fn default_area(self) -> f64 {
+        match self {
+            ComponentKind::Resistor => 2.0,
+            ComponentKind::Capacitor => 6.0,
+            ComponentKind::Mosfet => 1.0,
+            ComponentKind::Diode => 4.0,
+        }
+    }
+}
+
+/// The defect model of paper §V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefectKind {
+    /// 10 Ω short across the component (R, C, diode).
+    Short,
+    /// Open circuit with a weak pull (R, C, diode).
+    Open,
+    /// Passive value −50 %.
+    ParamLow,
+    /// Passive value +50 %.
+    ParamHigh,
+    /// MOS gate–drain short (10 Ω).
+    ShortGd,
+    /// MOS gate–source short (10 Ω).
+    ShortGs,
+    /// MOS drain–source short (10 Ω).
+    ShortDs,
+    /// MOS floating gate (weak pull).
+    OpenGate,
+    /// MOS open drain (weak pull).
+    OpenDrain,
+    /// MOS open source (weak pull).
+    OpenSource,
+}
+
+impl DefectKind {
+    /// Returns `true` for short-class defects (higher global likelihood in
+    /// the paper's weighting).
+    pub fn is_short(self) -> bool {
+        matches!(
+            self,
+            DefectKind::Short | DefectKind::ShortGd | DefectKind::ShortGs | DefectKind::ShortDs
+        )
+    }
+
+    /// Returns `true` for open-class defects.
+    pub fn is_open(self) -> bool {
+        matches!(
+            self,
+            DefectKind::Open
+                | DefectKind::OpenGate
+                | DefectKind::OpenDrain
+                | DefectKind::OpenSource
+        )
+    }
+
+    /// Returns `true` for ±50 % passive variations.
+    pub fn is_param(self) -> bool {
+        matches!(self, DefectKind::ParamLow | DefectKind::ParamHigh)
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DefectKind::Short => "short",
+            DefectKind::Open => "open",
+            DefectKind::ParamLow => "-50%",
+            DefectKind::ParamHigh => "+50%",
+            DefectKind::ShortGd => "short-gd",
+            DefectKind::ShortGs => "short-gs",
+            DefectKind::ShortDs => "short-ds",
+            DefectKind::OpenGate => "open-gate",
+            DefectKind::OpenDrain => "open-drain",
+            DefectKind::OpenSource => "open-source",
+        }
+    }
+}
+
+impl fmt::Display for DefectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One physical component of the IP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentInfo {
+    /// Owning block.
+    pub block: BlockKind,
+    /// Hierarchical name, e.g. `"subdac1/mux_p/sw17"`.
+    pub name: String,
+    /// Component class.
+    pub kind: ComponentKind,
+    /// Relative layout area (likelihood weighting).
+    pub area: f64,
+}
+
+/// A defect instance: a component index (into the DUT's catalog) plus the
+/// defect applied to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DefectSite {
+    /// Index into [`Faultable::components`].
+    pub component: usize,
+    /// Which defect.
+    pub kind: DefectKind,
+}
+
+impl fmt::Display for DefectSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "component#{}:{}", self.component, self.kind)
+    }
+}
+
+/// A device under test whose physical components can be enumerated and
+/// individually corrupted. Implemented by [`crate::SarAdc`] and by the
+/// baseline IPs.
+pub trait Faultable {
+    /// The component catalog (stable order; indices are defect handles).
+    fn components(&self) -> &[ComponentInfo];
+
+    /// Injects a defect. Injecting a second defect replaces the first
+    /// (single-defect assumption, as in the paper's campaign).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component index is out of range or the defect kind is
+    /// not applicable to the component's kind.
+    fn inject(&mut self, site: DefectSite);
+
+    /// Removes any injected defect, restoring the defect-free DUT.
+    fn clear_defects(&mut self);
+
+    /// The currently injected defect, if any.
+    fn injected(&self) -> Option<DefectSite>;
+}
+
+/// Validates that a site is applicable to a catalog (shared helper for
+/// `Faultable` implementations).
+///
+/// # Panics
+///
+/// Panics when out of range or inapplicable, with a descriptive message.
+pub fn check_site(catalog: &[ComponentInfo], site: DefectSite) {
+    assert!(
+        site.component < catalog.len(),
+        "component index {} out of range ({} components)",
+        site.component,
+        catalog.len()
+    );
+    let info = &catalog[site.component];
+    assert!(
+        info.kind.applicable_defects().contains(&site.kind),
+        "defect {} is not applicable to {:?} component '{}'",
+        site.kind,
+        info.kind,
+        info.name
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applicable_defect_counts_match_model() {
+        // Paper model: R/C get short+open+±50% = 4; MOS gets 6 terminal
+        // defects; diodes short+open = 2.
+        assert_eq!(ComponentKind::Resistor.applicable_defects().len(), 4);
+        assert_eq!(ComponentKind::Capacitor.applicable_defects().len(), 4);
+        assert_eq!(ComponentKind::Mosfet.applicable_defects().len(), 6);
+        assert_eq!(ComponentKind::Diode.applicable_defects().len(), 2);
+    }
+
+    #[test]
+    fn defect_classes_partition() {
+        for kind in [
+            ComponentKind::Resistor,
+            ComponentKind::Capacitor,
+            ComponentKind::Mosfet,
+            ComponentKind::Diode,
+        ] {
+            for d in kind.applicable_defects() {
+                let classes =
+                    u32::from(d.is_short()) + u32::from(d.is_open()) + u32::from(d.is_param());
+                assert_eq!(classes, 1, "{d} must belong to exactly one class");
+            }
+        }
+    }
+
+    #[test]
+    fn block_labels_match_table1() {
+        assert_eq!(BlockKind::ScArray.label(), "SC Array");
+        assert_eq!(BlockKind::ALL.len(), 10);
+    }
+
+    #[test]
+    fn check_site_rejects_mismatches() {
+        let catalog = vec![ComponentInfo {
+            block: BlockKind::ScArray,
+            name: "c0".into(),
+            kind: ComponentKind::Capacitor,
+            area: 6.0,
+        }];
+        check_site(
+            &catalog,
+            DefectSite {
+                component: 0,
+                kind: DefectKind::Short,
+            },
+        );
+        let bad = std::panic::catch_unwind(|| {
+            check_site(
+                &catalog,
+                DefectSite {
+                    component: 0,
+                    kind: DefectKind::ShortGd,
+                },
+            )
+        });
+        assert!(bad.is_err());
+        let oob = std::panic::catch_unwind(|| {
+            check_site(
+                &catalog,
+                DefectSite {
+                    component: 5,
+                    kind: DefectKind::Short,
+                },
+            )
+        });
+        assert!(oob.is_err());
+    }
+}

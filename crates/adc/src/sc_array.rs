@@ -1,0 +1,700 @@
+//! Switched-capacitor array (Fig. 4): sample-and-hold plus charge-domain
+//! combination of the sub-DAC levels into the comparator inputs DAC+/DAC−.
+//!
+//! Per side, a main capacitor of 32 units and an interpolation capacitor of
+//! 1 unit share a top plate. During sampling the bottom plates connect to
+//! the input and the top plate to `Vcm`; during conversion the bottom
+//! plates are switched to `M±` and `L±`. Charge conservation then gives
+//!
+//! ```text
+//! DAC± = Vcm + (32·M± + L±)/33 − IN±
+//! DAC+ + DAC− = 2·Vcm + VREF[32] − (IN+ + IN−)   (invariance I3, Eq. 3)
+//! ```
+//!
+//! The block is always evaluated with the transient MNA engine — switches
+//! have finite on-resistance, so code changes produce the settling glitches
+//! visible in the paper's Fig. 5, and defects (stuck switches, floating
+//! bottom plates, shorted capacitors) need no special-case algebra.
+
+use symbist_circuit::netlist::{Device, DeviceId, Netlist, NodeId, SourceWave};
+use symbist_circuit::transient::{TransientOptions, TransientSim};
+use symbist_circuit::waveform::Trace;
+
+use crate::config::AdcConfig;
+use crate::fault::{BlockKind, ComponentInfo, ComponentKind, DefectKind};
+
+/// Steps the transient solver takes per clock cycle.
+const STEPS_PER_CYCLE: usize = 48;
+
+/// The two differential sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Positive half (produces DAC+).
+    P,
+    /// Negative half (produces DAC−).
+    N,
+}
+
+/// Per-side component roles, in catalog order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    CMain,
+    CInterp,
+    SwSampleMain,
+    SwConvMain,
+    SwSampleInterp,
+    SwConvInterp,
+    SwCm,
+}
+
+const ROLES: [Role; 7] = [
+    Role::CMain,
+    Role::CInterp,
+    Role::SwSampleMain,
+    Role::SwConvMain,
+    Role::SwSampleInterp,
+    Role::SwConvInterp,
+    Role::SwCm,
+];
+
+/// Components per side.
+const PER_SIDE: usize = ROLES.len();
+/// Total SC-array components.
+pub(crate) const SC_COMPONENTS: usize = 2 * PER_SIDE;
+
+/// Mismatch knobs (relative capacitor errors per side).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScMismatch {
+    /// Main cap error, P side.
+    pub cm_p: f64,
+    /// Interp cap error, P side.
+    pub cl_p: f64,
+    /// Main cap error, N side.
+    pub cm_n: f64,
+    /// Interp cap error, N side.
+    pub cl_n: f64,
+}
+
+/// Sub-DAC levels driven into one side for one code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SideLevels {
+    /// M± level.
+    pub m: f64,
+    /// L± level.
+    pub l: f64,
+}
+
+/// The SC array block.
+#[derive(Debug, Clone)]
+pub struct ScArray {
+    cfg: AdcConfig,
+    components: Vec<ComponentInfo>,
+    defect: Option<(usize, DefectKind)>,
+    mismatch: ScMismatch,
+}
+
+/// How a switch site behaves after defect mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SwBehavior {
+    /// Normal toggled switch with this on-resistance.
+    Normal { ron: f64 },
+    /// Permanently conducting with this resistance.
+    StuckOn { r: f64 },
+    /// Never conducts.
+    StuckOff,
+    /// Normal but with a permanent resistive load from terminal `a` to
+    /// ground (gate-short control leakage).
+    NormalLoaded { ron: f64, load_r: f64 },
+    /// Terminal detached: the device connects through a floating internal
+    /// node with a weak pull to ground.
+    SeriesOpen,
+}
+
+/// Built netlist for one side plus the handles needed to drive it.
+#[derive(Debug)]
+struct SideCircuit {
+    nl: Netlist,
+    top: NodeId,
+    src_in: DeviceId,
+    src_m: DeviceId,
+    src_l: DeviceId,
+    src_vcm: DeviceId,
+    sw_sample_main: Option<DeviceId>,
+    sw_conv_main: Option<DeviceId>,
+    sw_sample_interp: Option<DeviceId>,
+    sw_conv_interp: Option<DeviceId>,
+    sw_cm: Option<DeviceId>,
+}
+
+impl SideCircuit {
+    fn set_source(&mut self, id: DeviceId, value: f64) {
+        match self.nl.device_mut(id) {
+            Device::VSource { wave, .. } => *wave = SourceWave::Dc(value),
+            _ => unreachable!("source handle is always a VSource"),
+        }
+    }
+
+    fn set_phase(&mut self, sampling: bool) {
+        let assign = [
+            (self.sw_sample_main, sampling),
+            (self.sw_sample_interp, sampling),
+            (self.sw_cm, sampling),
+            (self.sw_conv_main, !sampling),
+            (self.sw_conv_interp, !sampling),
+        ];
+        for (sw, closed) in assign {
+            if let Some(id) = sw {
+                self.nl.set_switch(id, closed);
+            }
+        }
+    }
+}
+
+impl ScArray {
+    /// Creates a defect-free SC array.
+    pub fn new(cfg: &AdcConfig) -> Self {
+        let mut components = Vec::with_capacity(SC_COMPONENTS);
+        for side in ["p", "n"] {
+            for role in ROLES {
+                let (name, kind, area) = match role {
+                    Role::CMain => ("c_main", ComponentKind::Capacitor, 32.0 * 6.0),
+                    Role::CInterp => ("c_interp", ComponentKind::Capacitor, 6.0),
+                    Role::SwSampleMain => ("sw_sample_main", ComponentKind::Mosfet, 1.5),
+                    Role::SwConvMain => ("sw_conv_main", ComponentKind::Mosfet, 1.5),
+                    Role::SwSampleInterp => ("sw_sample_interp", ComponentKind::Mosfet, 1.0),
+                    Role::SwConvInterp => ("sw_conv_interp", ComponentKind::Mosfet, 1.0),
+                    Role::SwCm => ("sw_cm", ComponentKind::Mosfet, 1.0),
+                };
+                components.push(ComponentInfo {
+                    block: BlockKind::ScArray,
+                    name: format!("scarray/{side}/{name}"),
+                    kind,
+                    area,
+                });
+            }
+        }
+        Self {
+            cfg: cfg.clone(),
+            components,
+            defect: None,
+            mismatch: ScMismatch::default(),
+        }
+    }
+
+    /// The local component catalog (P side then N side).
+    pub fn components(&self) -> &[ComponentInfo] {
+        &self.components
+    }
+
+    pub(crate) fn set_defect(&mut self, defect: Option<(usize, DefectKind)>) {
+        self.defect = defect;
+    }
+
+    /// Sets the mismatch sample.
+    pub fn set_mismatch(&mut self, m: ScMismatch) {
+        self.mismatch = m;
+    }
+
+    fn defect_for(&self, side: Side, role: Role) -> Option<DefectKind> {
+        let base = match side {
+            Side::P => 0,
+            Side::N => PER_SIDE,
+        };
+        let role_idx = ROLES.iter().position(|r| *r == role).unwrap();
+        match self.defect {
+            Some((idx, kind)) if idx == base + role_idx => Some(kind),
+            _ => None,
+        }
+    }
+
+    fn switch_behavior(&self, side: Side, role: Role) -> SwBehavior {
+        let ron = self.cfg.switch_ron;
+        match self.defect_for(side, role) {
+            None => SwBehavior::Normal { ron },
+            Some(DefectKind::ShortDs) => SwBehavior::StuckOn {
+                r: self.cfg.defect_rshort,
+            },
+            Some(DefectKind::ShortGd) | Some(DefectKind::ShortGs) => SwBehavior::NormalLoaded {
+                ron: 2.0 * ron,
+                load_r: 2_000.0,
+            },
+            Some(DefectKind::OpenGate) => SwBehavior::StuckOff,
+            Some(DefectKind::OpenDrain) | Some(DefectKind::OpenSource) => SwBehavior::SeriesOpen,
+            Some(other) => panic!("defect {other} not applicable to an SC switch"),
+        }
+    }
+
+    /// Emits one switch site; returns a toggle handle when the site still
+    /// responds to the phase control.
+    fn emit_switch(
+        &self,
+        nl: &mut Netlist,
+        a: NodeId,
+        b: NodeId,
+        side: Side,
+        role: Role,
+    ) -> Option<DeviceId> {
+        let roff = self.cfg.switch_roff;
+        match self.switch_behavior(side, role) {
+            SwBehavior::Normal { ron } => Some(nl.switch(a, b, ron, roff)),
+            SwBehavior::StuckOn { r } => {
+                nl.resistor(a, b, r);
+                None
+            }
+            SwBehavior::StuckOff => {
+                nl.resistor(a, b, roff);
+                None
+            }
+            SwBehavior::NormalLoaded { ron, load_r } => {
+                let id = nl.switch(a, b, ron, roff);
+                nl.resistor(a, Netlist::GND, load_r);
+                Some(id)
+            }
+            SwBehavior::SeriesOpen => {
+                let mid = nl.fresh_node();
+                nl.resistor(mid, Netlist::GND, self.cfg.defect_rweak);
+                Some(nl.switch(a, mid, self.cfg.switch_ron, roff))
+            }
+        }
+    }
+
+    fn build_side(&self, side: Side, vin: f64, vcm: f64) -> SideCircuit {
+        let cfg = &self.cfg;
+        let (cm_err, cl_err) = match side {
+            Side::P => (self.mismatch.cm_p, self.mismatch.cl_p),
+            Side::N => (self.mismatch.cm_n, self.mismatch.cl_n),
+        };
+        let mut nl = Netlist::new();
+        let top = nl.node("top");
+        let bm = nl.node("bm");
+        let bl = nl.node("bl");
+        let n_in = nl.node("in");
+        let n_m = nl.node("m");
+        let n_l = nl.node("l");
+        let n_vcm = nl.node("vcm");
+
+        let src_in = nl.vsource(n_in, Netlist::GND, vin);
+        let src_m = nl.vsource(n_m, Netlist::GND, 0.0);
+        let src_l = nl.vsource(n_l, Netlist::GND, 0.0);
+        let src_vcm = nl.vsource(n_vcm, Netlist::GND, vcm);
+
+        // Capacitors (with defects).
+        let c_main = 32.0 * cfg.unit_cap * (1.0 + cm_err);
+        let c_interp = cfg.unit_cap * (1.0 + cl_err);
+        crate::builder::emit_capacitor(
+            &mut nl,
+            top,
+            bm,
+            c_main,
+            None,
+            self.defect_for(side, Role::CMain),
+            cfg,
+        );
+        crate::builder::emit_capacitor(
+            &mut nl,
+            top,
+            bl,
+            c_interp,
+            None,
+            self.defect_for(side, Role::CInterp),
+            cfg,
+        );
+        if cfg.top_parasitic > 0.0 {
+            nl.capacitor(top, Netlist::GND, cfg.top_parasitic);
+        }
+
+        let sw_sample_main = self.emit_switch(&mut nl, bm, n_in, side, Role::SwSampleMain);
+        let sw_conv_main = self.emit_switch(&mut nl, bm, n_m, side, Role::SwConvMain);
+        let sw_sample_interp = self.emit_switch(&mut nl, bl, n_in, side, Role::SwSampleInterp);
+        let sw_conv_interp = self.emit_switch(&mut nl, bl, n_l, side, Role::SwConvInterp);
+        let sw_cm = self.emit_switch(&mut nl, top, n_vcm, side, Role::SwCm);
+
+        SideCircuit {
+            nl,
+            top,
+            src_in,
+            src_m,
+            src_l,
+            src_vcm,
+            sw_sample_main,
+            sw_conv_main,
+            sw_sample_interp,
+            sw_conv_interp,
+            sw_cm,
+        }
+    }
+
+    /// Starts an interactive session: builds both sides, runs one sampling
+    /// cycle, and leaves the array ready for conversion cycles.
+    ///
+    /// `in_p`/`in_n` are the (externally supplied) FD input voltages and
+    /// `vcm` is the Vcm-generator output. Set `record` to capture full
+    /// waveforms (the paper's Fig. 5 signals).
+    pub fn begin(&self, in_p: f64, in_n: f64, vcm: f64, record: bool) -> ScSession {
+        let tclk = self.cfg.clock_period();
+        let dt = tclk / STEPS_PER_CYCLE as f64;
+
+        let mut circuits = [Side::P, Side::N].map(|side| {
+            let vin = match side {
+                Side::P => in_p,
+                Side::N => in_n,
+            };
+            let mut circuit = self.build_side(side, vin, vcm);
+            circuit.set_phase(true); // sampling
+            circuit
+        });
+        let sims = circuits.each_mut().map(|circuit| {
+            TransientSim::new(
+                &circuit.nl,
+                TransientOptions {
+                    dt,
+                    ..Default::default()
+                },
+            )
+            .expect("SC side must have a DC operating point")
+        });
+
+        let mut session = ScSession {
+            circuits,
+            sims,
+            traces: ScTraces {
+                dac_p: Trace::new("dac_p"),
+                dac_n: Trace::new("dac_n"),
+                sum: Trace::new("dac_sum"),
+                settled: Vec::new(),
+                cycle_time: tclk,
+            },
+            record,
+            sampling: true,
+        };
+        session.run_cycle();
+        session
+    }
+
+    /// Runs the sample-then-convert sequence on both sides and returns the
+    /// settled `(DAC+, DAC−)` per code.
+    ///
+    /// `levels_p[i]`/`levels_n[i]` give the sub-DAC outputs for code `i`;
+    /// each code is held for one clock cycle, exactly like the SymBIST
+    /// counter stimulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the level slices differ in length or are empty.
+    pub fn run_codes(
+        &self,
+        in_p: f64,
+        in_n: f64,
+        vcm: f64,
+        levels_p: &[SideLevels],
+        levels_n: &[SideLevels],
+    ) -> Vec<(f64, f64)> {
+        self.run_sequence(in_p, in_n, vcm, levels_p, levels_n, false)
+            .settled
+    }
+
+    /// Like [`ScArray::run_codes`] but also returns full waveforms of
+    /// DAC+, DAC− and their sum — the paper's Fig. 5 signal.
+    pub fn trace_codes(
+        &self,
+        in_p: f64,
+        in_n: f64,
+        vcm: f64,
+        levels_p: &[SideLevels],
+        levels_n: &[SideLevels],
+    ) -> ScTraces {
+        self.run_sequence(in_p, in_n, vcm, levels_p, levels_n, true)
+    }
+
+    fn run_sequence(
+        &self,
+        in_p: f64,
+        in_n: f64,
+        vcm: f64,
+        levels_p: &[SideLevels],
+        levels_n: &[SideLevels],
+        record: bool,
+    ) -> ScTraces {
+        assert_eq!(levels_p.len(), levels_n.len(), "side code counts differ");
+        assert!(!levels_p.is_empty(), "need at least one code");
+        let mut session = self.begin(in_p, in_n, vcm, record);
+        for (lp, ln) in levels_p.iter().zip(levels_n) {
+            session.apply_code(*lp, *ln);
+        }
+        session.finish()
+    }
+}
+
+/// An in-progress SC-array run: sampled input held on the caps, ready to
+/// apply conversion codes one clock cycle at a time.
+#[derive(Debug)]
+pub struct ScSession {
+    circuits: [SideCircuit; 2],
+    sims: [TransientSim; 2],
+    traces: ScTraces,
+    record: bool,
+    sampling: bool,
+}
+
+impl ScSession {
+    /// Applies one pair of sub-DAC levels, advances one clock cycle, and
+    /// returns the settled `(DAC+, DAC−)`.
+    ///
+    /// The N-side level update lags the P side by one solver step,
+    /// modeling the clock skew between the complementary switch drivers —
+    /// this is what produces the switching glitches on the `DAC+ + DAC−`
+    /// sum that the paper's Fig. 5 shows (and that the clocked checker
+    /// deliberately ignores by sampling at settled instants).
+    pub fn apply_code(&mut self, lv_p: SideLevels, lv_n: SideLevels) -> (f64, f64) {
+        if self.sampling {
+            for circuit in self.circuits.iter_mut() {
+                circuit.set_phase(false);
+            }
+            self.sampling = false;
+        }
+        // P side switches first...
+        self.circuits[0].set_source(self.circuits[0].src_m, lv_p.m);
+        self.circuits[0].set_source(self.circuits[0].src_l, lv_p.l);
+        self.run_steps(1);
+        // ...then the N side, one step of skew later.
+        self.circuits[1].set_source(self.circuits[1].src_m, lv_n.m);
+        self.circuits[1].set_source(self.circuits[1].src_l, lv_n.l);
+        self.run_steps(STEPS_PER_CYCLE - 1);
+        let out = (
+            self.sims[0].voltage(self.circuits[0].top),
+            self.sims[1].voltage(self.circuits[1].top),
+        );
+        self.traces.settled.push(out);
+        out
+    }
+
+    fn run_cycle(&mut self) {
+        self.run_steps(STEPS_PER_CYCLE);
+    }
+
+    fn run_steps(&mut self, steps: usize) {
+        for _ in 0..steps {
+            for (sim, circuit) in self.sims.iter_mut().zip(self.circuits.iter()) {
+                sim.step(&circuit.nl).expect("SC transient step");
+            }
+            if self.record {
+                let vp = self.sims[0].voltage(self.circuits[0].top);
+                let vn = self.sims[1].voltage(self.circuits[1].top);
+                let t = self.sims[0].time();
+                self.traces.dac_p.push(t, vp);
+                self.traces.dac_n.push(t, vn);
+                self.traces.sum.push(t, vp + vn);
+            }
+        }
+    }
+
+    /// Ends the session and returns the accumulated traces.
+    pub fn finish(self) -> ScTraces {
+        self.traces
+    }
+
+    /// Changes the FD input mid-run (used by dynamic-stimulus extensions;
+    /// the sampled charge only reflects it at the next sampling phase).
+    pub fn set_inputs(&mut self, in_p: f64, in_n: f64) {
+        let values = [in_p, in_n];
+        for (circuit, v) in self.circuits.iter_mut().zip(values) {
+            circuit.set_source(circuit.src_in, v);
+        }
+    }
+
+    /// Changes the common-mode source mid-run.
+    pub fn set_vcm(&mut self, vcm: f64) {
+        for circuit in self.circuits.iter_mut() {
+            circuit.set_source(circuit.src_vcm, vcm);
+        }
+    }
+}
+
+/// Output of an SC-array run.
+#[derive(Debug, Clone)]
+pub struct ScTraces {
+    /// DAC+ waveform (empty unless tracing was requested).
+    pub dac_p: Trace,
+    /// DAC− waveform.
+    pub dac_n: Trace,
+    /// DAC+ + DAC− — the invariance-I3 signal of the paper's Fig. 5.
+    pub sum: Trace,
+    /// Settled `(DAC+, DAC−)` at the end of each code cycle.
+    pub settled: Vec<(f64, f64)>,
+    /// Duration of one code cycle in seconds.
+    pub cycle_time: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdcConfig {
+        AdcConfig::default()
+    }
+
+    /// Ideal levels for the counter stimulus code `i` (m = l = i).
+    fn counter_levels(vref: f64, codes: std::ops::Range<u8>) -> (Vec<SideLevels>, Vec<SideLevels>) {
+        let p: Vec<SideLevels> = codes
+            .clone()
+            .map(|i| SideLevels {
+                m: i as f64 / 32.0 * vref,
+                l: i as f64 / 32.0 * vref,
+            })
+            .collect();
+        let n: Vec<SideLevels> = codes
+            .map(|i| SideLevels {
+                m: (32 - i) as f64 / 32.0 * vref,
+                l: (32 - i) as f64 / 32.0 * vref,
+            })
+            .collect();
+        (p, n)
+    }
+
+    #[test]
+    fn charge_redistribution_matches_theory() {
+        let c = cfg();
+        let sc = ScArray::new(&c);
+        let din = 0.2;
+        let (in_p, in_n) = (0.6 + din / 2.0, 0.6 - din / 2.0);
+        let (lp, ln) = counter_levels(1.2, 4..8);
+        let out = sc.run_codes(in_p, in_n, 0.6, &lp, &ln);
+        for (i, (vp, vn)) in out.iter().enumerate() {
+            let code = 4 + i as u8;
+            let m = code as f64 / 32.0 * 1.2;
+            let expect_p = 0.6 + (32.0 * m + m) / 33.0 - in_p;
+            assert!(
+                (vp - expect_p).abs() < 2e-3,
+                "code {code}: DAC+ {vp} vs {expect_p}"
+            );
+            // Invariance I3: sum = 2·Vcm.
+            assert!((vp + vn - 1.2).abs() < 3e-3, "sum {}", vp + vn);
+        }
+    }
+
+    #[test]
+    fn invariance_holds_for_any_fd_input() {
+        let c = cfg();
+        let sc = ScArray::new(&c);
+        let (lp, ln) = counter_levels(1.2, 10..12);
+        for din in [-0.5, -0.1, 0.0, 0.3, 0.8] {
+            let out = sc.run_codes(0.6 + din / 2.0, 0.6 - din / 2.0, 0.6, &lp, &ln);
+            for (vp, vn) in out {
+                assert!((vp + vn - 1.2).abs() < 3e-3, "din {din}: sum {}", vp + vn);
+            }
+        }
+    }
+
+    #[test]
+    fn vcm_shift_moves_the_sum() {
+        // A defective Vcm generator shifts the I3 signal for every code —
+        // the always-detectable case of Fig. 5.
+        let c = cfg();
+        let sc = ScArray::new(&c);
+        let (lp, ln) = counter_levels(1.2, 0..4);
+        let out = sc.run_codes(0.6, 0.6, 0.45, &lp, &ln);
+        for (vp, vn) in out {
+            assert!(
+                (vp + vn - 1.2).abs() > 0.2,
+                "shifted-Vcm sum {} must deviate",
+                vp + vn
+            );
+        }
+    }
+
+    #[test]
+    fn cap_short_breaks_sum() {
+        // Note the nonzero DC input: with ΔIN = 0 and m = l the healthy
+        // transfer degenerates to DAC+ = M+, which a shorted main cap also
+        // produces — the defect would be invisible. The paper's "DC value
+        // set arbitrarily" stimulus must be nonzero for exactly this
+        // reason.
+        let c = cfg();
+        let mut sc = ScArray::new(&c);
+        sc.set_defect(Some((0, DefectKind::Short))); // P-side main cap
+        let (lp, ln) = counter_levels(1.2, 8..12);
+        let out = sc.run_codes(0.6 + 0.15, 0.6 - 0.15, 0.6, &lp, &ln);
+        let worst = out
+            .iter()
+            .map(|(vp, vn)| (vp + vn - 1.2).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst > 0.05, "cap short worst deviation {worst}");
+    }
+
+    #[test]
+    fn conv_switch_open_floats_bottom_plate() {
+        let c = cfg();
+        let mut sc = ScArray::new(&c);
+        // P side, sw_conv_main open drain (index 3).
+        sc.set_defect(Some((3, DefectKind::OpenDrain)));
+        let (lp, ln) = counter_levels(1.2, 20..24);
+        let out = sc.run_codes(0.6, 0.6, 0.6, &lp, &ln);
+        let worst = out
+            .iter()
+            .map(|(vp, vn)| (vp + vn - 1.2).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst > 0.05, "floating bottom plate deviation {worst}");
+    }
+
+    #[test]
+    fn cm_switch_stuck_on_shorts_top_to_vcm() {
+        let c = cfg();
+        let mut sc = ScArray::new(&c);
+        // P side sw_cm (index 6) stuck on: DAC+ pinned at Vcm.
+        sc.set_defect(Some((6, DefectKind::ShortDs)));
+        let (lp, ln) = counter_levels(1.2, 28..32);
+        let out = sc.run_codes(0.6, 0.6, 0.6, &lp, &ln);
+        for (vp, _) in &out {
+            assert!((vp - 0.6).abs() < 0.02, "pinned DAC+ = {vp}");
+        }
+        // The sum now misses the code-dependent part on one side → violated
+        // at codes far from mid-scale.
+        let worst = out
+            .iter()
+            .map(|(vp, vn)| (vp + vn - 1.2).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst > 0.1, "stuck-cm worst deviation {worst}");
+    }
+
+    #[test]
+    fn traces_show_settling_glitches() {
+        let c = cfg();
+        let sc = ScArray::new(&c);
+        let (lp, ln) = counter_levels(1.2, 0..32);
+        let tr = sc.trace_codes(0.6, 0.6, 0.6, &lp, &ln);
+        assert_eq!(tr.settled.len(), 32);
+        // The sum signal stays near 1.2 at cycle ends but must exhibit
+        // excursions (glitches) somewhere mid-cycle.
+        let (lo, hi) = (tr.sum.min(), tr.sum.max());
+        assert!(hi - lo > 0.01, "glitch span {}", hi - lo);
+        // Settled values obey the invariance.
+        for (vp, vn) in &tr.settled {
+            assert!((vp + vn - 1.2).abs() < 3e-3);
+        }
+    }
+
+    #[test]
+    fn mismatch_keeps_sum_within_mv() {
+        let c = cfg();
+        let mut sc = ScArray::new(&c);
+        sc.set_mismatch(ScMismatch {
+            cm_p: 0.002,
+            cl_p: -0.003,
+            cm_n: -0.001,
+            cl_n: 0.002,
+        });
+        let (lp, ln) = counter_levels(1.2, 0..8);
+        let out = sc.run_codes(0.65, 0.55, 0.6, &lp, &ln);
+        for (vp, vn) in out {
+            let dev = (vp + vn - 1.2).abs();
+            assert!(dev < 5e-3, "mismatch dev {dev}");
+        }
+    }
+
+    #[test]
+    fn catalog() {
+        let sc = ScArray::new(&cfg());
+        assert_eq!(sc.components().len(), SC_COMPONENTS);
+        assert_eq!(SC_COMPONENTS, 14);
+    }
+}

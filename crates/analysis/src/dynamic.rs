@@ -1,0 +1,212 @@
+//! Dynamic ADC performance: SNDR, ENOB, SFDR, THD from a sine-wave capture.
+//!
+//! Uses the Hann-windowed power spectrum from [`crate::fft`] and standard
+//! IEEE 1241-style bin bookkeeping: the signal occupies the peak bin plus
+//! `LEAKAGE_BINS` neighbours on each side; DC occupies the first few bins;
+//! everything else is noise-plus-distortion.
+
+use crate::fft::{hann_window, power_spectrum};
+
+/// Number of bins on each side of a peak attributed to window leakage
+/// (Hann main lobe half-width is 2 bins; one guard bin added).
+const LEAKAGE_BINS: usize = 3;
+
+/// Dynamic performance report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicReport {
+    /// Signal-to-noise-and-distortion ratio in dB.
+    pub sndr_db: f64,
+    /// Effective number of bits.
+    pub enob: f64,
+    /// Spurious-free dynamic range in dB (carrier to highest spur).
+    pub sfdr_db: f64,
+    /// Total harmonic distortion in dB (harmonics 2–5, folded).
+    pub thd_db: f64,
+    /// Index of the fundamental bin.
+    pub signal_bin: usize,
+}
+
+/// Analyzes a sine-wave ADC capture.
+///
+/// `samples` should hold at least 64 points and a power-of-two length; the
+/// sine frequency need not be coherent (a Hann window is applied).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two ≥ 64, or if no signal bin can
+/// be identified (all-zero input).
+///
+/// # Examples
+///
+/// ```
+/// use symbist_analysis::dynamic::analyze_sine;
+///
+/// // A clean 12-bit-quantized sine has ENOB near 12.
+/// let n = 4096;
+/// let samples: Vec<f64> = (0..n)
+///     .map(|i| {
+///         let x = (2.0 * std::f64::consts::PI * 431.0 * i as f64 / n as f64).sin();
+///         (x * 2048.0).round() / 2048.0
+///     })
+///     .collect();
+/// let rep = analyze_sine(&samples);
+/// assert!(rep.enob > 11.0);
+/// ```
+pub fn analyze_sine(samples: &[f64]) -> DynamicReport {
+    assert!(
+        samples.len() >= 64 && samples.len().is_power_of_two(),
+        "need a power-of-two capture of at least 64 samples"
+    );
+    let n = samples.len();
+    let ps = power_spectrum(samples, &hann_window(n));
+    let nyq = ps.len() - 1;
+
+    // DC occupies bins 0..=LEAKAGE_BINS.
+    let dc_end = LEAKAGE_BINS;
+    // Fundamental: largest bin beyond DC.
+    let (signal_bin, _) = ps
+        .iter()
+        .enumerate()
+        .skip(dc_end + 1)
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("non-finite spectrum"))
+        .expect("spectrum too short");
+    let sig_lo = signal_bin.saturating_sub(LEAKAGE_BINS);
+    let sig_hi = (signal_bin + LEAKAGE_BINS).min(nyq);
+    let p_signal: f64 = ps[sig_lo..=sig_hi].iter().sum();
+    assert!(p_signal > 0.0, "no signal found in the capture");
+
+    // Noise + distortion: everything except DC and the signal band.
+    let mut p_nd = 0.0;
+    for (k, &p) in ps.iter().enumerate() {
+        if k <= dc_end || (sig_lo..=sig_hi).contains(&k) {
+            continue;
+        }
+        p_nd += p;
+    }
+    // A perfectly clean capture can make p_nd underflow to 0.
+    let p_nd = p_nd.max(f64::MIN_POSITIVE);
+    let sndr_db = 10.0 * (p_signal / p_nd).log10();
+    let enob = (sndr_db - 1.76) / 6.02;
+
+    // SFDR: strongest single spur band outside the carrier.
+    let mut max_spur = f64::MIN_POSITIVE;
+    let mut k = dc_end + 1;
+    while k <= nyq {
+        if !(sig_lo..=sig_hi).contains(&k) {
+            max_spur = max_spur.max(ps[k]);
+        }
+        k += 1;
+    }
+    let sfdr_db = 10.0 * (ps[signal_bin] / max_spur).log10();
+
+    // THD: harmonics 2..=5 with aliasing folded into the first Nyquist zone.
+    let mut p_harm = 0.0;
+    for h in 2..=5usize {
+        let mut bin = (signal_bin * h) % (2 * nyq);
+        if bin > nyq {
+            bin = 2 * nyq - bin;
+        }
+        let lo = bin.saturating_sub(1);
+        let hi = (bin + 1).min(nyq);
+        p_harm += ps[lo..=hi].iter().sum::<f64>();
+    }
+    let p_harm = p_harm.max(f64::MIN_POSITIVE);
+    let thd_db = 10.0 * (p_harm / p_signal).log10();
+
+    DynamicReport {
+        sndr_db,
+        enob,
+        sfdr_db,
+        thd_db,
+        signal_bin,
+    }
+}
+
+/// Ideal quantization of a full-scale sine to `bits`: utility for
+/// generating reference captures in tests and examples.
+pub fn quantized_sine(n: usize, cycles: f64, bits: u32) -> Vec<f64> {
+    let levels = (1u64 << bits) as f64;
+    (0..n)
+        .map(|i| {
+            let x = (2.0 * std::f64::consts::PI * cycles * i as f64 / n as f64).sin();
+            ((x * 0.5 + 0.5) * (levels - 1.0)).round() / (levels - 1.0) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_quantizer_enob_tracks_bits() {
+        for bits in [6u32, 8, 10] {
+            let sig = quantized_sine(4096, 449.0, bits);
+            let rep = analyze_sine(&sig);
+            // Quantization-limited ENOB is within ~0.5 bit of the nominal.
+            assert!(
+                (rep.enob - bits as f64).abs() < 0.6,
+                "bits {bits}: enob {}",
+                rep.enob
+            );
+        }
+    }
+
+    #[test]
+    fn more_bits_more_enob() {
+        let e6 = analyze_sine(&quantized_sine(4096, 449.0, 6)).enob;
+        let e10 = analyze_sine(&quantized_sine(4096, 449.0, 10)).enob;
+        assert!(e10 > e6 + 3.0);
+    }
+
+    #[test]
+    fn finds_fundamental_bin() {
+        let n = 1024;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 101.0 * i as f64 / n as f64).sin())
+            .collect();
+        let rep = analyze_sine(&sig);
+        assert_eq!(rep.signal_bin, 101);
+    }
+
+    #[test]
+    fn harmonic_distortion_detected() {
+        // Add a strong 2nd harmonic: THD must rise, SFDR must fall.
+        let n = 4096;
+        let clean: Vec<f64> = quantized_sine(n, 449.0, 12);
+        let dirty: Vec<f64> = (0..n)
+            .map(|i| {
+                let ph = 2.0 * std::f64::consts::PI * 449.0 * i as f64 / n as f64;
+                ph.sin() + 0.05 * (2.0 * ph).sin()
+            })
+            .collect();
+        let rc = analyze_sine(&clean);
+        let rd = analyze_sine(&dirty);
+        assert!(rd.thd_db > rc.thd_db + 20.0, "thd {} vs {}", rd.thd_db, rc.thd_db);
+        assert!(rd.sfdr_db < rc.sfdr_db - 20.0);
+        // −26 dB harmonic: THD ≈ −26 dB.
+        assert!((rd.thd_db + 26.0).abs() < 1.5, "thd {}", rd.thd_db);
+    }
+
+    #[test]
+    fn noise_floor_reduces_sndr() {
+        let n = 4096;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| {
+                let ph = 2.0 * std::f64::consts::PI * 449.0 * i as f64 / n as f64;
+                // Deterministic pseudo-noise at −40 dB.
+                let noise =
+                    (((i as u64 * 2654435761) % 10007) as f64 / 10007.0 - 0.5) * 0.028;
+                ph.sin() + noise
+            })
+            .collect();
+        let rep = analyze_sine(&sig);
+        assert!(rep.sndr_db > 35.0 && rep.sndr_db < 47.0, "sndr {}", rep.sndr_db);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_capture_panics() {
+        analyze_sine(&[0.0; 32]);
+    }
+}

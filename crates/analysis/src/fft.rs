@@ -1,0 +1,230 @@
+//! Radix-2 FFT and window functions for spectral ADC testing.
+//!
+//! A self-contained iterative Cooley–Tukey implementation — the dynamic
+//! performance metrics (SNDR/ENOB/SFDR) that the test-escape analysis uses
+//! only need power-of-two lengths.
+
+use std::f64::consts::PI;
+
+/// A complex number as `(re, im)`; kept as a plain struct to avoid pulling
+/// in a numerics dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    fn mul(self, o: Self) -> Self {
+        Self {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    fn add(self, o: Self) -> Self {
+        Self {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+
+    fn sub(self, o: Self) -> Self {
+        Self {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+}
+
+/// In-place iterative radix-2 FFT (decimation in time).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two (or is zero).
+pub fn fft_in_place(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n > 0 && n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for j in 0..len / 2 {
+                let u = data[i + j];
+                let v = data[i + j + len / 2].mul(w);
+                data[i + j] = u.add(v);
+                data[i + j + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// FFT of a real signal; returns the full complex spectrum.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fft_in_place(&mut data);
+    data
+}
+
+/// Hann window coefficients of length `n`.
+pub fn hann_window(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 0.5 * (1.0 - (2.0 * PI * i as f64 / n as f64).cos()))
+        .collect()
+}
+
+/// Single-sided power spectrum of a real signal after applying `window`
+/// (pass an all-ones slice for rectangular). Bin 0 is DC.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are not a power of two.
+pub fn power_spectrum(signal: &[f64], window: &[f64]) -> Vec<f64> {
+    assert_eq!(signal.len(), window.len(), "window length mismatch");
+    let n = signal.len();
+    let windowed: Vec<f64> = signal.iter().zip(window).map(|(s, w)| s * w).collect();
+    let spec = fft_real(&windowed);
+    // Coherent gain normalization.
+    let cg: f64 = window.iter().sum::<f64>() / n as f64;
+    let scale = 1.0 / (n as f64 * cg);
+    spec.iter()
+        .take(n / 2 + 1)
+        .enumerate()
+        .map(|(k, c)| {
+            let a = c.abs() * scale;
+            // Single-sided: double everything except DC and Nyquist.
+            let a = if k == 0 || k == n / 2 { a } else { 2.0 * a };
+            a * a / 2.0 // power of the sine with that amplitude
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut d = vec![Complex::default(); 8];
+        d[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut d);
+        for c in d {
+            assert!((c.re - 1.0).abs() < 1e-12);
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_dc_concentrates_in_bin0() {
+        let d = fft_real(&vec![2.0; 16]);
+        assert!((d[0].re - 32.0).abs() < 1e-9);
+        for c in &d[1..] {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_sine_single_bin() {
+        // Coherent sine at bin 3 of 64.
+        let n = 64;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 3.0 * i as f64 / n as f64).sin())
+            .collect();
+        let spec = fft_real(&sig);
+        // |X[3]| = n/2; all other bins (except conjugate) ~0.
+        assert!((spec[3].abs() - n as f64 / 2.0).abs() < 1e-9);
+        for (k, c) in spec.iter().enumerate().take(n / 2) {
+            if k != 3 {
+                assert!(c.abs() < 1e-8, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let sig: Vec<f64> = (0..32).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let spec = fft_real(&sig);
+        let time_energy: f64 = sig.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn hann_window_properties() {
+        let w = hann_window(64);
+        assert!(w[0].abs() < 1e-12);
+        // Peak value 1 at the center (n/2).
+        assert!((w[32] - 1.0).abs() < 1e-12);
+        // Coherent gain 0.5.
+        assert!((w.iter().sum::<f64>() / 64.0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_spectrum_amplitude_recovery() {
+        // 0.25 amplitude coherent sine: power = A²/2 = 0.03125 in its bin.
+        let n = 128;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| 0.25 * (2.0 * PI * 5.0 * i as f64 / n as f64).sin())
+            .collect();
+        let ones = vec![1.0; n];
+        let ps = power_spectrum(&sig, &ones);
+        assert!((ps[5] - 0.03125).abs() < 1e-9, "bin power {}", ps[5]);
+    }
+
+    #[test]
+    fn power_spectrum_with_hann_concentrates() {
+        // Non-coherent sine; Hann keeps leakage local (3 bins).
+        let n = 256;
+        let f = 10.37;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * f * i as f64 / n as f64).sin())
+            .collect();
+        let ps = power_spectrum(&sig, &hann_window(n));
+        let total: f64 = ps.iter().sum();
+        let local: f64 = ps[8..14].iter().sum();
+        assert!(local / total > 0.99, "local fraction {}", local / total);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_panics() {
+        fft_real(&[1.0, 2.0, 3.0]);
+    }
+}

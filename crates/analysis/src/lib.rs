@@ -1,0 +1,39 @@
+//! # symbist-analysis — statistics and ADC performance analysis
+//!
+//! Support crate for the SymBIST reproduction (Pavlidis et al., DATE 2020):
+//!
+//! * [`stats`] — descriptive statistics, normal quantiles, and proportion
+//!   confidence intervals; used to calibrate SymBIST's `δ = k·σ` comparison
+//!   windows and to report the 95 % CI on Likelihood-Weighted defect
+//!   coverage (paper Table I).
+//! * [`fft`] — radix-2 FFT and window functions.
+//! * [`linearity`] — static ADC metrics (transition levels, DNL, INL,
+//!   offset/gain error, missing codes).
+//! * [`dynamic`] — SNDR / ENOB / SFDR / THD from sine captures.
+//!
+//! The linearity and dynamic modules validate that the `symbist-adc`
+//! substrate is a correct 10-bit converter and implement the
+//! specification-violation test used by the escape analysis extension.
+//!
+//! ```
+//! use symbist_analysis::stats::{normal_quantile, summary};
+//!
+//! let sigma = summary(&[0.599, 0.601, 0.6, 0.602, 0.598]).std;
+//! let k = 5.0;
+//! let delta = k * sigma; // SymBIST window half-width
+//! assert!(delta > 0.0);
+//! assert!((normal_quantile(0.975) - 1.96).abs() < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dynamic;
+pub mod fft;
+pub mod linearity;
+pub mod plot;
+pub mod stats;
+
+pub use dynamic::{analyze_sine, DynamicReport};
+pub use linearity::LinearityReport;
+pub use stats::{normal_cdf, normal_quantile, proportion_ci_half_width, summary, Summary};

@@ -1,0 +1,299 @@
+//! Static ADC linearity: transition levels, DNL, INL, offset and gain error.
+//!
+//! These are the specifications the SymBIST escape analysis checks on
+//! defective-but-undetected ADC instances (the "at least one specification
+//! violated" criterion of Gutiérrez Gil et al. that the paper cites as
+//! follow-up work).
+
+/// Static linearity report, all code-domain quantities in LSB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearityReport {
+    /// Transition levels `T[k]`, `k = 1..=2^N − 1` (volts): input at which
+    /// the output switches from `k−1` to `k`.
+    pub transitions: Vec<f64>,
+    /// DNL per code `k = 1..=2^N − 2` in LSB.
+    pub dnl: Vec<f64>,
+    /// Endpoint-fit INL per transition in LSB.
+    pub inl: Vec<f64>,
+    /// Worst-case |DNL| in LSB.
+    pub max_dnl: f64,
+    /// Worst-case |INL| in LSB.
+    pub max_inl: f64,
+    /// Average LSB size in volts (from the endpoints).
+    pub lsb: f64,
+}
+
+impl LinearityReport {
+    /// Computes the report from measured transition levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 3 transitions are given or if the first and last
+    /// transitions coincide.
+    pub fn from_transitions(transitions: &[f64]) -> Self {
+        assert!(transitions.len() >= 3, "need at least 3 transitions");
+        let n = transitions.len();
+        let first = transitions[0];
+        let last = transitions[n - 1];
+        assert!(
+            (last - first).abs() > 0.0,
+            "degenerate transfer curve: first and last transitions coincide"
+        );
+        // Endpoint-fit LSB: full range over number of steps between the
+        // first and last transition.
+        let lsb = (last - first) / (n - 1) as f64;
+        let dnl: Vec<f64> = transitions
+            .windows(2)
+            .map(|w| (w[1] - w[0]) / lsb - 1.0)
+            .collect();
+        let inl: Vec<f64> = transitions
+            .iter()
+            .enumerate()
+            .map(|(k, t)| (t - (first + k as f64 * lsb)) / lsb)
+            .collect();
+        let max_dnl = dnl.iter().fold(0.0f64, |m, d| m.max(d.abs()));
+        let max_inl = inl.iter().fold(0.0f64, |m, d| m.max(d.abs()));
+        Self {
+            transitions: transitions.to_vec(),
+            dnl,
+            inl,
+            max_dnl,
+            max_inl,
+            lsb,
+        }
+    }
+
+    /// Returns `true` if every |DNL| ≤ `dnl_limit` and |INL| ≤ `inl_limit`
+    /// (both in LSB).
+    pub fn meets(&self, dnl_limit: f64, inl_limit: f64) -> bool {
+        self.max_dnl <= dnl_limit && self.max_inl <= inl_limit
+    }
+
+    /// Checks for missing codes: any DNL ≤ −0.99 LSB (code width ~0).
+    pub fn missing_codes(&self) -> Vec<usize> {
+        self.dnl
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d <= -0.99)
+            .map(|(k, _)| k + 1)
+            .collect()
+    }
+}
+
+/// Extracts transition levels from a slow-ramp measurement: `samples` is a
+/// monotone sweep of `(input_volts, output_code)` pairs; the transition to
+/// code `k` is taken as the midpoint between the last input producing `< k`
+/// and the first producing `>= k`.
+///
+/// Returns `None` for transitions never observed (stuck/missing codes at
+/// the range ends); interior missing codes share the transition of the next
+/// observed code.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or inputs are not non-decreasing.
+pub fn transitions_from_ramp(samples: &[(f64, u32)], n_codes: u32) -> Vec<Option<f64>> {
+    assert!(!samples.is_empty(), "empty ramp");
+    assert!(
+        samples.windows(2).all(|w| w[1].0 >= w[0].0),
+        "ramp inputs must be non-decreasing"
+    );
+    let mut out: Vec<Option<f64>> = vec![None; (n_codes - 1) as usize];
+    for w in samples.windows(2) {
+        let (v0, c0) = w[0];
+        let (v1, c1) = w[1];
+        if c1 > c0 {
+            // Every threshold crossed in this interval gets the midpoint.
+            for k in (c0 + 1)..=c1 {
+                if k >= 1 && k <= n_codes - 1 {
+                    let slot = &mut out[(k - 1) as usize];
+                    if slot.is_none() {
+                        *slot = Some(0.5 * (v0 + v1));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Offset and gain error of a transfer curve, in LSB, relative to an ideal
+/// converter with the given first/last ideal transitions.
+///
+/// Returns `(offset_lsb, gain_error_lsb)`.
+///
+/// # Panics
+///
+/// Panics if the report has no transitions or `ideal_last == ideal_first`.
+pub fn offset_gain_error(
+    report: &LinearityReport,
+    ideal_first: f64,
+    ideal_last: f64,
+) -> (f64, f64) {
+    assert!(!report.transitions.is_empty());
+    assert!(ideal_last != ideal_first, "degenerate ideal transfer");
+    let n = report.transitions.len();
+    let ideal_lsb = (ideal_last - ideal_first) / (n - 1) as f64;
+    let offset = (report.transitions[0] - ideal_first) / ideal_lsb;
+    let gain = ((report.transitions[n - 1] - report.transitions[0])
+        - (ideal_last - ideal_first))
+        / ideal_lsb;
+    (offset, gain)
+}
+
+/// Ramp-histogram DNL: code counts from a uniform-ramp acquisition are
+/// proportional to code widths. Returns DNL in LSB for codes
+/// `1..=n_codes−2` (the end codes are excluded as they absorb over-range).
+///
+/// # Panics
+///
+/// Panics if fewer than `4 * n_codes` samples are given (too coarse to be
+/// meaningful) or if every interior code has zero hits.
+pub fn histogram_dnl(codes: &[u32], n_codes: u32) -> Vec<f64> {
+    assert!(
+        codes.len() >= 4 * n_codes as usize,
+        "histogram needs at least 4 samples per code"
+    );
+    let mut counts = vec![0usize; n_codes as usize];
+    for &c in codes {
+        let idx = (c.min(n_codes - 1)) as usize;
+        counts[idx] += 1;
+    }
+    let interior = &counts[1..(n_codes - 1) as usize];
+    let total: usize = interior.iter().sum();
+    assert!(total > 0, "no interior-code hits in the histogram");
+    let avg = total as f64 / interior.len() as f64;
+    interior.iter().map(|&c| c as f64 / avg - 1.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ideal_transitions(n_codes: usize, lsb: f64) -> Vec<f64> {
+        (1..n_codes).map(|k| k as f64 * lsb).collect()
+    }
+
+    #[test]
+    fn ideal_curve_zero_dnl_inl() {
+        let t = ideal_transitions(16, 0.1);
+        let r = LinearityReport::from_transitions(&t);
+        assert!(r.max_dnl < 1e-12);
+        assert!(r.max_inl < 1e-12);
+        assert!((r.lsb - 0.1).abs() < 1e-12);
+        assert!(r.meets(0.5, 1.0));
+        assert!(r.missing_codes().is_empty());
+    }
+
+    #[test]
+    fn single_wide_code() {
+        // Code 5's width doubled: DNL[5] = +1 LSB.
+        let mut t = ideal_transitions(16, 0.1);
+        for v in t.iter_mut().skip(5) {
+            *v += 0.1;
+        }
+        let r = LinearityReport::from_transitions(&t);
+        // Endpoint fit spreads the error; the big step is at index 4→5.
+        let idx = r
+            .dnl
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(idx, 4);
+        assert!(r.max_dnl > 0.8);
+        assert!(!r.meets(0.5, 10.0));
+    }
+
+    #[test]
+    fn missing_code_detected() {
+        let mut t = ideal_transitions(16, 0.1);
+        // Transition 8 equals transition 9: code 8 has zero width.
+        t[7] = t[8];
+        let r = LinearityReport::from_transitions(&t);
+        assert_eq!(r.missing_codes(), vec![8]);
+    }
+
+    #[test]
+    fn ramp_extraction_ideal() {
+        // 4-code ADC with thresholds 0.25/0.5/0.75 over a fine ramp.
+        let adc = |v: f64| -> u32 {
+            if v < 0.25 {
+                0
+            } else if v < 0.5 {
+                1
+            } else if v < 0.75 {
+                2
+            } else {
+                3
+            }
+        };
+        let samples: Vec<(f64, u32)> = (0..=1000)
+            .map(|i| {
+                let v = i as f64 / 1000.0;
+                (v, adc(v))
+            })
+            .collect();
+        let tr = transitions_from_ramp(&samples, 4);
+        assert!(tr.iter().all(Option::is_some));
+        assert!((tr[0].unwrap() - 0.25).abs() < 1e-3);
+        assert!((tr[1].unwrap() - 0.5).abs() < 1e-3);
+        assert!((tr[2].unwrap() - 0.75).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ramp_with_unreached_codes() {
+        // Output saturates at 1: transitions 2 and 3 never observed.
+        let samples: Vec<(f64, u32)> = (0..=100)
+            .map(|i| {
+                let v = i as f64 / 100.0;
+                (v, u32::from(v >= 0.5))
+            })
+            .collect();
+        let tr = transitions_from_ramp(&samples, 4);
+        assert!(tr[0].is_some());
+        assert!(tr[1].is_none());
+        assert!(tr[2].is_none());
+    }
+
+    #[test]
+    fn offset_gain_errors() {
+        // Shift everything by +0.05 (0.5 LSB) and stretch by 1%.
+        let t: Vec<f64> = (1..16).map(|k| 0.05 + k as f64 * 0.101).collect();
+        let r = LinearityReport::from_transitions(&t);
+        let (off, gain) = offset_gain_error(&r, 0.1, 1.5);
+        assert!((off - 0.51).abs() < 0.02, "offset {off}");
+        assert!((gain - 0.14).abs() < 0.02, "gain {gain}");
+    }
+
+    #[test]
+    fn histogram_dnl_uniform() {
+        // Perfectly uniform ramp over 8 codes.
+        let codes: Vec<u32> = (0..8000).map(|i| (i / 1000) as u32).collect();
+        let dnl = histogram_dnl(&codes, 8);
+        assert_eq!(dnl.len(), 6);
+        for d in dnl {
+            assert!(d.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn histogram_dnl_wide_code() {
+        // Code 3 gets double hits.
+        let mut codes: Vec<u32> = Vec::new();
+        for c in 0..8u32 {
+            let reps = if c == 3 { 2000 } else { 1000 };
+            codes.extend(std::iter::repeat_n(c, reps));
+        }
+        let dnl = histogram_dnl(&codes, 8);
+        // Interior codes: 1..=6, code 3 at index 2.
+        assert!(dnl[2] > 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_transitions_panics() {
+        LinearityReport::from_transitions(&[0.1, 0.2]);
+    }
+}

@@ -1,0 +1,371 @@
+//! Minimal SVG line charts for the figure-regeneration binaries.
+//!
+//! No styling framework, no dependency — just enough of SVG to draw the
+//! paper's Fig. 5: multiple series over a shared axis, a horizontal
+//! comparison band, axis ticks and labels, and a legend.
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// X values (must be finite).
+    pub x: Vec<f64>,
+    /// Y values (same length as `x`).
+    pub y: Vec<f64>,
+    /// Stroke color (any SVG color string).
+    pub color: String,
+}
+
+impl Series {
+    /// Creates a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ, fewer than 2 points, or values are not
+    /// finite.
+    pub fn new(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>, color: impl Into<String>) -> Self {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(x.len() >= 2, "a series needs at least 2 points");
+        assert!(
+            x.iter().chain(y.iter()).all(|v| v.is_finite()),
+            "non-finite sample in series"
+        );
+        Self {
+            label: label.into(),
+            x,
+            y,
+            color: color.into(),
+        }
+    }
+}
+
+/// A horizontal band (e.g. the ±δ comparison window).
+#[derive(Debug, Clone)]
+pub struct Band {
+    /// Lower edge (data units).
+    pub lo: f64,
+    /// Upper edge.
+    pub hi: f64,
+    /// Fill color.
+    pub color: String,
+    /// Legend label.
+    pub label: String,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Title text.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Pixel width.
+    pub width: u32,
+    /// Pixel height.
+    pub height: u32,
+    series: Vec<Series>,
+    band: Option<Band>,
+}
+
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 50.0;
+
+impl Chart {
+    /// Creates an empty chart.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            width: 900,
+            height: 480,
+            series: Vec::new(),
+            band: None,
+        }
+    }
+
+    /// Adds a series.
+    pub fn add_series(&mut self, s: Series) -> &mut Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Sets the horizontal band.
+    pub fn set_band(&mut self, band: Band) -> &mut Self {
+        self.band = Some(band);
+        self
+    }
+
+    fn ranges(&self) -> ((f64, f64), (f64, f64)) {
+        let mut x_min = f64::INFINITY;
+        let mut x_max = f64::NEG_INFINITY;
+        let mut y_min = f64::INFINITY;
+        let mut y_max = f64::NEG_INFINITY;
+        for s in &self.series {
+            for &v in &s.x {
+                x_min = x_min.min(v);
+                x_max = x_max.max(v);
+            }
+            for &v in &s.y {
+                y_min = y_min.min(v);
+                y_max = y_max.max(v);
+            }
+        }
+        if let Some(b) = &self.band {
+            y_min = y_min.min(b.lo);
+            y_max = y_max.max(b.hi);
+        }
+        // Pad Y by 5%.
+        let pad = (y_max - y_min).abs().max(1e-12) * 0.05;
+        ((x_min, x_max), (y_min - pad, y_max + pad))
+    }
+
+    /// Renders the chart as an SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series have been added.
+    pub fn to_svg(&self) -> String {
+        assert!(!self.series.is_empty(), "chart has no series");
+        let ((x0, x1), (y0, y1)) = self.ranges();
+        let w = self.width as f64;
+        let h = self.height as f64;
+        let plot_w = w - MARGIN_L - MARGIN_R;
+        let plot_h = h - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (x - x0) / (x1 - x0).max(1e-300) * plot_w;
+        let sy = |y: f64| MARGIN_T + (1.0 - (y - y0) / (y1 - y0).max(1e-300)) * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {w} {h}">"#,
+            self.width, self.height
+        );
+        let _ = write!(
+            svg,
+            r#"<rect width="{w}" height="{h}" fill="white"/><text x="{}" y="24" text-anchor="middle" font-family="sans-serif" font-size="16">{}</text>"#,
+            w / 2.0,
+            xml_escape(&self.title)
+        );
+
+        // Band first (under everything).
+        if let Some(b) = &self.band {
+            let _ = write!(
+                svg,
+                r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{}" opacity="0.25"/>"#,
+                sx(x0),
+                sy(b.hi),
+                plot_w,
+                (sy(b.lo) - sy(b.hi)).abs(),
+                b.color
+            );
+            for edge in [b.lo, b.hi] {
+                let _ = write!(
+                    svg,
+                    r#"<line x1="{:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="{}" stroke-dasharray="6,4"/>"#,
+                    sx(x0),
+                    sx(x1),
+                    b.color,
+                    y = sy(edge)
+                );
+            }
+        }
+
+        // Axes.
+        let _ = write!(
+            svg,
+            r#"<line x1="{l:.1}" y1="{t:.1}" x2="{l:.1}" y2="{b:.1}" stroke="black"/><line x1="{l:.1}" y1="{b:.1}" x2="{r:.1}" y2="{b:.1}" stroke="black"/>"#,
+            l = MARGIN_L,
+            r = w - MARGIN_R,
+            t = MARGIN_T,
+            b = h - MARGIN_B
+        );
+        // Ticks: 6 per axis.
+        for i in 0..=5 {
+            let fx = x0 + (x1 - x0) * i as f64 / 5.0;
+            let fy = y0 + (y1 - y0) * i as f64 / 5.0;
+            let _ = write!(
+                svg,
+                r#"<line x1="{x:.1}" y1="{b:.1}" x2="{x:.1}" y2="{b2:.1}" stroke="black"/><text x="{x:.1}" y="{ty:.1}" text-anchor="middle" font-family="sans-serif" font-size="11">{label}</text>"#,
+                x = sx(fx),
+                b = h - MARGIN_B,
+                b2 = h - MARGIN_B + 5.0,
+                ty = h - MARGIN_B + 18.0,
+                label = si_format(fx)
+            );
+            let _ = write!(
+                svg,
+                r#"<line x1="{l2:.1}" y1="{y:.1}" x2="{l:.1}" y2="{y:.1}" stroke="black"/><text x="{tx:.1}" y="{y2:.1}" text-anchor="end" font-family="sans-serif" font-size="11">{label}</text>"#,
+                l = MARGIN_L,
+                l2 = MARGIN_L - 5.0,
+                y = sy(fy),
+                y2 = sy(fy) + 4.0,
+                tx = MARGIN_L - 8.0,
+                label = si_format(fy)
+            );
+        }
+        // Axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="sans-serif" font-size="13">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            h - 10.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{:.1}" text-anchor="middle" font-family="sans-serif" font-size="13" transform="rotate(-90 16 {:.1})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml_escape(&self.y_label)
+        );
+
+        // Series.
+        for s in &self.series {
+            let mut points = String::new();
+            for (xv, yv) in s.x.iter().zip(&s.y) {
+                let _ = write!(points, "{:.1},{:.1} ", sx(*xv), sy(*yv));
+            }
+            let _ = write!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="1.5"/>"#,
+                points.trim_end(),
+                s.color
+            );
+        }
+
+        // Legend.
+        let mut ly = MARGIN_T + 8.0;
+        for s in &self.series {
+            let _ = write!(
+                svg,
+                r#"<line x1="{lx:.1}" y1="{y:.1}" x2="{lx2:.1}" y2="{y:.1}" stroke="{}" stroke-width="2"/><text x="{tx:.1}" y="{ty:.1}" font-family="sans-serif" font-size="11">{}</text>"#,
+                s.color,
+                xml_escape(&s.label),
+                lx = MARGIN_L + 10.0,
+                lx2 = MARGIN_L + 34.0,
+                y = ly,
+                tx = MARGIN_L + 40.0,
+                ty = ly + 4.0
+            );
+            ly += 16.0;
+        }
+        if let Some(b) = &self.band {
+            let _ = write!(
+                svg,
+                r#"<rect x="{lx:.1}" y="{y:.1}" width="24" height="8" fill="{}" opacity="0.25"/><text x="{tx:.1}" y="{ty:.1}" font-family="sans-serif" font-size="11">{}</text>"#,
+                b.color,
+                xml_escape(&b.label),
+                lx = MARGIN_L + 10.0,
+                y = ly - 4.0,
+                tx = MARGIN_L + 40.0,
+                ty = ly + 4.0
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Formats a value with an SI prefix (for tick labels).
+fn si_format(v: f64) -> String {
+    let a = v.abs();
+    let (scale, suffix) = if a == 0.0 {
+        (1.0, "")
+    } else if a >= 1e9 {
+        (1e-9, "G")
+    } else if a >= 1e6 {
+        (1e-6, "M")
+    } else if a >= 1e3 {
+        (1e-3, "k")
+    } else if a >= 1.0 {
+        (1.0, "")
+    } else if a >= 1e-3 {
+        (1e3, "m")
+    } else if a >= 1e-6 {
+        (1e6, "µ")
+    } else if a >= 1e-9 {
+        (1e9, "n")
+    } else {
+        (1e12, "p")
+    };
+    let scaled = v * scale;
+    if scaled.fract().abs() < 1e-9 {
+        format!("{scaled:.0}{suffix}")
+    } else {
+        format!("{scaled:.2}{suffix}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_chart() -> Chart {
+        let mut c = Chart::new("demo", "time (s)", "volts");
+        c.add_series(Series::new(
+            "a",
+            vec![0.0, 1e-6, 2e-6],
+            vec![1.0, 1.2, 1.1],
+            "#1f77b4",
+        ));
+        c.set_band(Band {
+            lo: 1.05,
+            hi: 1.15,
+            color: "#999999".into(),
+            label: "window".into(),
+        });
+        c
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = demo_chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("window"));
+        assert!(svg.contains("demo"));
+        // Balanced rect/line/text elements are all self-closing.
+        assert_eq!(svg.matches("<svg").count(), 1);
+    }
+
+    #[test]
+    fn band_drawn_under_series() {
+        let svg = demo_chart().to_svg();
+        let band_pos = svg.find("opacity=\"0.25\"").unwrap();
+        let line_pos = svg.find("polyline").unwrap();
+        assert!(band_pos < line_pos, "band must render first");
+    }
+
+    #[test]
+    fn si_ticks() {
+        assert_eq!(si_format(0.0), "0");
+        assert_eq!(si_format(1.23e-6), "1.23µ");
+        assert_eq!(si_format(1500.0), "1.50k");
+        assert_eq!(si_format(0.25), "250m");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_chart_panics() {
+        Chart::new("x", "y", "z").to_svg();
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_series_panics() {
+        Series::new("s", vec![0.0, 1.0], vec![1.0], "red");
+    }
+}

@@ -1,0 +1,79 @@
+//! Criterion benches of the experiment pipeline: calibration, the BIST
+//! run (healthy vs defective with stop-on-detection), and the analysis
+//! kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use symbist::calibrate::Calibration;
+use symbist::session::{Schedule, SymBist};
+use symbist::stimulus::StimulusSpec;
+use symbist_adc::fault::{DefectKind, DefectSite, Faultable};
+use symbist_adc::{AdcConfig, BlockKind, SarAdc};
+use symbist_analysis::dynamic::{analyze_sine, quantized_sine};
+use symbist_analysis::fft::{fft_real, hann_window, power_spectrum};
+
+fn engine() -> SymBist {
+    let cfg = AdcConfig::default();
+    let stimulus = StimulusSpec::default();
+    let cal = Calibration::run(&cfg, &stimulus, 6, 5.0, 42);
+    SymBist::new(cal, stimulus, Schedule::Sequential)
+}
+
+fn bench_bist_runs(c: &mut Criterion) {
+    let bist = engine();
+    let healthy = SarAdc::new(AdcConfig::default());
+    c.bench_function("bist_run_healthy_full", |bench| {
+        bench.iter(|| black_box(bist.run(&healthy, false).pass));
+    });
+
+    let mut defective = healthy.clone();
+    let site = defective
+        .components()
+        .iter()
+        .position(|comp| comp.block == BlockKind::VcmGenerator)
+        .unwrap();
+    defective.inject(DefectSite {
+        component: site,
+        kind: DefectKind::Short,
+    });
+    c.bench_function("bist_run_defective_stop_on_detect", |bench| {
+        bench.iter(|| black_box(bist.run(&defective, true).pass));
+    });
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let cfg = AdcConfig::default();
+    c.bench_function("calibration_2_samples", |bench| {
+        bench.iter(|| {
+            black_box(Calibration::run(
+                &cfg,
+                &StimulusSpec::default(),
+                2,
+                5.0,
+                7,
+            ))
+        });
+    });
+}
+
+fn bench_analysis_kernels(c: &mut Criterion) {
+    let sig = quantized_sine(4096, 449.0, 10);
+    c.bench_function("fft_4096", |bench| {
+        bench.iter(|| black_box(fft_real(black_box(&sig))));
+    });
+    let win = hann_window(4096);
+    c.bench_function("power_spectrum_4096", |bench| {
+        bench.iter(|| black_box(power_spectrum(black_box(&sig), &win)));
+    });
+    c.bench_function("analyze_sine_4096", |bench| {
+        bench.iter(|| black_box(analyze_sine(black_box(&sig))));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bist_runs, bench_calibration, bench_analysis_kernels
+);
+criterion_main!(benches);

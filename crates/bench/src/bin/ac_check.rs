@@ -1,0 +1,27 @@
+//! EXP-AC (extension): one AC ripple check on the Vcm node recovers the
+//! DC-benign decoupling-path defects that dominate the Vcm generator's
+//! escapes — a concrete instance of the "other BIST approaches" the
+//! paper's Fig. 1 reserves for blocks the symmetries cannot cover.
+//!
+//! ```sh
+//! cargo run --release -p symbist-bench --bin ac_check
+//! ```
+
+use symbist::experiments::ac_extension;
+use symbist_bench::standard_config;
+
+fn main() {
+    let probe = 10e6;
+    let res = ac_extension(&standard_config(), probe);
+    println!("AC-BIST extension on the Vcm generator ({} defects, probe {} MHz):\n",
+        res.simulated, probe / 1e6);
+    println!("  DC invariances only:   {}", res.dc_only.to_percent_string());
+    println!("  + one AC ripple check: {}", res.with_ac.to_percent_string());
+    println!("  escapes recovered:     {}", res.recovered);
+    println!(
+        "\nThe decoupling capacitor and its ESR are invisible at DC (the cap\n\
+         blocks it) but define the block's ripple low-pass; probing that\n\
+         transfer once closes most of the gap to full coverage."
+    );
+    assert!(res.with_ac.value > res.dc_only.value);
+}

@@ -1,0 +1,38 @@
+//! EXP-AREA: paper §IV-4 — "the area overhead of the SymBIST
+//! infrastructure is estimated to be less than 5%."
+//!
+//! ```sh
+//! cargo run --release -p symbist-bench --bin area
+//! ```
+
+use symbist::area::area_report;
+use symbist::session::Schedule;
+use symbist_adc::SarAdc;
+use symbist_bench::standard_config;
+
+fn main() {
+    let adc = SarAdc::new(standard_config().adc);
+    println!("Area model (layout units; MOS ≈ 1):\n");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>10}",
+        "schedule", "IP analog", "IP digital", "BIST", "overhead"
+    );
+    for schedule in [Schedule::Sequential, Schedule::Parallel] {
+        let rep = area_report(&adc, schedule);
+        println!(
+            "{:<12} {:>12.0} {:>12.0} {:>12.0} {:>9.2}%",
+            format!("{schedule:?}"),
+            rep.ip_analog,
+            rep.ip_digital,
+            rep.bist,
+            rep.overhead * 100.0
+        );
+    }
+    let seq = area_report(&adc, Schedule::Sequential);
+    assert!(seq.overhead < 0.05);
+    println!(
+        "\nPaper §IV-4: < 5% with the sequential (single-comparator) scheme. \
+         Reproduced: {:.2}%.",
+        seq.overhead * 100.0
+    );
+}

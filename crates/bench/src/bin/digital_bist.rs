@@ -1,0 +1,66 @@
+//! EXP-DIG (extension): the other half of the paper's Fig. 1 — the purely
+//! digital blocks (SAR Control, Phase Generator, SAR Logic) "are tested
+//! with standard digital BIST, i.e. with scan insertion and ... ATPG".
+//! This binary runs that flow on the gate-level SAR digital core: random
+//! patterns with fault dropping, PODEM top-up, full-scan protocol, and
+//! the combined analog + digital test-time budget.
+//!
+//! ```sh
+//! cargo run --release -p symbist-bench --bin digital_bist
+//! ```
+
+use symbist::session::Schedule;
+use symbist::testtime::test_time;
+use symbist_bench::standard_config;
+use symbist_digital::atpg::{run_atpg, AtpgOptions};
+use symbist_digital::sar_gates::{build_sar_logic, run_conversion};
+use symbist_digital::scan::ScanChain;
+
+fn main() {
+    let (circuit, handles) = build_sar_logic();
+    println!(
+        "Gate-level SAR digital core: {} gates, {} flip-flops, {} nets",
+        circuit.gates().len(),
+        circuit.ffs().len(),
+        circuit.net_count()
+    );
+
+    // Functional cross-check against the binary-search specification.
+    for target in [0u16, 300, 613, 1023] {
+        let got = run_conversion(&circuit, &handles, |trial| trial > target);
+        assert_eq!(got, target);
+    }
+    println!("Functional cross-check: binary search exact for all probed targets.");
+
+    // Scan + ATPG.
+    let result = run_atpg(&circuit, &AtpgOptions::default());
+    println!(
+        "\nStuck-at ATPG: {} faults, {} detected, {} untestable, {} aborted",
+        result.total_faults, result.detected, result.untestable, result.aborted
+    );
+    println!(
+        "  coverage:          {:.2}%  (testable: {:.2}%)",
+        result.coverage() * 100.0,
+        result.testable_coverage() * 100.0
+    );
+    println!("  pattern count:     {}", result.patterns.len());
+
+    let chain = ScanChain::new(&circuit);
+    let cfg = standard_config().adc;
+    let scan_time = chain.test_time(result.patterns.len(), cfg.fclk);
+    println!(
+        "  scan test time:    {} cycles = {:.2} µs (chain length {})",
+        scan_time.cycles,
+        scan_time.seconds * 1e6,
+        scan_time.chain_length
+    );
+
+    let analog = test_time(&cfg, Schedule::Sequential);
+    println!(
+        "\nCombined self-test budget: analog SymBIST {:.2} µs + digital scan {:.2} µs = {:.2} µs",
+        analog.seconds * 1e6,
+        scan_time.seconds * 1e6,
+        (analog.seconds + scan_time.seconds) * 1e6
+    );
+    assert!(result.testable_coverage() > 0.99);
+}

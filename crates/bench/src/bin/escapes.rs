@@ -1,0 +1,40 @@
+//! EXP-ESC (extension): the analysis the paper calls "tedious and
+//! time-consuming... out of the scope of this paper" — what fraction of
+//! SymBIST's escapes violate at least one functional specification
+//! (after Gutiérrez Gil et al. \[14\]).
+//!
+//! ```sh
+//! cargo run --release -p symbist-bench --bin escapes
+//! ```
+
+use symbist::escape::SpecLimits;
+use symbist::experiments::escapes_experiment;
+use symbist_bench::standard_config;
+
+fn main() {
+    let xc = standard_config();
+    let limits = SpecLimits::default();
+    let sample = 120;
+    eprintln!("Campaigning {sample} LWRS-sampled defects, then spec-testing the escapes...");
+    let (report, escapes) = escapes_experiment(&xc, sample, &limits);
+
+    println!("\nEscape analysis over a {sample}-defect LWRS sample:");
+    println!("  escapes analysed:          {}", report.analysed);
+    println!("  violating ≥1 spec:         {}", report.spec_violating);
+    println!("  functionally benign:       {}", report.benign);
+    println!(
+        "  spec-violating fraction:   {:.1}%",
+        report.violating_fraction() * 100.0
+    );
+    println!(
+        "\nSpec limits: |offset| ≤ {} codes, |gain error| ≤ {} codes, step error ≤ {} codes.",
+        limits.offset_codes, limits.gain_codes, limits.step_codes
+    );
+    println!(
+        "Interpretation: benign escapes (e.g. decoupling-capacitor opens) cost\n\
+         nothing in the field; spec-violating escapes (e.g. reference-buffer\n\
+         offsets, which every symmetry tracks) are the true test-escape risk\n\
+         the paper flags for future work. {} sites analysed.",
+        escapes.len()
+    );
+}

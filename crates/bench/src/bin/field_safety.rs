@@ -1,0 +1,69 @@
+//! EXP-FLD (extension): in-field periodic BIST — the functional-safety
+//! use the paper's introduction motivates. Sweeps the BIST scheduling
+//! period and reports diagnostic coverage and within-FTTI detection of
+//! latent defects.
+//!
+//! ```sh
+//! cargo run --release -p symbist-bench --bin field_safety
+//! ```
+
+use symbist::field::{field_campaign, MissionProfile};
+use symbist_adc::SarAdc;
+use symbist_bench::standard_config;
+use symbist_circuit::rng::Rng;
+use symbist_defects::{DefectUniverse, LikelihoodModel};
+
+fn main() {
+    let xc = standard_config();
+    let engine = xc.build_engine();
+    let base = SarAdc::new(xc.adc.clone());
+    let universe = DefectUniverse::enumerate(&base, &LikelihoodModel::default());
+
+    // Latent population: an LWRS sample of the universe.
+    let weights: Vec<f64> = universe.iter().map(|d| d.likelihood).collect();
+    let mut rng = Rng::seed_from_u64(xc.seed ^ 0xF1E1D);
+    let idx = rng.weighted_sample_without_replacement(&weights, 60);
+    let sites: Vec<_> = idx.iter().map(|i| universe.defects()[*i].site).collect();
+
+    let frame = xc.adc.conversion_time();
+    println!(
+        "Mission model: conversion frame {:.1} ns, BIST occupies 16 frames ({:.2} µs).",
+        frame * 1e9,
+        16.0 * frame * 1e6
+    );
+    println!("Latent population: 60 LWRS-sampled defects; FTTI = 1 ms.\n");
+    println!(
+        "{:>14} {:>12} {:>14} {:>16} {:>14}",
+        "BIST period", "duty cycle", "diag coverage", "within FTTI", "worst latency"
+    );
+
+    let ftti_s = 1e-3;
+    for period_s in [100e-6, 1e-3, 10e-3, 100e-3] {
+        let profile = MissionProfile::from_times(&xc.adc, period_s, ftti_s);
+        let report = field_campaign(
+            &engine,
+            &base,
+            &sites,
+            profile,
+            profile.bist_period_frames * 1000,
+            xc.seed,
+        );
+        let duty = 16.0 / profile.bist_period_frames as f64;
+        println!(
+            "{:>11.1} µs {:>11.3}% {:>13.1}% {:>15.1}% {:>11.2} ms",
+            period_s * 1e6,
+            duty * 100.0,
+            report.diagnostic_coverage * 100.0,
+            report.within_ftti_fraction * 100.0,
+            report
+                .worst_latency_frames
+                .map(|f| f as f64 * frame * 1e3)
+                .unwrap_or(f64::NAN)
+        );
+    }
+    println!(
+        "\nDiagnostic coverage is schedule-independent (it is the test's defect\n\
+         coverage); the FTTI column is what the scheduling period buys. At a\n\
+         1 ms period the BIST costs 0.12% of conversion bandwidth."
+    );
+}

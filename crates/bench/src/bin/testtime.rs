@@ -1,0 +1,36 @@
+//! EXP-TT: paper §IV-5 — test time `6·2⁵·(1/fclk) = 1.23 µs` at
+//! `fclk = 156 MHz`, about 16× one conversion.
+//!
+//! ```sh
+//! cargo run --release -p symbist-bench --bin testtime
+//! ```
+
+use symbist::session::Schedule;
+use symbist::testtime::test_time;
+use symbist_bench::standard_config;
+
+fn main() {
+    let cfg = standard_config().adc;
+    println!("Test-time model (fclk = {} MHz, 12-pulse conversion frame):\n", cfg.fclk / 1e6);
+    println!(
+        "{:<12} {:>8} {:>14} {:>16}",
+        "schedule", "cycles", "test time", "x one conversion"
+    );
+    for schedule in [Schedule::Sequential, Schedule::Parallel] {
+        let t = test_time(&cfg, schedule);
+        println!(
+            "{:<12} {:>8} {:>11.3} µs {:>16.1}",
+            format!("{schedule:?}"),
+            t.cycles,
+            t.seconds * 1e6,
+            t.conversions_equivalent
+        );
+    }
+    let seq = test_time(&cfg, Schedule::Sequential);
+    println!(
+        "\nPaper §IV-5: 6·2⁵·(1/fclk) = 1.23 µs, ≈16× one sample conversion."
+    );
+    assert!((seq.seconds - 1.23e-6).abs() < 0.01e-6);
+    assert!((seq.conversions_equivalent - 16.0).abs() < 1e-9);
+    println!("Reproduced exactly: {:.4} µs, {}x.", seq.seconds * 1e6, seq.conversions_equivalent);
+}

@@ -1,0 +1,74 @@
+//! Error types for circuit analyses.
+
+use std::fmt;
+
+/// Errors produced by the DC and transient solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// The MNA matrix was singular even with gmin regularization (usually a
+    /// floating subcircuit or a loop of ideal voltage sources).
+    Singular {
+        /// Pivot column at which elimination broke down.
+        column: usize,
+    },
+    /// Newton–Raphson failed to converge after every continuation strategy.
+    NoConvergence {
+        /// Which analysis failed.
+        analysis: &'static str,
+        /// Iteration budget that was exhausted.
+        iterations: usize,
+    },
+    /// An invalid analysis configuration (e.g. non-positive time step).
+    InvalidConfig {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::Singular { column } => {
+                write!(f, "singular MNA matrix at pivot column {column} (floating subcircuit or voltage-source loop)")
+            }
+            CircuitError::NoConvergence {
+                analysis,
+                iterations,
+            } => {
+                write!(f, "{analysis} failed to converge within {iterations} iterations")
+            }
+            CircuitError::InvalidConfig { reason } => {
+                write!(f, "invalid analysis configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CircuitError::Singular { column: 3 };
+        assert!(e.to_string().contains("pivot column 3"));
+        let e = CircuitError::NoConvergence {
+            analysis: "dc",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("100 iterations"));
+        let e = CircuitError::InvalidConfig {
+            reason: "dt <= 0".into(),
+        };
+        assert!(e.to_string().contains("dt <= 0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

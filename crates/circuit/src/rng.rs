@@ -1,0 +1,362 @@
+//! Deterministic pseudo-random number generation and sampling distributions.
+//!
+//! Every stochastic experiment in the reproduction (Monte-Carlo mismatch,
+//! likelihood-weighted defect sampling) must be bit-reproducible across runs
+//! and platforms, so this module implements its own small, well-known
+//! generator — xoshiro256++ seeded through SplitMix64 — instead of depending
+//! on an external RNG crate whose output could change between versions.
+//!
+//! # Examples
+//!
+//! ```
+//! use symbist_circuit::rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let u = rng.next_f64();
+//! assert!((0.0..1.0).contains(&u));
+//! // Reproducible: the same seed yields the same stream.
+//! let mut rng2 = Rng::seed_from_u64(42);
+//! assert_eq!(u, rng2.next_f64());
+//! ```
+
+/// SplitMix64 stream used to expand a 64-bit seed into xoshiro state.
+///
+/// This is the seeding procedure recommended by the xoshiro authors; it
+/// guarantees that even low-entropy seeds (0, 1, 2, ...) produce
+/// well-distributed initial states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a new SplitMix64 stream from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ pseudo-random generator.
+///
+/// Period 2^256 − 1, passes BigCrush, and is the generator used by several
+/// language runtimes. All randomness in the workspace flows through this
+/// type so that experiments are reproducible given a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second value from the Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Self {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// Used to hand one deterministic stream to each parallel worker in the
+    /// defect campaign so that the result does not depend on thread
+    /// scheduling.
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        // Mix the stream index into fresh state drawn from this generator.
+        let mut sm = SplitMix64::new(self.next_u64() ^ stream.wrapping_mul(0xA076_1D64_78BD_642F));
+        Rng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+            gauss_spare: None,
+        }
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid uniform bounds");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Returns a uniform integer in `[0, n)`.
+    ///
+    /// Uses Lemire's rejection method to avoid modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire's multiply-shift with rejection.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a standard normal sample (mean 0, variance 1) via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Box–Muller in polar (Marsaglia) form: no trig, no tails clipped.
+        loop {
+            let u = 2.0 * self.next_f64() - 1.0;
+            let v = 2.0 * self.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.gauss_spare = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+
+    /// Returns a normal sample with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn normal(&mut self, mean: f64, sigma: f64) -> f64 {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be >= 0");
+        mean + sigma * self.standard_normal()
+    }
+
+    /// Returns a log-normal sample: `exp(N(mu, sigma))`.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Draws `k` distinct indices from `0..n` with probability proportional
+    /// to `weights`, without replacement.
+    ///
+    /// This is the primitive behind Likelihood-Weighted Random Sampling
+    /// (LWRS) in the defect simulator. Uses the exponential-sort trick
+    /// (weighted reservoir sampling à la Efraimidis–Spirakis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != n`, if any weight is negative/non-finite,
+    /// or if `k` exceeds the number of strictly positive weights.
+    pub fn weighted_sample_without_replacement(
+        &mut self,
+        weights: &[f64],
+        k: usize,
+    ) -> Vec<usize> {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let positive = weights.iter().filter(|w| **w > 0.0).count();
+        assert!(k <= positive, "cannot draw {k} items from {positive} positive-weight items");
+        // key_i = u_i^(1/w_i); take the k largest keys. Equivalent to
+        // sequential weighted draws without replacement.
+        let mut keyed: Vec<(f64, usize)> = weights
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w > 0.0)
+            .map(|(i, w)| {
+                let u: f64 = self.next_f64().max(f64::MIN_POSITIVE);
+                (u.ln() / w, i)
+            })
+            .collect();
+        // Larger ln(u)/w (closer to zero) means larger u^(1/w); sort desc.
+        keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        keyed.truncate(k);
+        keyed.into_iter().map(|(_, i)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_known_values() {
+        // Reference values for seed 0 from the published SplitMix64 code.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn reproducible_streams() {
+        let mut a = Rng::seed_from_u64(123);
+        let mut b = Rng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_unbiased_small_n() {
+        let mut rng = Rng::seed_from_u64(99);
+        let mut counts = [0usize; 5];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[rng.below(5) as usize] += 1;
+        }
+        for c in counts {
+            let expected = n as f64 / 5.0;
+            assert!((c as f64 - expected).abs() < 5.0 * expected.sqrt());
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from_u64(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(1.5, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 1.5).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn log_normal_positive() {
+        let mut rng = Rng::seed_from_u64(13);
+        for _ in 0..1000 {
+            assert!(rng.log_normal(0.0, 0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = Rng::seed_from_u64(17);
+        let hits = (0..100_000).filter(|_| rng.bernoulli(0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from_u64(19);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_sample_distinct_and_sized() {
+        let mut rng = Rng::seed_from_u64(23);
+        let weights = vec![1.0, 2.0, 3.0, 4.0, 5.0, 0.0];
+        let picked = rng.weighted_sample_without_replacement(&weights, 4);
+        assert_eq!(picked.len(), 4);
+        let mut uniq = picked.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4);
+        // Zero-weight item (index 5) must never be drawn.
+        assert!(!picked.contains(&5));
+    }
+
+    #[test]
+    fn weighted_sample_respects_weights() {
+        // Item 1 has 9x the weight of item 0; when drawing 1 of 2, it must
+        // be selected roughly 90% of the time.
+        let mut rng = Rng::seed_from_u64(29);
+        let weights = vec![1.0, 9.0];
+        let trials = 20_000;
+        let ones = (0..trials)
+            .filter(|_| rng.weighted_sample_without_replacement(&weights, 1)[0] == 1)
+            .count();
+        let rate = ones as f64 / trials as f64;
+        assert!((rate - 0.9).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut root = Rng::seed_from_u64(31);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn below_zero_panics() {
+        Rng::seed_from_u64(0).below(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_sigma_panics() {
+        Rng::seed_from_u64(0).normal(0.0, -1.0);
+    }
+}

@@ -1,0 +1,506 @@
+//! Transient analysis with switch-event co-simulation.
+//!
+//! Capacitors are replaced by their companion models (backward Euler or
+//! trapezoidal) and the resulting resistive circuit is solved per time step
+//! with the same Newton engine as the DC analysis. The simulation object
+//! borrows the netlist per step, so a digital controller can flip switches
+//! or retarget sources between steps — this is how the SAR conversion loop
+//! and the SymBIST stimulus drive the analog core.
+//!
+//! # Examples
+//!
+//! ```
+//! use symbist_circuit::netlist::Netlist;
+//! use symbist_circuit::transient::{TransientOptions, TransientSim};
+//!
+//! // RC charging step: v(t) = 1 − exp(−t/RC), RC = 1 µs.
+//! let mut nl = Netlist::new();
+//! let src = nl.node("src");
+//! let out = nl.node("out");
+//! nl.vsource(src, Netlist::GND, 1.0);
+//! nl.resistor(src, out, 1e3);
+//! nl.capacitor_with_ic(out, Netlist::GND, 1e-9, 0.0);
+//! let opts = TransientOptions { dt: 1e-8, use_ic: true, ..Default::default() };
+//! let mut sim = TransientSim::new(&nl, opts)?;
+//! while sim.time() < 1e-6 {
+//!     sim.step(&nl)?;
+//! }
+//! let v = sim.voltage(out);
+//! assert!((v - (1.0 - (-1.0f64).exp())).abs() < 5e-3);
+//! # Ok::<(), symbist_circuit::error::CircuitError>(())
+//! ```
+
+use crate::dc::{DcOptions, DcSolver, Operating};
+use crate::error::CircuitError;
+use crate::mna::{Assembler, CapCompanion};
+use crate::netlist::{Device, DeviceId, Netlist, NodeId};
+use crate::waveform::{Trace, TraceSet};
+
+/// Numerical integration method for capacitors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// Backward Euler: L-stable, first order, damps switching ringing —
+    /// the default for switched-capacitor work.
+    #[default]
+    BackwardEuler,
+    /// Trapezoidal: second order, energy preserving.
+    Trapezoidal,
+}
+
+/// Transient analysis options.
+#[derive(Debug, Clone)]
+pub struct TransientOptions {
+    /// Fixed time step in seconds.
+    pub dt: f64,
+    /// Integration method.
+    pub integrator: Integrator,
+    /// When `true`, capacitors with an `ic` start from it instead of the DC
+    /// operating point.
+    pub use_ic: bool,
+    /// Newton options for the per-step solves.
+    pub dc: DcOptions,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        Self {
+            dt: 1e-10,
+            integrator: Integrator::default(),
+            use_ic: false,
+            dc: DcOptions::default(),
+        }
+    }
+}
+
+/// Per-capacitor dynamic state.
+#[derive(Debug, Clone, Copy)]
+struct CapState {
+    v_prev: f64,
+    i_prev: f64,
+}
+
+/// A running transient simulation.
+///
+/// The netlist is borrowed per call rather than owned so that external
+/// controllers can mutate switch states and source values between steps.
+/// The topology (device and node counts) must not change between steps.
+#[derive(Debug)]
+pub struct TransientSim {
+    asm: Assembler,
+    solver: DcSolver,
+    x: Vec<f64>,
+    time: f64,
+    dt: f64,
+    integrator: Integrator,
+    cap_state: Vec<Option<CapState>>,
+    companions: Vec<Option<CapCompanion>>,
+    device_count: usize,
+    /// Trapezoidal needs a consistent capacitor current to start from; the
+    /// first step is always taken with backward Euler to provide one.
+    first_step: bool,
+}
+
+impl TransientSim {
+    /// Initializes the simulation at `t = 0`.
+    ///
+    /// The initial point is the DC operating point of the netlist (with all
+    /// waveforms evaluated at `t = 0`); capacitors carrying an explicit
+    /// initial condition override it when `options.use_ic` is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the initial operating point cannot be solved or
+    /// if `options.dt` is not strictly positive.
+    pub fn new(netlist: &Netlist, options: TransientOptions) -> Result<Self, CircuitError> {
+        if !(options.dt.is_finite() && options.dt > 0.0) {
+            return Err(CircuitError::InvalidConfig {
+                reason: format!("time step must be > 0, got {}", options.dt),
+            });
+        }
+        let solver = DcSolver::with_options(options.dc.clone());
+        let op = solver.solve(netlist)?;
+        let asm = Assembler::new(netlist);
+        let mut cap_state = vec![None; netlist.device_count()];
+        for (id, dev) in netlist.iter() {
+            if let Device::Capacitor { a, b, ic, .. } = dev {
+                let v0 = match (options.use_ic, ic) {
+                    (true, Some(v)) => *v,
+                    _ => op.voltage(*a) - op.voltage(*b),
+                };
+                cap_state[id.index()] = Some(CapState {
+                    v_prev: v0,
+                    i_prev: 0.0,
+                });
+            }
+        }
+        let device_count = netlist.device_count();
+        Ok(Self {
+            x: op.raw().to_vec(),
+            asm,
+            solver,
+            time: 0.0,
+            dt: options.dt,
+            integrator: options.integrator,
+            cap_state,
+            companions: vec![None; device_count],
+            device_count,
+            first_step: true,
+        })
+    }
+
+    /// Current simulation time in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Current time step.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Changes the time step for subsequent steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dt` is not strictly positive.
+    pub fn set_dt(&mut self, dt: f64) -> Result<(), CircuitError> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(CircuitError::InvalidConfig {
+                reason: format!("time step must be > 0, got {dt}"),
+            });
+        }
+        self.dt = dt;
+        Ok(())
+    }
+
+    /// Voltage of a node at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range for the simulated netlist.
+    pub fn voltage(&self, n: NodeId) -> f64 {
+        if n.is_ground() {
+            return 0.0;
+        }
+        assert!(n.index() < self.asm.layout.node_count, "node {n} out of range");
+        self.x[n.index() - 1]
+    }
+
+    /// Differential voltage `v(a) − v(b)` at the current time.
+    pub fn differential(&self, a: NodeId, b: NodeId) -> f64 {
+        self.voltage(a) - self.voltage(b)
+    }
+
+    /// Branch current of a voltage-defined device at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device has no branch current.
+    pub fn branch_current(&self, id: DeviceId) -> f64 {
+        self.x[self.asm.layout.branch_index(id)]
+    }
+
+    /// A snapshot of the current solution as an [`Operating`] point.
+    pub fn operating(&self) -> Operating {
+        Operating {
+            x: self.x.clone(),
+            node_count: self.asm.layout.node_count,
+            branch_of: self.asm.layout.branch_of.clone(),
+        }
+    }
+
+    /// Advances one time step.
+    ///
+    /// The caller may have mutated switch states or source waveform values
+    /// in `netlist` since the previous call; the topology must be unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the step's Newton solve fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist's device count changed since construction.
+    pub fn step(&mut self, netlist: &Netlist) -> Result<(), CircuitError> {
+        assert_eq!(
+            netlist.device_count(),
+            self.device_count,
+            "netlist topology changed mid-simulation"
+        );
+        let t_next = self.time + self.dt;
+
+        // Build companion models from the previous step's state.
+        for (id, dev) in netlist.iter() {
+            if let Device::Capacitor { farads, .. } = dev {
+                let st = self.cap_state[id.index()].expect("capacitor state missing");
+                let integrator = if self.first_step {
+                    // Startup: i_prev is not yet consistent; BE ignores it.
+                    Integrator::BackwardEuler
+                } else {
+                    self.integrator
+                };
+                let comp = match integrator {
+                    Integrator::BackwardEuler => {
+                        let g = farads / self.dt;
+                        CapCompanion {
+                            g,
+                            ieq: g * st.v_prev,
+                        }
+                    }
+                    Integrator::Trapezoidal => {
+                        let g = 2.0 * farads / self.dt;
+                        CapCompanion {
+                            g,
+                            ieq: g * st.v_prev + st.i_prev,
+                        }
+                    }
+                };
+                self.companions[id.index()] = Some(comp);
+            }
+        }
+
+        let converged = {
+            let companions = std::mem::take(&mut self.companions);
+            let result = self.solver.newton(
+                netlist,
+                &mut self.asm,
+                &mut self.x,
+                t_next,
+                1.0,
+                self.solver.options().gmin,
+                &companions,
+            );
+            self.companions = companions;
+            result?
+        };
+        if !converged {
+            return Err(CircuitError::NoConvergence {
+                analysis: "transient step",
+                iterations: self.solver.options().max_iter,
+            });
+        }
+
+        // Update capacitor states from the solved step.
+        for (id, dev) in netlist.iter() {
+            if let Device::Capacitor { a, b, .. } = dev {
+                let comp = self.companions[id.index()].expect("companion missing");
+                let v = self.node_v(*a) - self.node_v(*b);
+                let i = comp.g * v - comp.ieq;
+                self.cap_state[id.index()] = Some(CapState { v_prev: v, i_prev: i });
+            }
+        }
+        self.time = t_next;
+        self.first_step = false;
+        Ok(())
+    }
+
+    fn node_v(&self, n: NodeId) -> f64 {
+        match self.asm.layout.node_index(n) {
+            None => 0.0,
+            Some(i) => self.x[i],
+        }
+    }
+
+    /// Runs until `t_end`, recording the given probes at every step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step failures.
+    pub fn run_until(
+        &mut self,
+        netlist: &Netlist,
+        t_end: f64,
+        probes: &[(&str, NodeId)],
+    ) -> Result<TraceSet, CircuitError> {
+        let mut traces: Vec<Trace> = probes.iter().map(|(name, _)| Trace::new(*name)).collect();
+        for (trace, (_, node)) in traces.iter_mut().zip(probes) {
+            trace.push(self.time, self.voltage(*node));
+        }
+        while self.time < t_end - 0.5 * self.dt {
+            self.step(netlist)?;
+            for (trace, (_, node)) in traces.iter_mut().zip(probes) {
+                trace.push(self.time, self.voltage(*node));
+            }
+        }
+        let mut set = TraceSet::new();
+        for t in traces {
+            set.insert(t);
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::SourceWave;
+
+    #[test]
+    fn rc_step_response_be() {
+        // R = 1k, C = 1n → τ = 1 µs.
+        let mut nl = Netlist::new();
+        let s = nl.node("s");
+        let o = nl.node("o");
+        nl.vsource(s, Netlist::GND, 1.0);
+        nl.resistor(s, o, 1e3);
+        nl.capacitor_with_ic(o, Netlist::GND, 1e-9, 0.0);
+        let mut sim = TransientSim::new(
+            &nl,
+            TransientOptions {
+                dt: 5e-9,
+                use_ic: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        while sim.time() < 1e-6 {
+            sim.step(&nl).unwrap();
+        }
+        let expect = 1.0 - (-1.0f64).exp();
+        assert!((sim.voltage(o) - expect).abs() < 2e-3, "v = {}", sim.voltage(o));
+    }
+
+    #[test]
+    fn rc_step_response_trapezoidal_more_accurate() {
+        let run = |integrator: Integrator| {
+            let mut nl = Netlist::new();
+            let s = nl.node("s");
+            let o = nl.node("o");
+            nl.vsource(s, Netlist::GND, 1.0);
+            nl.resistor(s, o, 1e3);
+            nl.capacitor_with_ic(o, Netlist::GND, 1e-9, 0.0);
+            let mut sim = TransientSim::new(
+                &nl,
+                TransientOptions {
+                    dt: 2e-8,
+                    integrator,
+                    use_ic: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            while sim.time() < 1e-6 {
+                sim.step(&nl).unwrap();
+            }
+            sim.voltage(o)
+        };
+        let expect = 1.0 - (-1.0f64).exp();
+        let be_err = (run(Integrator::BackwardEuler) - expect).abs();
+        let tr_err = (run(Integrator::Trapezoidal) - expect).abs();
+        assert!(tr_err < be_err, "trap {tr_err} should beat BE {be_err}");
+        assert!(tr_err < 1e-4);
+    }
+
+    #[test]
+    fn starts_from_dc_when_no_ic() {
+        // Divider holds the cap at 0.5 V; transient must start there.
+        let mut nl = Netlist::new();
+        let s = nl.node("s");
+        let o = nl.node("o");
+        nl.vsource(s, Netlist::GND, 1.0);
+        nl.resistor(s, o, 1e3);
+        nl.resistor(o, Netlist::GND, 1e3);
+        nl.capacitor(o, Netlist::GND, 1e-9);
+        let mut sim = TransientSim::new(&nl, TransientOptions::default()).unwrap();
+        assert!((sim.voltage(o) - 0.5).abs() < 1e-6);
+        sim.step(&nl).unwrap();
+        assert!((sim.voltage(o) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn switch_discharge_mid_run() {
+        // Charge a cap, then close a discharge switch at t = 1 µs.
+        let mut nl = Netlist::new();
+        let s = nl.node("s");
+        let o = nl.node("o");
+        nl.vsource(s, Netlist::GND, 1.0);
+        nl.resistor(s, o, 1e6); // slow charge
+        nl.capacitor_with_ic(o, Netlist::GND, 1e-9, 1.0);
+        let sw = nl.switch(o, Netlist::GND, 10.0, 1e12);
+        let mut sim = TransientSim::new(
+            &nl,
+            TransientOptions {
+                dt: 1e-9,
+                use_ic: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        while sim.time() < 1e-6 {
+            sim.step(&nl).unwrap();
+        }
+        assert!(sim.voltage(o) > 0.9);
+        nl.set_switch(sw, true);
+        // τ = 10 Ω · 1 nF = 10 ns; after 200 ns the node is at ground.
+        while sim.time() < 1.2e-6 {
+            sim.step(&nl).unwrap();
+        }
+        assert!(sim.voltage(o).abs() < 1e-3, "v = {}", sim.voltage(o));
+    }
+
+    #[test]
+    fn pulse_source_toggles_output() {
+        let mut nl = Netlist::new();
+        let s = nl.node("s");
+        nl.vsource_wave(
+            s,
+            Netlist::GND,
+            SourceWave::Pulse {
+                low: 0.0,
+                high: 1.0,
+                delay: 1e-7,
+                rise: 1e-9,
+                fall: 1e-9,
+                width: 1e-7,
+                period: 0.0,
+            },
+        );
+        nl.resistor(s, Netlist::GND, 1e3);
+        let mut sim = TransientSim::new(&nl, TransientOptions { dt: 1e-9, ..Default::default() }).unwrap();
+        let traces = sim
+            .run_until(&nl, 4e-7, &[("s", nl.find_node("s").unwrap())])
+            .unwrap();
+        let tr = traces.trace("s").unwrap();
+        assert!(tr.sample_at(5e-8) < 0.01);
+        assert!(tr.sample_at(1.5e-7) > 0.99);
+        assert!(tr.sample_at(3.5e-7) < 0.01);
+    }
+
+    #[test]
+    fn sc_charge_sharing() {
+        // Two equal caps, one at 1 V one at 0 V, connected by a switch:
+        // final voltage 0.5 V on both (charge conservation).
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.capacitor_with_ic(a, Netlist::GND, 1e-12, 1.0);
+        nl.capacitor_with_ic(b, Netlist::GND, 1e-12, 0.0);
+        let sw = nl.switch(a, b, 100.0, 1e15);
+        nl.set_switch(sw, true);
+        let mut sim = TransientSim::new(
+            &nl,
+            TransientOptions {
+                dt: 1e-12,
+                use_ic: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        while sim.time() < 5e-9 {
+            sim.step(&nl).unwrap();
+        }
+        assert!((sim.voltage(a) - 0.5).abs() < 1e-3, "va = {}", sim.voltage(a));
+        assert!((sim.voltage(b) - 0.5).abs() < 1e-3, "vb = {}", sim.voltage(b));
+    }
+
+    #[test]
+    fn invalid_dt_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.resistor(a, Netlist::GND, 1e3);
+        assert!(TransientSim::new(&nl, TransientOptions { dt: 0.0, ..Default::default() }).is_err());
+        let mut sim = TransientSim::new(&nl, TransientOptions::default()).unwrap();
+        assert!(sim.set_dt(-1.0).is_err());
+        assert!(sim.set_dt(1e-9).is_ok());
+    }
+}

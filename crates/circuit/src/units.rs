@@ -1,0 +1,261 @@
+//! Lightweight dimensional newtypes for the public API.
+//!
+//! Internally the solver works in raw `f64` SI units (volts, amps, ohms,
+//! farads, seconds, hertz); these newtypes exist so that public constructor
+//! signatures cannot be called with swapped arguments (C-NEWTYPE). They are
+//! deliberately thin: `.0` access and `From<f64>`/`value()` both work.
+//!
+//! # Examples
+//!
+//! ```
+//! use symbist_circuit::units::{Resistance, Capacitance};
+//!
+//! let r = Resistance::kilo(10.0);
+//! let c = Capacitance::pico(1.0);
+//! let tau = r.value() * c.value();
+//! assert!((tau - 1e-8).abs() < 1e-20);
+//! ```
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $sym:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Returns the raw value in base SI units.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(v: f64) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(v: $name) -> f64 {
+                v.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", self.0, $sym)
+            }
+        }
+    };
+}
+
+unit!(
+    /// A voltage in volts.
+    Voltage,
+    " V"
+);
+unit!(
+    /// A current in amperes.
+    Current,
+    " A"
+);
+unit!(
+    /// A resistance in ohms.
+    Resistance,
+    " Ω"
+);
+unit!(
+    /// A capacitance in farads.
+    Capacitance,
+    " F"
+);
+unit!(
+    /// A time in seconds.
+    Time,
+    " s"
+);
+unit!(
+    /// A frequency in hertz.
+    Frequency,
+    " Hz"
+);
+
+impl Voltage {
+    /// Constructs a voltage in millivolts.
+    pub fn milli(v: f64) -> Self {
+        Self(v * 1e-3)
+    }
+    /// Constructs a voltage in microvolts.
+    pub fn micro(v: f64) -> Self {
+        Self(v * 1e-6)
+    }
+}
+
+impl Current {
+    /// Constructs a current in milliamps.
+    pub fn milli(v: f64) -> Self {
+        Self(v * 1e-3)
+    }
+    /// Constructs a current in microamps.
+    pub fn micro(v: f64) -> Self {
+        Self(v * 1e-6)
+    }
+    /// Constructs a current in nanoamps.
+    pub fn nano(v: f64) -> Self {
+        Self(v * 1e-9)
+    }
+}
+
+impl Resistance {
+    /// Constructs a resistance in kilohms.
+    pub fn kilo(v: f64) -> Self {
+        Self(v * 1e3)
+    }
+    /// Constructs a resistance in megohms.
+    pub fn mega(v: f64) -> Self {
+        Self(v * 1e6)
+    }
+    /// Returns the conductance `1/R` in siemens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is zero.
+    pub fn conductance(self) -> f64 {
+        assert!(self.0 != 0.0, "zero resistance has no finite conductance");
+        1.0 / self.0
+    }
+}
+
+impl Capacitance {
+    /// Constructs a capacitance in picofarads.
+    pub fn pico(v: f64) -> Self {
+        Self(v * 1e-12)
+    }
+    /// Constructs a capacitance in femtofarads.
+    pub fn femto(v: f64) -> Self {
+        Self(v * 1e-15)
+    }
+    /// Constructs a capacitance in nanofarads.
+    pub fn nano(v: f64) -> Self {
+        Self(v * 1e-9)
+    }
+}
+
+impl Time {
+    /// Constructs a time in nanoseconds.
+    pub fn nano(v: f64) -> Self {
+        Self(v * 1e-9)
+    }
+    /// Constructs a time in microseconds.
+    pub fn micro(v: f64) -> Self {
+        Self(v * 1e-6)
+    }
+    /// Constructs a time in picoseconds.
+    pub fn pico(v: f64) -> Self {
+        Self(v * 1e-12)
+    }
+}
+
+impl Frequency {
+    /// Constructs a frequency in megahertz.
+    pub fn mega(v: f64) -> Self {
+        Self(v * 1e6)
+    }
+    /// Constructs a frequency in gigahertz.
+    pub fn giga(v: f64) -> Self {
+        Self(v * 1e9)
+    }
+    /// Returns the period `1/f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    pub fn period(self) -> Time {
+        assert!(self.0 != 0.0, "zero frequency has no finite period");
+        Time(1.0 / self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale() {
+        assert_eq!(Voltage::milli(1.0).value(), 1e-3);
+        assert_eq!(Resistance::kilo(2.0).value(), 2e3);
+        assert_eq!(Capacitance::pico(3.0).value(), 3e-12);
+        assert_eq!(Time::nano(4.0).value(), 4e-9);
+        assert_eq!(Frequency::mega(156.0).value(), 156e6);
+        assert!((Current::micro(5.0).value() - 5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let v = Voltage(1.0) + Voltage(0.5) - Voltage(0.25);
+        assert_eq!(v.value(), 1.25);
+        assert_eq!((-v).value(), -1.25);
+        assert_eq!((v * 2.0).value(), 2.5);
+        assert_eq!((v / 2.0).value(), 0.625);
+    }
+
+    #[test]
+    fn period_and_conductance() {
+        assert!((Frequency::mega(100.0).period().value() - 1e-8).abs() < 1e-20);
+        assert!((Resistance::kilo(1.0).conductance() - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_has_symbol() {
+        assert_eq!(format!("{}", Voltage(1.2)), "1.2 V");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_frequency_period_panics() {
+        Frequency(0.0).period();
+    }
+}

@@ -1,0 +1,295 @@
+//! Time-series traces recorded by the transient solver.
+//!
+//! A [`Trace`] is a named `(time, value)` series with helpers the BIST
+//! checker needs: sampling at arbitrary instants, extrema over windows, and
+//! CSV export for the figure-regeneration binaries.
+
+use std::fmt::Write as _;
+
+/// A named time series with strictly increasing time stamps.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    name: String,
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates a trace from parallel vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or times are not strictly increasing.
+    pub fn from_series(name: impl Into<String>, times: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(times.len(), values.len(), "times/values length mismatch");
+        assert!(
+            times.windows(2).all(|w| w[1] > w[0]),
+            "times must be strictly increasing"
+        );
+        Self {
+            name: name.into(),
+            times,
+            values,
+        }
+    }
+
+    /// The trace name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` if the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not strictly after the last sample.
+    pub fn push(&mut self, t: f64, v: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(t > last, "samples must be appended in increasing time order");
+        }
+        self.times.push(t);
+        self.values.push(v);
+    }
+
+    /// The time stamps.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Linear interpolation at time `t`, clamped at the ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn sample_at(&self, t: f64) -> f64 {
+        assert!(!self.is_empty(), "cannot sample an empty trace");
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        if t >= *self.times.last().unwrap() {
+            return *self.values.last().unwrap();
+        }
+        let idx = self.times.partition_point(|&x| x <= t);
+        let (t0, v0) = (self.times[idx - 1], self.values[idx - 1]);
+        let (t1, v1) = (self.times[idx], self.values[idx]);
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// Minimum value over the whole trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn min(&self) -> f64 {
+        assert!(!self.is_empty());
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum value over the whole trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn max(&self) -> f64 {
+        assert!(!self.is_empty());
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Extrema `(min, max)` restricted to `t0..=t1`.
+    ///
+    /// Returns `None` if no sample falls in the window.
+    pub fn extrema_in(&self, t0: f64, t1: f64) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut any = false;
+        for (t, v) in self.times.iter().zip(&self.values) {
+            if *t >= t0 && *t <= t1 {
+                lo = lo.min(*v);
+                hi = hi.max(*v);
+                any = true;
+            }
+        }
+        any.then_some((lo, hi))
+    }
+
+    /// Value of the last sample at or before `t` (zero-order hold).
+    ///
+    /// Returns `None` if `t` precedes the first sample.
+    pub fn value_before(&self, t: f64) -> Option<f64> {
+        let idx = self.times.partition_point(|&x| x <= t);
+        idx.checked_sub(1).map(|i| self.values[i])
+    }
+
+    /// Detects whether the signal is settled at time `t`: the total
+    /// excursion over the trailing window `[t − window, t]` is below `tol`.
+    pub fn is_settled_at(&self, t: f64, window: f64, tol: f64) -> bool {
+        match self.extrema_in(t - window, t) {
+            Some((lo, hi)) => hi - lo <= tol,
+            None => false,
+        }
+    }
+}
+
+/// A bundle of traces sharing a time axis conceptually (each trace still
+/// stores its own stamps so decimated probes are allowed).
+#[derive(Debug, Clone, Default)]
+pub struct TraceSet {
+    traces: Vec<Trace>,
+}
+
+impl TraceSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a trace.
+    pub fn insert(&mut self, trace: Trace) {
+        self.traces.push(trace);
+    }
+
+    /// Looks up a trace by name.
+    pub fn trace(&self, name: &str) -> Option<&Trace> {
+        self.traces.iter().find(|t| t.name() == name)
+    }
+
+    /// Iterates over the traces.
+    pub fn iter(&self) -> impl Iterator<Item = &Trace> {
+        self.traces.iter()
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Returns `true` if there are no traces.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Renders the whole set as CSV with a shared, merged time column
+    /// (values linearly interpolated where stamps differ).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("time");
+        for t in &self.traces {
+            let _ = write!(out, ",{}", t.name());
+        }
+        out.push('\n');
+        // Merge all time stamps.
+        let mut stamps: Vec<f64> = self.traces.iter().flat_map(|t| t.times().iter().copied()).collect();
+        stamps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        stamps.dedup_by(|a, b| (*a - *b).abs() < f64::EPSILON);
+        for s in stamps {
+            let _ = write!(out, "{s:.6e}");
+            for t in &self.traces {
+                if t.is_empty() {
+                    out.push(',');
+                } else {
+                    let _ = write!(out, ",{:.6e}", t.sample_at(s));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Trace {
+        Trace::from_series("r", vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 20.0])
+    }
+
+    #[test]
+    fn sample_interpolates() {
+        let t = ramp();
+        assert_eq!(t.sample_at(0.5), 5.0);
+        assert_eq!(t.sample_at(1.5), 15.0);
+        // Clamped ends.
+        assert_eq!(t.sample_at(-1.0), 0.0);
+        assert_eq!(t.sample_at(9.0), 20.0);
+    }
+
+    #[test]
+    fn extrema_and_window() {
+        let t = ramp();
+        assert_eq!(t.min(), 0.0);
+        assert_eq!(t.max(), 20.0);
+        assert_eq!(t.extrema_in(0.5, 1.5), Some((10.0, 10.0)));
+        assert_eq!(t.extrema_in(5.0, 6.0), None);
+    }
+
+    #[test]
+    fn settled_detection() {
+        let mut t = Trace::new("s");
+        for i in 0..100 {
+            let time = i as f64 * 0.01;
+            // Exponential settling toward 1.0.
+            t.push(time, 1.0 - (-time * 10.0).exp());
+        }
+        assert!(!t.is_settled_at(0.1, 0.05, 1e-3));
+        assert!(t.is_settled_at(0.99, 0.05, 1e-3));
+    }
+
+    #[test]
+    fn value_before_is_zoh() {
+        let t = ramp();
+        assert_eq!(t.value_before(1.5), Some(10.0));
+        assert_eq!(t.value_before(-0.5), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_out_of_order_panics() {
+        let mut t = ramp();
+        t.push(1.5, 0.0);
+    }
+
+    #[test]
+    fn csv_export() {
+        let mut set = TraceSet::new();
+        set.insert(ramp());
+        let csv = set.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,r");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("0.000000e0"));
+    }
+
+    #[test]
+    fn trace_set_lookup() {
+        let mut set = TraceSet::new();
+        set.insert(ramp());
+        assert!(set.trace("r").is_some());
+        assert!(set.trace("nope").is_none());
+        assert_eq!(set.len(), 1);
+    }
+}

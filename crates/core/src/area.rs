@@ -1,0 +1,96 @@
+//! Area-overhead model (paper §IV-4: "the area overhead of the SymBIST
+//! infrastructure is estimated to be less than 5%").
+//!
+//! Areas are in the same arbitrary layout units as
+//! [`symbist_adc::ComponentInfo::area`] (MOS ≈ 1). The IP area is the sum
+//! of the analog catalog plus an estimate for the purely digital blocks
+//! (SAR control, phase generator, SAR logic — roughly 300 gate-equivalents
+//! at 4 transistor-units each). The BIST area counts the 5-bit counter,
+//! the window comparator(s) with their reference dividers, the
+//! observation switches/buffers on the twelve tapped nodes, and the serial
+//! 2-pin interface logic.
+
+use symbist_adc::fault::Faultable;
+
+use crate::session::Schedule;
+
+/// Area breakdown in layout units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// Analog IP area (sum of the component catalog).
+    pub ip_analog: f64,
+    /// Digital IP area estimate.
+    pub ip_digital: f64,
+    /// SymBIST infrastructure area.
+    pub bist: f64,
+    /// `bist / (ip_analog + ip_digital)`.
+    pub overhead: f64,
+}
+
+/// Gate-equivalents of the digital part of the IP (SAR control + phase
+/// generator + SAR logic), at 4 transistor-units per gate.
+const IP_DIGITAL_GATES: f64 = 340.0;
+/// Units per gate-equivalent.
+const UNITS_PER_GATE: f64 = 4.0;
+/// 5-bit counter: 5 flip-flops at ~6 units plus glue.
+const COUNTER_AREA: f64 = 5.0 * 6.0 + 4.0;
+/// One window comparator: two clocked comparators + reference divider.
+const WINDOW_COMPARATOR_AREA: f64 = 28.0;
+/// Observation switch + buffer per tapped node (12 nodes: M±, L±, DAC±,
+/// LIN±, Q±, VREF\[16\], VREF\[32\]).
+const TAP_AREA: f64 = 3.0;
+const TAPPED_NODES: f64 = 12.0;
+/// Serial command / result interface (2-pin TAM glue).
+const INTERFACE_AREA: f64 = 20.0;
+/// Analog multiplexer in front of the shared comparator (sequential only).
+const MUX_AREA: f64 = 10.0;
+
+/// Computes the area overhead of the SymBIST infrastructure on a DUT.
+pub fn area_report(dut: &impl Faultable, schedule: Schedule) -> AreaReport {
+    let ip_analog: f64 = dut.components().iter().map(|c| c.area).sum();
+    let ip_digital = IP_DIGITAL_GATES * UNITS_PER_GATE;
+    let comparators = match schedule {
+        Schedule::Sequential => 1.0,
+        Schedule::Parallel => 6.0,
+    };
+    let mux = match schedule {
+        Schedule::Sequential => MUX_AREA,
+        Schedule::Parallel => 0.0,
+    };
+    let bist = COUNTER_AREA
+        + comparators * WINDOW_COMPARATOR_AREA
+        + TAPPED_NODES * TAP_AREA
+        + INTERFACE_AREA
+        + mux;
+    let ip = ip_analog + ip_digital;
+    AreaReport {
+        ip_analog,
+        ip_digital,
+        bist,
+        overhead: bist / ip,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbist_adc::{AdcConfig, SarAdc};
+
+    #[test]
+    fn sequential_overhead_below_five_percent() {
+        let adc = SarAdc::new(AdcConfig::default());
+        let rep = area_report(&adc, Schedule::Sequential);
+        assert!(rep.overhead < 0.05, "overhead {:.2}%", rep.overhead * 100.0);
+        assert!(rep.overhead > 0.005, "implausibly free BIST");
+        assert!(rep.ip_analog > 0.0 && rep.bist > 0.0);
+    }
+
+    #[test]
+    fn parallel_costs_more_area() {
+        let adc = SarAdc::new(AdcConfig::default());
+        let seq = area_report(&adc, Schedule::Sequential);
+        let par = area_report(&adc, Schedule::Parallel);
+        assert!(par.bist > seq.bist);
+        assert!(par.overhead > seq.overhead);
+    }
+}

@@ -1,0 +1,329 @@
+//! The SymBIST *concept* (paper §II, Fig. 1) for arbitrary circuits.
+//!
+//! The SAR ADC demonstration is one instantiation; the paradigm itself is
+//! general: find node pairs carrying fully-differential or complementary
+//! signals (`V1 + V2 = α`) or outputs of identical/duplicated blocks
+//! driven with the same input (`V1 − V2 = 0`), calibrate a window
+//! `δ = k·σ` per invariant over Monte-Carlo process variation, and flag
+//! any settled excursion.
+//!
+//! This module provides that flow over any [`Netlist`]: declare
+//! invariances on named nodes, calibrate against a user-supplied
+//! mismatch sampler, then check instances — healthy or defect-injected.
+//!
+//! # Examples
+//!
+//! ```
+//! use symbist::generic::{GenericBist, NodeInvariance};
+//! use symbist_circuit::mc::MismatchSpec;
+//! use symbist_circuit::netlist::Netlist;
+//! use symbist_circuit::rng::Rng;
+//!
+//! // Two matched dividers from one source: a replica symmetry.
+//! let build = || {
+//!     let mut nl = Netlist::new();
+//!     let s = nl.node("src");
+//!     let a = nl.node("a");
+//!     let b = nl.node("b");
+//!     nl.vsource(s, Netlist::GND, 1.0);
+//!     nl.resistor(s, a, 1e3);
+//!     nl.resistor(a, Netlist::GND, 1e3);
+//!     nl.resistor(s, b, 1e3);
+//!     nl.resistor(b, Netlist::GND, 1e3);
+//!     nl
+//! };
+//! let template = build();
+//! let inv = vec![NodeInvariance::replica(
+//!     "a = b",
+//!     template.find_node("a").unwrap(),
+//!     template.find_node("b").unwrap(),
+//! )];
+//! let mut rng = Rng::seed_from_u64(5);
+//! let bist = GenericBist::calibrate(inv, 5.0, 100, &mut rng, |rng| {
+//!     let mut spec = MismatchSpec::empty();
+//!     spec.vary_all_resistors(&template, 0.005);
+//!     spec.perturb(&template, rng)
+//! })?;
+//! assert!(bist.check(&build())?.pass);
+//! # Ok::<(), symbist_circuit::error::CircuitError>(())
+//! ```
+
+use symbist_analysis::stats::summary;
+use symbist_circuit::dc::DcSolver;
+use symbist_circuit::error::CircuitError;
+use symbist_circuit::netlist::{Netlist, NodeId};
+use symbist_circuit::rng::Rng;
+
+use crate::window::WindowComparator;
+
+/// The symmetry classes of paper §II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SymmetryKind {
+    /// Fully-differential or complementary pair: `V1 + V2 = α`.
+    ComplementarySum {
+        /// The constant (e.g. `2·Vcm` for FD signals).
+        alpha: f64,
+    },
+    /// Identical, duplicated, or pseudo-duplicated blocks driven with the
+    /// same input: `V1 − V2 = 0`.
+    ReplicaDifference,
+}
+
+/// One declared invariance between two circuit nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeInvariance {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// First node.
+    pub a: NodeId,
+    /// Second node.
+    pub b: NodeId,
+    /// Which symmetry.
+    pub kind: SymmetryKind,
+}
+
+impl NodeInvariance {
+    /// Declares a complementary-sum invariance `v(a) + v(b) = alpha`.
+    pub fn complementary(name: impl Into<String>, a: NodeId, b: NodeId, alpha: f64) -> Self {
+        Self {
+            name: name.into(),
+            a,
+            b,
+            kind: SymmetryKind::ComplementarySum { alpha },
+        }
+    }
+
+    /// Declares a replica invariance `v(a) − v(b) = 0`.
+    pub fn replica(name: impl Into<String>, a: NodeId, b: NodeId) -> Self {
+        Self {
+            name: name.into(),
+            a,
+            b,
+            kind: SymmetryKind::ReplicaDifference,
+        }
+    }
+
+    /// Raw deviation of the invariant signal on a solved instance.
+    pub fn deviation(&self, op: &symbist_circuit::dc::Operating) -> f64 {
+        match self.kind {
+            SymmetryKind::ComplementarySum { alpha } => {
+                op.voltage(self.a) + op.voltage(self.b) - alpha
+            }
+            SymmetryKind::ReplicaDifference => op.voltage(self.a) - op.voltage(self.b),
+        }
+    }
+}
+
+/// Outcome of checking one instance.
+#[derive(Debug, Clone)]
+pub struct GenericCheck {
+    /// Overall 1-bit verdict.
+    pub pass: bool,
+    /// Per-invariance `(raw deviation, pass)`.
+    pub details: Vec<(f64, bool)>,
+}
+
+/// A calibrated generic SymBIST checker.
+#[derive(Debug, Clone)]
+pub struct GenericBist {
+    invariances: Vec<NodeInvariance>,
+    means: Vec<f64>,
+    windows: Vec<WindowComparator>,
+    solver: DcSolver,
+}
+
+impl GenericBist {
+    /// Calibrates windows `δ = k·σ` over `samples` Monte-Carlo instances
+    /// produced by `sampler` (a closure returning a perturbed netlist).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC-solve failures of the Monte-Carlo instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no invariances are given, `samples < 2`, or `k <= 0`.
+    pub fn calibrate(
+        invariances: Vec<NodeInvariance>,
+        k: f64,
+        samples: usize,
+        rng: &mut Rng,
+        mut sampler: impl FnMut(&mut Rng) -> Netlist,
+    ) -> Result<Self, CircuitError> {
+        assert!(!invariances.is_empty(), "no invariances declared");
+        assert!(samples >= 2, "need at least 2 MC samples");
+        assert!(k > 0.0, "k must be positive");
+        let solver = DcSolver::new();
+        let mut pooled: Vec<Vec<f64>> = vec![Vec::with_capacity(samples); invariances.len()];
+        for _ in 0..samples {
+            let instance = sampler(rng);
+            let op = solver.solve(&instance)?;
+            for (inv, pool) in invariances.iter().zip(&mut pooled) {
+                pool.push(inv.deviation(&op));
+            }
+        }
+        let mut means = Vec::with_capacity(invariances.len());
+        let mut windows = Vec::with_capacity(invariances.len());
+        for pool in &pooled {
+            let s = summary(pool);
+            means.push(s.mean);
+            windows.push(WindowComparator::new(k * s.std.max(1e-9)));
+        }
+        Ok(Self {
+            invariances,
+            means,
+            windows,
+            solver,
+        })
+    }
+
+    /// The declared invariances.
+    pub fn invariances(&self) -> &[NodeInvariance] {
+        &self.invariances
+    }
+
+    /// The calibrated window half-widths.
+    pub fn deltas(&self) -> Vec<f64> {
+        self.windows.iter().map(|w| w.delta()).collect()
+    }
+
+    /// Checks one instance: DC-solves it and applies every window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC-solve failures (an unsolvable defective instance is a
+    /// *detection* in a campaign context; the caller decides).
+    pub fn check(&self, netlist: &Netlist) -> Result<GenericCheck, CircuitError> {
+        let op = self.solver.solve(netlist)?;
+        let mut details = Vec::with_capacity(self.invariances.len());
+        let mut pass = true;
+        for ((inv, mean), window) in self
+            .invariances
+            .iter()
+            .zip(&self.means)
+            .zip(&self.windows)
+        {
+            let dev = inv.deviation(&op);
+            let ok = window.check(dev - mean);
+            pass &= ok;
+            details.push((dev, ok));
+        }
+        Ok(GenericCheck { pass, details })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbist_circuit::mc::MismatchSpec;
+    use symbist_circuit::netlist::DeviceId;
+
+    /// Fully-differential pair of inverting stages around Vcm = 0.6.
+    fn fd_stage() -> (Netlist, NodeId, NodeId, Vec<DeviceId>) {
+        let vcm = 0.6;
+        let mut nl = Netlist::new();
+        let inp = nl.node("inp");
+        let inn = nl.node("inn");
+        let outp = nl.node("outp");
+        let outn = nl.node("outn");
+        let cm = nl.node("cm");
+        nl.vsource(inp, Netlist::GND, vcm + 0.05);
+        nl.vsource(inn, Netlist::GND, vcm - 0.05);
+        nl.vsource(cm, Netlist::GND, vcm);
+        let mut resistors = Vec::new();
+        for (input, output) in [(inp, outn), (inn, outp)] {
+            let virt = nl.fresh_node();
+            resistors.push(nl.resistor(input, virt, 10e3));
+            resistors.push(nl.resistor(virt, output, 20e3));
+            nl.vcvs(output, cm, cm, virt, 1e4);
+        }
+        (nl, outp, outn, resistors)
+    }
+
+    fn fd_bist() -> (GenericBist, Netlist, Vec<DeviceId>) {
+        let (template, outp, outn, resistors) = fd_stage();
+        let inv = vec![NodeInvariance::complementary("outp+outn=2Vcm", outp, outn, 1.2)];
+        let mut rng = Rng::seed_from_u64(3);
+        let tmpl = template.clone();
+        let bist = GenericBist::calibrate(inv, 5.0, 150, &mut rng, move |rng| {
+            let mut spec = MismatchSpec::empty();
+            spec.vary_all_resistors(&tmpl, 0.005);
+            spec.perturb(&tmpl, rng)
+        })
+        .unwrap();
+        (bist, template, resistors)
+    }
+
+    #[test]
+    fn healthy_fd_stage_passes() {
+        let (bist, template, _) = fd_bist();
+        let check = bist.check(&template).unwrap();
+        assert!(check.pass);
+        assert_eq!(check.details.len(), 1);
+        // Finite loop gain and gmin leave a sub-µV residue.
+        assert!(check.details[0].0.abs() < 1e-6);
+        // Window is millivolt-scale (5σ of 0.5% resistor mismatch).
+        assert!(bist.deltas()[0] < 0.05);
+    }
+
+    #[test]
+    fn paper_defect_model_detected_on_fd_stage() {
+        let (bist, template, resistors) = fd_bist();
+        use symbist_circuit::netlist::Device;
+        // ±50% on a feedback resistor — the mildest class of the paper's
+        // defect model — must violate the complementary sum.
+        let mut bad = template.clone();
+        if let Device::Resistor { ohms, .. } = bad.device_mut(resistors[1]) {
+            *ohms *= 1.5;
+        }
+        let check = bist.check(&bad).unwrap();
+        assert!(!check.pass, "dev {:?}", check.details);
+    }
+
+    #[test]
+    fn replica_symmetry_detects_divergence() {
+        let build = |r_fault: Option<f64>| {
+            let mut nl = Netlist::new();
+            let s = nl.node("src");
+            let a = nl.node("a");
+            let b = nl.node("b");
+            nl.vsource(s, Netlist::GND, 1.2);
+            nl.resistor(s, a, 2e3);
+            nl.resistor(a, Netlist::GND, 1e3);
+            nl.resistor(s, b, r_fault.unwrap_or(2e3));
+            nl.resistor(b, Netlist::GND, 1e3);
+            nl
+        };
+        let template = build(None);
+        let inv = vec![NodeInvariance::replica(
+            "a = b",
+            template.find_node("a").unwrap(),
+            template.find_node("b").unwrap(),
+        )];
+        let mut rng = Rng::seed_from_u64(9);
+        let tmpl = template.clone();
+        let bist = GenericBist::calibrate(inv, 5.0, 100, &mut rng, move |rng| {
+            let mut spec = MismatchSpec::empty();
+            spec.vary_all_resistors(&tmpl, 0.003);
+            spec.perturb(&tmpl, rng)
+        })
+        .unwrap();
+        assert!(bist.check(&build(None)).unwrap().pass);
+        // One replica's resistor at +50%: the difference blows the window.
+        assert!(!bist.check(&build(Some(3e3))).unwrap().pass);
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let (a, _, _) = fd_bist();
+        let (b, _, _) = fd_bist();
+        assert_eq!(a.deltas(), b.deltas());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_invariances_panic() {
+        let mut rng = Rng::seed_from_u64(0);
+        let _ = GenericBist::calibrate(vec![], 5.0, 10, &mut rng, |_| Netlist::new());
+    }
+}

@@ -1,0 +1,80 @@
+//! The SymBIST test stimulus (paper §IV-2).
+//!
+//! Two parts: a *static* fully-differential DC input `ΔIN` (externally
+//! supplied, value arbitrary but — as the SC-array analysis shows — best
+//! nonzero), and a *dynamic* 5-bit counter that walks all 2⁵ codes through
+//! both sub-DAC inputs (`B<0:4> = B<5:9>`), exercising every DAC
+//! component, every comparison level `VREF[j]`, and the comparator across
+//! its input range.
+
+use symbist_adc::AdcConfig;
+
+/// Stimulus parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StimulusSpec {
+    /// The constant differential DC input in volts.
+    pub din: f64,
+}
+
+impl Default for StimulusSpec {
+    fn default() -> Self {
+        // Nonzero, away from any code threshold, well inside the range.
+        Self { din: 0.2 }
+    }
+}
+
+impl StimulusSpec {
+    /// Creates a stimulus with the given DC input.
+    pub fn new(din: f64) -> Self {
+        Self { din }
+    }
+
+    /// Number of counter codes (2⁵).
+    pub const CODES: u32 = 32;
+
+    /// Validates against a configuration: the DC input must lie inside the
+    /// differential full scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `din` is outside the converter's input range.
+    pub fn validate(&self, cfg: &AdcConfig) {
+        let fs = cfg.diff_full_scale() / 2.0;
+        assert!(
+            self.din.abs() <= fs,
+            "stimulus din {} outside ±{fs}",
+            self.din
+        );
+    }
+
+    /// The counter codes in order.
+    pub fn codes() -> impl Iterator<Item = u8> {
+        0..32u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_nonzero() {
+        let s = StimulusSpec::default();
+        s.validate(&AdcConfig::default());
+        assert!(s.din != 0.0, "see ScArray::cap_short test: din must be nonzero");
+    }
+
+    #[test]
+    fn codes_cover_32() {
+        let v: Vec<u8> = StimulusSpec::codes().collect();
+        assert_eq!(v.len(), 32);
+        assert_eq!(v[0], 0);
+        assert_eq!(v[31], 31);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_din_rejected() {
+        StimulusSpec::new(5.0).validate(&AdcConfig::default());
+    }
+}

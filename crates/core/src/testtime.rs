@@ -1,0 +1,63 @@
+//! Test-time model (paper §IV-5).
+//!
+//! With the sequential schedule the test completes in
+//! `6 · 2⁵ · (1/fclk) = 1.23 µs` at `fclk = 156 MHz`, about 16× the time
+//! to convert one analog input sample (12 clock cycles).
+
+use symbist_adc::AdcConfig;
+
+use crate::session::Schedule;
+
+/// Test-time figures for one schedule/configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestTime {
+    /// Total BIST cycles.
+    pub cycles: u32,
+    /// Wall time in seconds.
+    pub seconds: f64,
+    /// Ratio to one conversion frame.
+    pub conversions_equivalent: f64,
+}
+
+/// Computes the test time of a schedule under a configuration.
+pub fn test_time(cfg: &AdcConfig, schedule: Schedule) -> TestTime {
+    let cycles = schedule.total_cycles();
+    let seconds = cycles as f64 / cfg.fclk;
+    TestTime {
+        cycles,
+        seconds,
+        conversions_equivalent: cycles as f64 / cfg.pulses_per_conversion as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_figures() {
+        let cfg = AdcConfig::default();
+        let t = test_time(&cfg, Schedule::Sequential);
+        assert_eq!(t.cycles, 192);
+        // Paper: 6·2⁵/156 MHz = 1.23 µs.
+        assert!((t.seconds - 1.23e-6).abs() < 0.01e-6, "t = {}", t.seconds);
+        // "about 16x the time to convert one analog input sample".
+        assert!((t.conversions_equivalent - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_is_six_times_shorter() {
+        let cfg = AdcConfig::default();
+        let seq = test_time(&cfg, Schedule::Sequential);
+        let par = test_time(&cfg, Schedule::Parallel);
+        assert!((seq.seconds / par.seconds - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scales_with_clock() {
+        let mut cfg = AdcConfig::default();
+        cfg.fclk = 78e6;
+        let t = test_time(&cfg, Schedule::Sequential);
+        assert!((t.seconds - 2.46e-6).abs() < 0.01e-6);
+    }
+}

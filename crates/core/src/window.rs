@@ -1,0 +1,85 @@
+//! Clocked window comparators (paper §II).
+//!
+//! Each invariance signal is checked against a window `[−δ, δ]` around its
+//! reference, with `δ = k·σ` calibrated by Monte Carlo so that process
+//! variation never flags a healthy device. The comparator is *clocked*:
+//! it samples the deviation only at settled instants (cycle ends), so the
+//! switching glitches visible in Fig. 5 never cause false detections.
+
+/// A window comparator with half-width `δ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowComparator {
+    delta: f64,
+}
+
+impl WindowComparator {
+    /// Creates a comparator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not strictly positive and finite.
+    pub fn new(delta: f64) -> Self {
+        assert!(delta.is_finite() && delta > 0.0, "window half-width must be > 0");
+        Self { delta }
+    }
+
+    /// The window half-width δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Clocked check of a settled deviation: `true` = pass (inside the
+    /// window).
+    pub fn check(&self, deviation: f64) -> bool {
+        deviation.abs() <= self.delta
+    }
+
+    /// Checks a sequence of settled deviations; returns the index of the
+    /// first violation, if any.
+    pub fn first_violation(&self, deviations: impl IntoIterator<Item = f64>) -> Option<usize> {
+        deviations
+            .into_iter()
+            .position(|d| !self.check(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_is_inclusive() {
+        let w = WindowComparator::new(0.01);
+        assert!(w.check(0.0));
+        assert!(w.check(0.01));
+        assert!(w.check(-0.01));
+        assert!(!w.check(0.0100001));
+        assert!(!w.check(-0.02));
+        assert_eq!(w.delta(), 0.01);
+    }
+
+    #[test]
+    fn first_violation_index() {
+        let w = WindowComparator::new(1.0);
+        assert_eq!(w.first_violation([0.1, -0.5, 2.0, 0.0]), Some(2));
+        assert_eq!(w.first_violation([0.1, -0.5]), None);
+    }
+
+    #[test]
+    fn monotone_in_delta() {
+        // A wider window passes a superset of deviations.
+        let narrow = WindowComparator::new(0.1);
+        let wide = WindowComparator::new(0.5);
+        for d in [-0.6, -0.3, -0.05, 0.0, 0.05, 0.3, 0.6] {
+            if narrow.check(d) {
+                assert!(wide.check(d), "wide window must pass {d}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_delta_rejected() {
+        WindowComparator::new(0.0);
+    }
+}

@@ -1,0 +1,377 @@
+//! The defect-simulation campaign runner: the reproduction's equivalent of
+//! Tessent DefectSim's automated flow (paper §V).
+//!
+//! A campaign takes a defect-free DUT, a [`DefectUniverse`], and a test
+//! closure; for each (possibly LWRS-sampled) defect it clones the DUT,
+//! injects the defect, runs the test, and records detection plus wall
+//! time. Work is spread across threads with crossbeam scoped threads —
+//! the paper ran its campaign on a 16-core server — with deterministic
+//! result ordering regardless of scheduling.
+
+use std::time::{Duration, Instant};
+
+use symbist_adc::fault::Faultable;
+use symbist_circuit::rng::Rng;
+
+use crate::coverage::{lw_coverage_exhaustive, lw_coverage_sampled, Coverage};
+use crate::universe::{Defect, DefectUniverse};
+
+/// Result of testing one defective DUT instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestOutcome {
+    /// Whether any checker flagged the defect.
+    pub detected: bool,
+    /// Clock cycle (within the whole BIST run) of first detection.
+    pub detection_cycle: Option<u32>,
+    /// Cycles actually simulated (smaller than the full test length when
+    /// stop-on-detection is active).
+    pub cycles_run: u32,
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// `Some(n)`: draw `n` defects by Likelihood-Weighted Random Sampling
+    /// (LWRS, §V) without replacement. `None`: simulate the entire
+    /// universe.
+    ///
+    /// The sample detection fraction estimates the L-W coverage only while
+    /// `n` is a small fraction of the universe (the paper samples ~9 % of
+    /// SUBDAC defects); at large sampling fractions the without-replacement
+    /// draw exhausts the high-likelihood defects and the estimate drifts
+    /// toward the unweighted coverage. Keep `n/universe` below ~20 %, or
+    /// simulate exhaustively.
+    pub sample_size: Option<usize>,
+    /// RNG seed for the LWRS draw.
+    pub seed: u64,
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        Self {
+            sample_size: None,
+            seed: 0x5EED,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Per-defect campaign record.
+#[derive(Debug, Clone)]
+pub struct DefectRecord {
+    /// The simulated defect.
+    pub defect: Defect,
+    /// Test outcome.
+    pub outcome: TestOutcome,
+    /// Wall-clock simulation time for this defect.
+    pub wall: Duration,
+}
+
+/// Full campaign result.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// One record per simulated defect, in deterministic (sample) order.
+    pub records: Vec<DefectRecord>,
+    /// Size of the underlying universe.
+    pub universe_size: usize,
+    /// Total likelihood of the underlying universe.
+    pub universe_likelihood: f64,
+    /// Whether LWRS sampling was used.
+    pub sampled: bool,
+    /// Total campaign wall time.
+    pub total_wall: Duration,
+}
+
+impl CampaignResult {
+    /// Number of defects simulated.
+    pub fn simulated(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number detected.
+    pub fn detected(&self) -> usize {
+        self.records.iter().filter(|r| r.outcome.detected).count()
+    }
+
+    /// The L-W coverage (with CI when sampled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign simulated nothing.
+    pub fn coverage(&self) -> Coverage {
+        assert!(!self.records.is_empty(), "empty campaign");
+        if self.sampled {
+            lw_coverage_sampled(self.detected(), self.simulated(), self.universe_size)
+        } else {
+            let outcomes: Vec<(f64, bool)> = self
+                .records
+                .iter()
+                .map(|r| (r.defect.likelihood, r.outcome.detected))
+                .collect();
+            lw_coverage_exhaustive(&outcomes)
+        }
+    }
+
+    /// Records of defects that escaped (not detected).
+    pub fn escapes(&self) -> impl Iterator<Item = &DefectRecord> {
+        self.records.iter().filter(|r| !r.outcome.detected)
+    }
+}
+
+/// Runs a campaign.
+///
+/// The test closure receives a DUT clone with the defect already injected;
+/// it must return the [`TestOutcome`]. It is invoked from multiple threads.
+///
+/// # Panics
+///
+/// Panics if the universe is empty or `sample_size` is zero/too large.
+pub fn run_campaign<D, F>(
+    dut: &D,
+    universe: &DefectUniverse,
+    options: &CampaignOptions,
+    test: F,
+) -> CampaignResult
+where
+    D: Faultable + Clone + Send + Sync,
+    F: Fn(&D) -> TestOutcome + Sync,
+{
+    assert!(!universe.is_empty(), "empty defect universe");
+    let start = Instant::now();
+
+    // LWRS draw (or the full universe).
+    let selected: Vec<&Defect> = match options.sample_size {
+        Some(n) => {
+            assert!(n > 0, "sample size must be positive");
+            assert!(
+                n <= universe.len(),
+                "sample size {n} exceeds universe {}",
+                universe.len()
+            );
+            let weights: Vec<f64> = universe.iter().map(|d| d.likelihood).collect();
+            let mut rng = Rng::seed_from_u64(options.seed);
+            let mut idx = rng.weighted_sample_without_replacement(&weights, n);
+            idx.sort_unstable();
+            idx.into_iter().map(|i| &universe.defects()[i]).collect()
+        }
+        None => universe.iter().collect(),
+    };
+
+    let threads = options.threads.max(1).min(selected.len());
+    let mut slots: Vec<Option<DefectRecord>> = vec![None; selected.len()];
+
+    crossbeam::thread::scope(|scope| {
+        let chunk = selected.len().div_ceil(threads);
+        let mut remaining: &mut [Option<DefectRecord>] = &mut slots;
+        for t in 0..threads {
+            let lo = t * chunk;
+            if lo >= selected.len() {
+                break;
+            }
+            let hi = ((t + 1) * chunk).min(selected.len());
+            let (head, tail) = remaining.split_at_mut(hi - lo);
+            remaining = tail;
+            let defects = &selected[lo..hi];
+            let test = &test;
+            scope.spawn(move |_| {
+                for (slot, defect) in head.iter_mut().zip(defects) {
+                    let mut instance = dut.clone();
+                    instance.inject(defect.site);
+                    let t0 = Instant::now();
+                    let outcome = test(&instance);
+                    *slot = Some(DefectRecord {
+                        defect: (*defect).clone(),
+                        outcome,
+                        wall: t0.elapsed(),
+                    });
+                }
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+
+    CampaignResult {
+        records: slots.into_iter().map(|s| s.expect("all slots filled")).collect(),
+        universe_size: universe.len(),
+        universe_likelihood: universe.total_likelihood(),
+        sampled: options.sample_size.is_some(),
+        total_wall: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::likelihood::LikelihoodModel;
+    use symbist_adc::fault::{
+        check_site, BlockKind, ComponentInfo, ComponentKind, DefectSite,
+    };
+
+    /// A toy DUT: detection iff the injected defect is a short.
+    #[derive(Clone)]
+    struct ToyDut {
+        catalog: Vec<ComponentInfo>,
+        injected: Option<DefectSite>,
+    }
+
+    impl ToyDut {
+        fn new(n: usize) -> Self {
+            let catalog = (0..n)
+                .map(|i| ComponentInfo {
+                    block: BlockKind::ScArray,
+                    name: format!("c{i}"),
+                    kind: ComponentKind::Resistor,
+                    area: 1.0 + i as f64,
+                })
+                .collect();
+            Self {
+                catalog,
+                injected: None,
+            }
+        }
+    }
+
+    impl Faultable for ToyDut {
+        fn components(&self) -> &[ComponentInfo] {
+            &self.catalog
+        }
+        fn inject(&mut self, site: DefectSite) {
+            check_site(&self.catalog, site);
+            self.injected = Some(site);
+        }
+        fn clear_defects(&mut self) {
+            self.injected = None;
+        }
+        fn injected(&self) -> Option<DefectSite> {
+            self.injected
+        }
+    }
+
+    fn toy_test(dut: &ToyDut) -> TestOutcome {
+        let detected = dut.injected().map(|s| s.kind.is_short()).unwrap_or(false);
+        TestOutcome {
+            detected,
+            detection_cycle: detected.then_some(3),
+            cycles_run: if detected { 3 } else { 192 },
+        }
+    }
+
+    #[test]
+    fn exhaustive_campaign_covers_all() {
+        let dut = ToyDut::new(4);
+        let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        let res = run_campaign(&dut, &uni, &CampaignOptions::default(), toy_test);
+        assert_eq!(res.simulated(), uni.len());
+        assert!(!res.sampled);
+        // Shorts detected: weight 3 of (3+1+0.5) per component.
+        let cov = res.coverage();
+        assert!((cov.value - 3.0 / 4.5).abs() < 1e-12, "coverage {}", cov.value);
+        assert!(cov.ci_half_width.is_none());
+    }
+
+    #[test]
+    fn sampled_campaign_is_deterministic() {
+        let dut = ToyDut::new(10);
+        let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        let opts = CampaignOptions {
+            sample_size: Some(12),
+            seed: 7,
+            threads: 4,
+        };
+        let a = run_campaign(&dut, &uni, &opts, toy_test);
+        let b = run_campaign(&dut, &uni, &opts, toy_test);
+        assert_eq!(a.simulated(), 12);
+        let names_a: Vec<&str> = a.records.iter().map(|r| r.defect.component_name.as_str()).collect();
+        let names_b: Vec<&str> = b.records.iter().map(|r| r.defect.component_name.as_str()).collect();
+        assert_eq!(names_a, names_b);
+        assert!(a.sampled);
+        assert!(a.coverage().ci_half_width.is_some());
+    }
+
+    #[test]
+    fn sampling_estimates_exhaustive_coverage() {
+        // Average the LWRS estimator over several seeds at a ~10 % sampling
+        // fraction: the mean must approach the exhaustive L-W coverage.
+        let dut = ToyDut::new(100);
+        let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        let exhaustive = run_campaign(&dut, &uni, &CampaignOptions::default(), toy_test)
+            .coverage()
+            .value;
+        let mut acc = 0.0;
+        let seeds = 20;
+        for seed in 0..seeds {
+            let sampled = run_campaign(
+                &dut,
+                &uni,
+                &CampaignOptions {
+                    sample_size: Some(40),
+                    seed,
+                    threads: 2,
+                },
+                toy_test,
+            )
+            .coverage();
+            acc += sampled.value;
+        }
+        let mean = acc / seeds as f64;
+        assert!(
+            (mean - exhaustive).abs() < 0.08,
+            "mean sampled {mean} vs exhaustive {exhaustive}"
+        );
+    }
+
+    #[test]
+    fn stop_on_detection_shortens_cycles() {
+        let dut = ToyDut::new(5);
+        let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        let res = run_campaign(&dut, &uni, &CampaignOptions::default(), toy_test);
+        for r in &res.records {
+            if r.outcome.detected {
+                assert!(r.outcome.cycles_run < 192);
+            } else {
+                assert_eq!(r.outcome.cycles_run, 192);
+            }
+        }
+        // Escapes iterator complements detections.
+        assert_eq!(
+            res.escapes().count() + res.detected(),
+            res.simulated()
+        );
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let dut = ToyDut::new(3);
+        let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        let res = run_campaign(
+            &dut,
+            &uni,
+            &CampaignOptions {
+                threads: 1,
+                ..Default::default()
+            },
+            toy_test,
+        );
+        assert_eq!(res.simulated(), uni.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_sample_panics() {
+        let dut = ToyDut::new(2);
+        let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        run_campaign(
+            &dut,
+            &uni,
+            &CampaignOptions {
+                sample_size: Some(10_000),
+                ..Default::default()
+            },
+            toy_test,
+        );
+    }
+}

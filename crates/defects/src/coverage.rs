@@ -1,0 +1,134 @@
+//! Likelihood-Weighted (L-W) defect coverage and its confidence interval.
+//!
+//! Following the metric reported by Tessent DefectSim (Sunter et al. \[9\])
+//! and used throughout the paper's Table I:
+//!
+//! * **Exhaustive**: `coverage = Σ L_i·detected_i / Σ L_i` over the whole
+//!   universe.
+//! * **LWRS sampling**: defects are drawn with probability proportional to
+//!   likelihood *without replacement*; the plain detection fraction of the
+//!   sample is then an estimator of the L-W coverage, and a 95 % normal
+//!   interval with finite-population correction is attached.
+
+use symbist_analysis::stats::normal_quantile;
+
+/// A coverage figure with optional sampling confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coverage {
+    /// Point estimate in `[0, 1]`.
+    pub value: f64,
+    /// Half-width of the 95 % CI when the campaign sampled (`None` for
+    /// exhaustive campaigns).
+    pub ci_half_width: Option<f64>,
+}
+
+impl Coverage {
+    /// Formats as the paper does: `86.96%±3.67%` or `97.7%`.
+    pub fn to_percent_string(&self) -> String {
+        // Normalize −0.0 so an all-escape block prints as plain 0.00%.
+        let value = if self.value == 0.0 { 0.0 } else { self.value };
+        match self.ci_half_width {
+            Some(hw) => format!("{:.2}%±{:.2}%", value * 100.0, hw * 100.0),
+            None => format!("{:.2}%", value * 100.0),
+        }
+    }
+}
+
+/// Exhaustive L-W coverage over `(likelihood, detected)` outcomes.
+///
+/// # Panics
+///
+/// Panics if `outcomes` is empty or total likelihood is zero.
+pub fn lw_coverage_exhaustive(outcomes: &[(f64, bool)]) -> Coverage {
+    assert!(!outcomes.is_empty(), "no outcomes");
+    let total: f64 = outcomes.iter().map(|(l, _)| *l).sum();
+    assert!(total > 0.0, "zero total likelihood");
+    let detected: f64 = outcomes
+        .iter()
+        .filter(|(_, d)| *d)
+        .map(|(l, _)| *l)
+        .sum();
+    Coverage {
+        value: detected / total,
+        ci_half_width: None,
+    }
+}
+
+/// LWRS estimator: detection fraction of a likelihood-weighted sample of
+/// size `n` drawn from a universe of `population` defects, with 95 % CI
+/// (normal approximation × finite-population correction).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `detected > n`, or `population < n`.
+pub fn lw_coverage_sampled(detected: usize, n: usize, population: usize) -> Coverage {
+    assert!(n > 0, "empty sample");
+    assert!(detected <= n, "detected exceeds sample size");
+    assert!(population >= n, "population smaller than sample");
+    let p = detected as f64 / n as f64;
+    let z = normal_quantile(0.975);
+    let fpc = if population > 1 {
+        (((population - n) as f64) / ((population - 1) as f64)).sqrt()
+    } else {
+        0.0
+    };
+    let hw = z * (p * (1.0 - p) / n as f64).sqrt() * fpc;
+    Coverage {
+        value: p,
+        ci_half_width: Some(hw),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_weighted_mean() {
+        // Detected defect carries 3x likelihood: coverage = 3/4.
+        let c = lw_coverage_exhaustive(&[(3.0, true), (1.0, false)]);
+        assert!((c.value - 0.75).abs() < 1e-12);
+        assert!(c.ci_half_width.is_none());
+        assert_eq!(c.to_percent_string(), "75.00%");
+    }
+
+    #[test]
+    fn undetected_high_likelihood_dominates() {
+        // The paper's low-coverage mechanism: one undetected defect with
+        // huge likelihood drags the L-W figure down even when most defects
+        // are detected.
+        let mut outcomes = vec![(100.0, false)];
+        outcomes.extend(std::iter::repeat_n((1.0, true), 99));
+        let c = lw_coverage_exhaustive(&outcomes);
+        assert!(c.value < 0.5, "L-W coverage {} despite 99% absolute", c.value);
+    }
+
+    #[test]
+    fn sampled_matches_paper_shape() {
+        // SUBDAC1 row of Table I: 112 samples, ~80% detected, universe 1260.
+        let c = lw_coverage_sampled((112.0f64 * 0.8058).round() as usize, 112, 1260);
+        assert!((c.value - 0.8036).abs() < 0.01);
+        let hw = c.ci_half_width.unwrap();
+        assert!((0.05..0.08).contains(&hw), "CI half-width {hw}");
+        assert!(c.to_percent_string().contains('±'));
+    }
+
+    #[test]
+    fn fpc_shrinks_interval_for_large_samples() {
+        let small = lw_coverage_sampled(40, 50, 1000).ci_half_width.unwrap();
+        let big = lw_coverage_sampled(40, 50, 55).ci_half_width.unwrap();
+        assert!(big < small, "near-census CI {big} must beat {small}");
+    }
+
+    #[test]
+    fn census_has_zero_width() {
+        let c = lw_coverage_sampled(9, 10, 10);
+        assert!(c.ci_half_width.unwrap() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_outcomes_panic() {
+        lw_coverage_exhaustive(&[]);
+    }
+}

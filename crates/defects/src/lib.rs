@@ -1,0 +1,39 @@
+//! # symbist-defects — mixed-signal defect model and simulator
+//!
+//! The reproduction's stand-in for Tessent®DefectSim (paper §V): it
+//! enumerates the defect universe of a [`Faultable`] DUT under the paper's
+//! defect model (shorts and opens across transistor and diode terminals,
+//! ±50 % passive variation, 10 Ω short resistance, weak pulls on opens),
+//! weights each defect by a global-class × component-area likelihood,
+//! optionally samples the universe with Likelihood-Weighted Random
+//! Sampling (LWRS), runs the injected instances through a caller-supplied
+//! test across worker threads, and reports Likelihood-Weighted defect
+//! coverage with a 95 % confidence interval — the exact quantities of the
+//! paper's Table I.
+//!
+//! ```
+//! use symbist_adc::{AdcConfig, SarAdc};
+//! use symbist_defects::likelihood::LikelihoodModel;
+//! use symbist_defects::universe::DefectUniverse;
+//!
+//! let adc = SarAdc::new(AdcConfig::default());
+//! let universe = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
+//! assert!(universe.len() > 1000); // thousands of candidate defects
+//! ```
+//!
+//! [`Faultable`]: symbist_adc::fault::Faultable
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod campaign;
+pub mod coverage;
+pub mod likelihood;
+pub mod report;
+pub mod universe;
+
+pub use campaign::{run_campaign, CampaignOptions, CampaignResult, TestOutcome};
+pub use coverage::Coverage;
+pub use likelihood::LikelihoodModel;
+pub use report::CoverageTable;
+pub use universe::{Defect, DefectUniverse};

@@ -1,0 +1,141 @@
+//! Defect likelihood model (paper §V, after Sunter et al. \[9\]).
+//!
+//! Each defect's relative likelihood of occurrence combines a *global
+//! defect-type likelihood* — shorts are more likely than opens, which are
+//! more likely than large parameter shifts — with a *component-specific
+//! likelihood* proportional to the component's expected layout area.
+
+use symbist_adc::fault::{ComponentInfo, DefectKind};
+
+/// Global defect-class weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LikelihoodModel {
+    /// Weight of short-class defects (highest, per the paper).
+    pub short_weight: f64,
+    /// Weight of open-class defects.
+    pub open_weight: f64,
+    /// Weight of ±50 % passive variations.
+    pub param_weight: f64,
+}
+
+impl Default for LikelihoodModel {
+    fn default() -> Self {
+        Self {
+            short_weight: 3.0,
+            open_weight: 1.0,
+            param_weight: 0.5,
+        }
+    }
+}
+
+impl LikelihoodModel {
+    /// Relative likelihood of `kind` occurring on `component`.
+    ///
+    /// The class weight is split evenly among the defects of that class on
+    /// the component (a MOSFET's three shorts share the short budget), so
+    /// a component's total likelihood is `area × Σ class weights`
+    /// regardless of how many terminal pairs it has.
+    pub fn likelihood(&self, component: &ComponentInfo, kind: DefectKind) -> f64 {
+        let applicable = component.kind.applicable_defects();
+        let class_count = applicable
+            .iter()
+            .filter(|d| self.same_class(**d, kind))
+            .count()
+            .max(1) as f64;
+        let class_weight = if kind.is_short() {
+            self.short_weight
+        } else if kind.is_open() {
+            self.open_weight
+        } else {
+            self.param_weight
+        };
+        component.area * class_weight / class_count
+    }
+
+    fn same_class(&self, a: DefectKind, b: DefectKind) -> bool {
+        (a.is_short() && b.is_short())
+            || (a.is_open() && b.is_open())
+            || (a.is_param() && b.is_param())
+    }
+
+    /// Validates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or all are zero.
+    pub fn validate(&self) {
+        assert!(
+            self.short_weight >= 0.0 && self.open_weight >= 0.0 && self.param_weight >= 0.0,
+            "weights must be non-negative"
+        );
+        assert!(
+            self.short_weight + self.open_weight + self.param_weight > 0.0,
+            "at least one weight must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbist_adc::fault::{BlockKind, ComponentKind};
+
+    fn mos() -> ComponentInfo {
+        ComponentInfo {
+            block: BlockKind::ScArray,
+            name: "m".into(),
+            kind: ComponentKind::Mosfet,
+            area: 2.0,
+        }
+    }
+
+    fn res() -> ComponentInfo {
+        ComponentInfo {
+            block: BlockKind::ScArray,
+            name: "r".into(),
+            kind: ComponentKind::Resistor,
+            area: 4.0,
+        }
+    }
+
+    #[test]
+    fn shorts_outweigh_opens() {
+        let m = LikelihoodModel::default();
+        assert!(m.likelihood(&mos(), DefectKind::ShortDs) > m.likelihood(&mos(), DefectKind::OpenGate));
+    }
+
+    #[test]
+    fn area_scales_likelihood() {
+        let m = LikelihoodModel::default();
+        let small = mos();
+        let mut big = mos();
+        big.area = 10.0;
+        assert!(
+            m.likelihood(&big, DefectKind::ShortDs) > m.likelihood(&small, DefectKind::ShortDs)
+        );
+    }
+
+    #[test]
+    fn class_budget_is_split_across_terminal_pairs() {
+        let m = LikelihoodModel::default();
+        // MOS: 3 shorts share the budget; resistor: 1 short gets it all.
+        let mos_total: f64 = [DefectKind::ShortGd, DefectKind::ShortGs, DefectKind::ShortDs]
+            .iter()
+            .map(|k| m.likelihood(&mos(), *k))
+            .sum();
+        assert!((mos_total - 2.0 * 3.0).abs() < 1e-12);
+        let r_short = m.likelihood(&res(), DefectKind::Short);
+        assert!((r_short - 4.0 * 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_zero_weights_rejected() {
+        LikelihoodModel {
+            short_weight: 0.0,
+            open_weight: 0.0,
+            param_weight: 0.0,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,172 @@
+//! Per-block campaign reporting: the machinery behind the paper's Table I.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use symbist_adc::fault::BlockKind;
+
+use crate::campaign::CampaignResult;
+use crate::coverage::Coverage;
+
+/// One row of a Table-I-style report.
+#[derive(Debug, Clone)]
+pub struct BlockRow {
+    /// Block (or aggregate) label.
+    pub label: String,
+    /// Total defects in the block's universe.
+    pub total_defects: usize,
+    /// Defects simulated.
+    pub simulated: usize,
+    /// Defect simulation time.
+    pub sim_time: Duration,
+    /// L-W coverage (with CI when sampled).
+    pub coverage: Coverage,
+}
+
+/// A Table-I-style report: one row per block plus the aggregate.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageTable {
+    rows: Vec<BlockRow>,
+}
+
+impl CoverageTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a row built from a block campaign.
+    pub fn push_block(&mut self, block: BlockKind, result: &CampaignResult) {
+        self.rows.push(BlockRow {
+            label: block.label().to_string(),
+            total_defects: result.universe_size,
+            simulated: result.simulated(),
+            sim_time: result.total_wall,
+            coverage: result.coverage(),
+        });
+    }
+
+    /// Appends an aggregate row (e.g. "Complete A/M-S part of SAR ADC IP").
+    pub fn push_aggregate(&mut self, label: &str, result: &CampaignResult) {
+        self.rows.push(BlockRow {
+            label: label.to_string(),
+            total_defects: result.universe_size,
+            simulated: result.simulated(),
+            sim_time: result.total_wall,
+            coverage: result.coverage(),
+        });
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[BlockRow] {
+        &self.rows
+    }
+
+    /// Renders a fixed-width text table matching the paper's columns:
+    /// block, #defects, #simulated, simulation time, L-W coverage.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<38} {:>9} {:>11} {:>12} {:>18}",
+            "A/M-S blocks", "#Defects", "#Simulated", "Sim time (s)", "L-W coverage"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(93));
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<38} {:>9} {:>11} {:>12.2} {:>18}",
+                r.label,
+                r.total_defects,
+                r.simulated,
+                r.sim_time.as_secs_f64(),
+                r.coverage.to_percent_string()
+            );
+        }
+        out
+    }
+
+    /// Renders CSV (for EXPERIMENTS.md and plotting).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("block,defects,simulated,sim_time_s,coverage,ci_half_width\n");
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.4},{:.6},{}",
+                r.label,
+                r.total_defects,
+                r.simulated,
+                r.sim_time.as_secs_f64(),
+                r.coverage.value,
+                r.coverage
+                    .ci_half_width
+                    .map(|h| format!("{h:.6}"))
+                    .unwrap_or_default()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{DefectRecord, TestOutcome};
+    use crate::universe::Defect;
+    use symbist_adc::fault::{DefectKind, DefectSite};
+
+    fn fake_result(detected: &[bool]) -> CampaignResult {
+        let records = detected
+            .iter()
+            .enumerate()
+            .map(|(i, d)| DefectRecord {
+                defect: Defect {
+                    site: DefectSite {
+                        component: i,
+                        kind: DefectKind::Short,
+                    },
+                    component_name: format!("c{i}"),
+                    block: BlockKind::ScArray,
+                    likelihood: 1.0,
+                },
+                outcome: TestOutcome {
+                    detected: *d,
+                    detection_cycle: d.then_some(1),
+                    cycles_run: 10,
+                },
+                wall: Duration::from_millis(5),
+            })
+            .collect();
+        CampaignResult {
+            records,
+            universe_size: detected.len(),
+            universe_likelihood: detected.len() as f64,
+            sampled: false,
+            total_wall: Duration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let mut t = CoverageTable::new();
+        t.push_block(BlockKind::ScArray, &fake_result(&[true, true, false]));
+        t.push_aggregate("Complete A/M-S part", &fake_result(&[true, false]));
+        let text = t.to_text();
+        assert!(text.contains("SC Array"));
+        assert!(text.contains("Complete A/M-S part"));
+        assert!(text.contains("66.67%"));
+        assert!(text.contains("50.00%"));
+        assert_eq!(t.rows().len(), 2);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = CoverageTable::new();
+        t.push_block(BlockKind::ScArray, &fake_result(&[true]));
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("block,"));
+        assert!(lines[1].starts_with("SC Array,1,1,"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Defect-universe extraction: every applicable defect on every physical
+//! component of a [`Faultable`] DUT.
+
+use symbist_adc::fault::{BlockKind, DefectSite, Faultable};
+
+use crate::likelihood::LikelihoodModel;
+
+/// One enumerated defect with its metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Defect {
+    /// Where and what.
+    pub site: DefectSite,
+    /// Hierarchical component name (for reports).
+    pub component_name: String,
+    /// Owning block (Table I row).
+    pub block: BlockKind,
+    /// Relative likelihood of occurrence.
+    pub likelihood: f64,
+}
+
+/// The complete defect universe of a DUT.
+#[derive(Debug, Clone, Default)]
+pub struct DefectUniverse {
+    defects: Vec<Defect>,
+}
+
+impl DefectUniverse {
+    /// Enumerates all defects of `dut` under `model`.
+    pub fn enumerate(dut: &impl Faultable, model: &LikelihoodModel) -> Self {
+        model.validate();
+        let mut defects = Vec::new();
+        for (idx, comp) in dut.components().iter().enumerate() {
+            for kind in comp.kind.applicable_defects() {
+                defects.push(Defect {
+                    site: DefectSite {
+                        component: idx,
+                        kind: *kind,
+                    },
+                    component_name: comp.name.clone(),
+                    block: comp.block,
+                    likelihood: model.likelihood(comp, *kind),
+                });
+            }
+        }
+        Self { defects }
+    }
+
+    /// Number of defects.
+    pub fn len(&self) -> usize {
+        self.defects.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.defects.is_empty()
+    }
+
+    /// The defects.
+    pub fn defects(&self) -> &[Defect] {
+        &self.defects
+    }
+
+    /// Iterator over the defects.
+    pub fn iter(&self) -> impl Iterator<Item = &Defect> {
+        self.defects.iter()
+    }
+
+    /// Sum of all likelihoods.
+    pub fn total_likelihood(&self) -> f64 {
+        self.defects.iter().map(|d| d.likelihood).sum()
+    }
+
+    /// The sub-universe of one block (a Table I row).
+    pub fn filter_block(&self, block: BlockKind) -> DefectUniverse {
+        DefectUniverse {
+            defects: self
+                .defects
+                .iter()
+                .filter(|d| d.block == block)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Builds a universe from an explicit defect list (used by tests and
+    /// by the campaign resampler).
+    pub fn from_defects(defects: Vec<Defect>) -> Self {
+        Self { defects }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbist_adc::{AdcConfig, SarAdc};
+
+    #[test]
+    fn universe_counts_match_defect_model() {
+        let adc = SarAdc::new(AdcConfig::default());
+        let uni = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
+        // Every component contributes exactly its applicable defects.
+        let expect: usize = adc
+            .components()
+            .iter()
+            .map(|c| c.kind.applicable_defects().len())
+            .sum();
+        assert_eq!(uni.len(), expect);
+        // Same order of magnitude as the paper's 2956 for the same IP.
+        assert!(uni.len() > 1500 && uni.len() < 8000, "universe size {}", uni.len());
+    }
+
+    #[test]
+    fn block_filter_partitions_universe() {
+        let adc = SarAdc::new(AdcConfig::default());
+        let uni = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
+        let total: usize = BlockKind::ALL
+            .iter()
+            .map(|b| uni.filter_block(*b).len())
+            .sum();
+        assert_eq!(total, uni.len());
+        assert!(!uni.filter_block(BlockKind::ScArray).is_empty());
+    }
+
+    #[test]
+    fn likelihoods_positive_and_finite() {
+        let adc = SarAdc::new(AdcConfig::default());
+        let uni = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
+        for d in uni.iter() {
+            assert!(d.likelihood > 0.0 && d.likelihood.is_finite(), "{d:?}");
+        }
+        assert!(uni.total_likelihood() > 0.0);
+    }
+
+    #[test]
+    fn subdacs_dominate_the_universe() {
+        // As in the paper (1260 of 2956 per sub-DAC), the tap muxes carry
+        // most of the defect population.
+        let adc = SarAdc::new(AdcConfig::default());
+        let uni = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
+        let sd = uni.filter_block(BlockKind::SubDac1).len();
+        assert!(
+            sd as f64 > uni.len() as f64 * 0.3,
+            "SUBDAC1 has {sd} of {}",
+            uni.len()
+        );
+    }
+}

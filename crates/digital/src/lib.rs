@@ -1,0 +1,39 @@
+//! # symbist-digital — the "standard digital BIST" half of Fig. 1
+//!
+//! The SymBIST paper divides the IP into A/M-S blocks (covered by the
+//! symmetry invariances) and purely digital blocks — SAR Control, Phase
+//! Generator, SAR Logic — which "are tested with standard digital BIST,
+//! i.e. with scan insertion and a combination of stuck-at ... ATPG"
+//! (paper §II). This crate supplies that flow from scratch:
+//!
+//! * [`circuit`] — gate-level netlists with levelized simulation,
+//! * [`faults`] — the single stuck-at model and serial fault simulation,
+//! * [`podem`] — deterministic PODEM test generation (5-valued),
+//! * [`atpg`] — the random-then-deterministic flow with fault dropping,
+//! * [`scan`] — full-scan protocol and test-time model,
+//! * [`sar_gates`] — the gate-level SAR digital core itself.
+//!
+//! ```
+//! use symbist_digital::atpg::{run_atpg, AtpgOptions};
+//! use symbist_digital::sar_gates::build_sar_logic;
+//!
+//! let (circuit, _) = build_sar_logic();
+//! let result = run_atpg(&circuit, &AtpgOptions::default());
+//! assert!(result.testable_coverage() > 0.99);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod atpg;
+pub mod circuit;
+pub mod faults;
+pub mod podem;
+pub mod sar_gates;
+pub mod scan;
+
+pub use atpg::{run_atpg, AtpgOptions, AtpgResult};
+pub use circuit::{GateCircuit, GateKind, Net};
+pub use faults::{fault_universe, Pattern, StuckAt};
+pub use podem::{Podem, PodemOutcome};
+pub use scan::ScanChain;

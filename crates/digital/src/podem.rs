@@ -1,0 +1,441 @@
+//! PODEM — path-oriented decision making, the classic deterministic ATPG
+//! for combinational (full-scan) circuits.
+//!
+//! The engine works on the scan view of a [`GateCircuit`]: controllable
+//! sources are the primary inputs plus the flip-flop outputs, observable
+//! sinks are the primary outputs plus the flip-flop inputs. Five-valued
+//! reasoning is carried as a (good, faulty) pair of three-valued signals,
+//! so `D = (1,0)` and `D̄ = (0,1)` fall out naturally.
+
+use crate::circuit::{GateCircuit, GateKind, Net};
+use crate::faults::{Pattern, StuckAt};
+
+/// Three-valued signal: `None` is X.
+type T3 = Option<bool>;
+
+/// Five-valued net state as a (good, faulty) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct V5 {
+    good: T3,
+    bad: T3,
+}
+
+impl V5 {
+    fn known_d(self) -> bool {
+        matches!(
+            (self.good, self.bad),
+            (Some(g), Some(b)) if g != b
+        )
+    }
+}
+
+fn eval3(kind: GateKind, inputs: &[T3]) -> T3 {
+    match kind {
+        GateKind::And | GateKind::Nand => {
+            let v = if inputs.iter().any(|x| *x == Some(false)) {
+                Some(false)
+            } else if inputs.iter().all(|x| *x == Some(true)) {
+                Some(true)
+            } else {
+                None
+            };
+            if kind == GateKind::Nand {
+                v.map(|b| !b)
+            } else {
+                v
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let v = if inputs.iter().any(|x| *x == Some(true)) {
+                Some(true)
+            } else if inputs.iter().all(|x| *x == Some(false)) {
+                Some(false)
+            } else {
+                None
+            };
+            if kind == GateKind::Nor {
+                v.map(|b| !b)
+            } else {
+                v
+            }
+        }
+        GateKind::Xor => match (inputs[0], inputs[1]) {
+            (Some(a), Some(b)) => Some(a ^ b),
+            _ => None,
+        },
+        GateKind::Xnor => match (inputs[0], inputs[1]) {
+            (Some(a), Some(b)) => Some(!(a ^ b)),
+            _ => None,
+        },
+        GateKind::Inv => inputs[0].map(|b| !b),
+        GateKind::Buf => inputs[0],
+    }
+}
+
+/// Result of a PODEM run for one fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PodemOutcome {
+    /// A detecting pattern was found.
+    Test(Pattern),
+    /// The fault is provably untestable (search space exhausted).
+    Untestable,
+    /// The backtrack budget ran out before a verdict.
+    Aborted,
+}
+
+/// PODEM test generator.
+#[derive(Debug, Clone)]
+pub struct Podem {
+    /// Maximum backtracks before aborting a fault.
+    pub max_backtracks: usize,
+}
+
+impl Default for Podem {
+    fn default() -> Self {
+        Self {
+            max_backtracks: 2000,
+        }
+    }
+}
+
+struct Frame<'a> {
+    circuit: &'a GateCircuit,
+    fault: StuckAt,
+    /// Controllable source nets (PIs then FF Qs).
+    sources: Vec<Net>,
+    /// Observable sink nets (POs then FF Ds).
+    sinks: Vec<Net>,
+    /// Current source assignments (index-parallel to `sources`).
+    assign: Vec<T3>,
+    /// Net states after implication.
+    values: Vec<V5>,
+    /// Driver gate per net.
+    driver: Vec<Option<usize>>,
+}
+
+impl Frame<'_> {
+    fn imply(&mut self) {
+        let n = self.circuit.net_count();
+        self.values = vec![V5::default(); n];
+        for (net, v) in self.sources.iter().zip(&self.assign) {
+            self.values[net.index()] = V5 { good: *v, bad: *v };
+        }
+        // Fault forcing on the bad machine.
+        let f = self.fault;
+        let force = |values: &mut Vec<V5>| {
+            values[f.net.index()].bad = Some(f.value);
+        };
+        force(&mut self.values);
+        let mut good_buf: Vec<T3> = Vec::with_capacity(8);
+        let mut bad_buf: Vec<T3> = Vec::with_capacity(8);
+        for &gi in self.circuit.order() {
+            let g = &self.circuit.gates()[gi];
+            good_buf.clear();
+            bad_buf.clear();
+            for inp in &g.inputs {
+                good_buf.push(self.values[inp.index()].good);
+                bad_buf.push(self.values[inp.index()].bad);
+            }
+            self.values[g.output.index()] = V5 {
+                good: eval3(g.kind, &good_buf),
+                bad: eval3(g.kind, &bad_buf),
+            };
+            force(&mut self.values);
+        }
+    }
+
+    fn fault_activated(&self) -> bool {
+        self.values[self.fault.net.index()].good == Some(!self.fault.value)
+    }
+
+    fn fault_possibly_activatable(&self) -> bool {
+        self.values[self.fault.net.index()].good != Some(self.fault.value)
+    }
+
+    fn d_at_sink(&self) -> bool {
+        self.sinks
+            .iter()
+            .any(|n| self.values[n.index()].known_d())
+    }
+
+    /// D-frontier: gates with a known D/D̄ input and an X output (on
+    /// either machine).
+    fn d_frontier(&self) -> Vec<usize> {
+        self.circuit
+            .gates()
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| {
+                let out = self.values[g.output.index()];
+                (out.good.is_none() || out.bad.is_none())
+                    && g.inputs
+                        .iter()
+                        .any(|i| self.values[i.index()].known_d())
+            })
+            .map(|(gi, _)| gi)
+            .collect()
+    }
+
+    /// X-path check: some sink is reachable from a D through X nets —
+    /// approximated as "some D-frontier exists or a D already reached a
+    /// sink".
+    fn propagation_alive(&self) -> bool {
+        self.d_at_sink() || !self.d_frontier().is_empty()
+    }
+
+    /// Picks the next objective `(net, value)`.
+    fn objective(&self) -> Option<(Net, bool)> {
+        if !self.fault_activated() {
+            return Some((self.fault.net, !self.fault.value));
+        }
+        // Advance the first D-frontier gate: set one X input to the
+        // non-controlling value.
+        let frontier = self.d_frontier();
+        let gi = *frontier.first()?;
+        let g = &self.circuit.gates()[gi];
+        let noncontrolling = match g.kind {
+            GateKind::And | GateKind::Nand => true,
+            GateKind::Or | GateKind::Nor => false,
+            // XOR-family and unary gates propagate any known value; aim 0.
+            _ => false,
+        };
+        g.inputs
+            .iter()
+            .find(|i| self.values[i.index()].good.is_none())
+            .map(|i| (*i, noncontrolling))
+    }
+
+    /// Backtraces an objective to an unassigned source, tracking
+    /// inversion parity.
+    fn backtrace(&self, mut net: Net, mut value: bool) -> Option<(usize, bool)> {
+        loop {
+            if let Some(si) = self.sources.iter().position(|s| *s == net) {
+                return if self.assign[si].is_none() {
+                    Some((si, value))
+                } else {
+                    None // already pinned; search is stuck on this path
+                };
+            }
+            let gi = self.driver[net.index()]?;
+            let g = &self.circuit.gates()[gi];
+            let inverted = matches!(
+                g.kind,
+                GateKind::Nand | GateKind::Nor | GateKind::Inv | GateKind::Xnor
+            );
+            if inverted {
+                value = !value;
+            }
+            // Prefer an X input; fall back to the first input.
+            net = *g
+                .inputs
+                .iter()
+                .find(|i| self.values[i.index()].good.is_none())
+                .unwrap_or(&g.inputs[0]);
+        }
+    }
+}
+
+impl Podem {
+    /// Creates a generator with the default backtrack budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to generate a full-scan test for `fault`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is not sealed.
+    pub fn generate(&self, circuit: &GateCircuit, fault: StuckAt) -> PodemOutcome {
+        let mut sources: Vec<Net> = circuit.inputs().to_vec();
+        sources.extend(circuit.ffs().iter().map(|f| f.q));
+        let mut sinks: Vec<Net> = circuit.outputs().to_vec();
+        sinks.extend(circuit.ffs().iter().map(|f| f.d));
+        let mut driver = vec![None; circuit.net_count()];
+        for (gi, g) in circuit.gates().iter().enumerate() {
+            driver[g.output.index()] = Some(gi);
+        }
+        let n_sources = sources.len();
+        let mut frame = Frame {
+            circuit,
+            fault,
+            sources,
+            sinks,
+            assign: vec![None; n_sources],
+            values: Vec::new(),
+            driver,
+        };
+        frame.imply();
+
+        // Decision stack: (source index, tried-both-values?).
+        let mut stack: Vec<(usize, bool)> = Vec::new();
+        let mut backtracks = 0usize;
+
+        loop {
+            let success = frame.fault_activated() && frame.d_at_sink();
+            if success {
+                let pi_len = circuit.inputs().len();
+                let pi = (0..pi_len)
+                    .map(|i| frame.assign[i].unwrap_or(false))
+                    .collect();
+                let state = (pi_len..frame.assign.len())
+                    .map(|i| frame.assign[i].unwrap_or(false))
+                    .collect();
+                return PodemOutcome::Test(Pattern { pi, state });
+            }
+
+            // Dead ends: activation impossible, or (once activated) the
+            // fault effect can no longer reach any sink. Before activation
+            // there is no D to propagate, so only the first check applies.
+            let dead = if frame.fault_activated() {
+                !frame.propagation_alive()
+            } else {
+                !frame.fault_possibly_activatable()
+            };
+            let next_decision = if dead {
+                None
+            } else {
+                frame
+                    .objective()
+                    .and_then(|(net, val)| frame.backtrace(net, val))
+            };
+
+            match next_decision {
+                Some((si, val)) => {
+                    frame.assign[si] = Some(val);
+                    stack.push((si, false));
+                    frame.imply();
+                }
+                None => {
+                    // Backtrack.
+                    loop {
+                        match stack.pop() {
+                            None => return PodemOutcome::Untestable,
+                            Some((si, true)) => {
+                                frame.assign[si] = None;
+                            }
+                            Some((si, false)) => {
+                                let flipped = !frame.assign[si].unwrap();
+                                frame.assign[si] = Some(flipped);
+                                stack.push((si, true));
+                                backtracks += 1;
+                                if backtracks > self.max_backtracks {
+                                    return PodemOutcome::Aborted;
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    frame.imply();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{detects, fault_universe};
+
+    fn c17_like() -> GateCircuit {
+        // A small NAND network in the spirit of ISCAS c17.
+        let mut c = GateCircuit::new();
+        let i1 = c.input("i1");
+        let i2 = c.input("i2");
+        let i3 = c.input("i3");
+        let i4 = c.input("i4");
+        let i5 = c.input("i5");
+        let n1 = c.g(GateKind::Nand, &[i1, i3]);
+        let n2 = c.g(GateKind::Nand, &[i3, i4]);
+        let n3 = c.g(GateKind::Nand, &[i2, n2]);
+        let n4 = c.g(GateKind::Nand, &[n2, i5]);
+        let o1 = c.g(GateKind::Nand, &[n1, n3]);
+        let o2 = c.g(GateKind::Nand, &[n3, n4]);
+        c.output(o1);
+        c.output(o2);
+        c.seal();
+        c
+    }
+
+    #[test]
+    fn podem_tests_are_valid() {
+        let c = c17_like();
+        let podem = Podem::new();
+        let mut tested = 0;
+        for fault in fault_universe(&c) {
+            match podem.generate(&c, fault) {
+                PodemOutcome::Test(p) => {
+                    assert!(
+                        detects(&c, &p, fault),
+                        "PODEM produced a non-detecting pattern for {fault}"
+                    );
+                    tested += 1;
+                }
+                PodemOutcome::Untestable => {}
+                PodemOutcome::Aborted => panic!("aborted on tiny circuit: {fault}"),
+            }
+        }
+        // c17 is fully testable.
+        assert_eq!(tested, fault_universe(&c).len(), "all faults testable");
+    }
+
+    #[test]
+    fn detects_redundant_fault_as_untestable() {
+        // o = a AND !a is constant 0: output sa0 is untestable.
+        let mut c = GateCircuit::new();
+        let a = c.input("a");
+        let na = c.g(GateKind::Inv, &[a]);
+        let o = c.g(GateKind::And, &[a, na]);
+        c.output(o);
+        c.seal();
+        let outcome = Podem::new().generate(
+            &c,
+            StuckAt {
+                net: o,
+                value: false,
+            },
+        );
+        assert_eq!(outcome, PodemOutcome::Untestable);
+    }
+
+    #[test]
+    fn scan_state_used_as_control() {
+        // The fault is only testable through a flip-flop output.
+        let mut c = GateCircuit::new();
+        let a = c.input("a");
+        let q = c.net("q");
+        let o = c.g(GateKind::And, &[a, q]);
+        c.dff(o, q);
+        c.output(o);
+        c.seal();
+        let fault = StuckAt {
+            net: o,
+            value: false,
+        };
+        match Podem::new().generate(&c, fault) {
+            PodemOutcome::Test(p) => {
+                assert!(detects(&c, &p, fault));
+                // The scan bit must be 1 for the AND to pass a 1.
+                assert!(p.state[0] && p.pi[0]);
+            }
+            other => panic!("expected a test, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xor_paths_are_navigable() {
+        let mut c = GateCircuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let x = c.g(GateKind::Xor, &[a, b]);
+        c.output(x);
+        c.seal();
+        for fault in fault_universe(&c) {
+            match Podem::new().generate(&c, fault) {
+                PodemOutcome::Test(p) => assert!(detects(&c, &p, fault)),
+                other => panic!("{fault}: {other:?}"),
+            }
+        }
+    }
+}

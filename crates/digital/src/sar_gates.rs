@@ -1,0 +1,207 @@
+//! Gate-level model of the IP's purely digital blocks: the 12-state
+//! sequencer (SAR Control / Phase Generator) and the 10-bit successive-
+//! approximation register with its output latch (SAR Logic).
+//!
+//! Paper Fig. 1 assigns these blocks to "standard digital BIST, i.e. scan
+//! insertion and ... ATPG"; this module provides the netlist that flow
+//! runs on, and a functional model precise enough to cross-check against
+//! the behavioral `SarLogic` used by the analog conversion loop.
+
+use crate::circuit::{GateCircuit, GateKind, Net};
+
+/// Resolution of the register.
+pub const BITS: usize = 10;
+/// Sequencer states (P<0:11>).
+pub const STATES: usize = 12;
+
+/// Handles into the SAR gate-level netlist.
+#[derive(Debug, Clone)]
+pub struct SarHandles {
+    /// PI: comparator decision ("level above input").
+    pub cmp: Net,
+    /// PO: trial code presented to the DAC, LSB first.
+    pub trial: Vec<Net>,
+    /// PO: captured output code D<0:9>, LSB first.
+    pub dout: Vec<Net>,
+    /// PO: sampling indicator (P0).
+    pub sample: Net,
+    /// PO: capture indicator (P11).
+    pub capture: Net,
+    /// FF index ranges: ring counter then SAR bits then output register.
+    pub ring_ffs: std::ops::Range<usize>,
+    /// SAR register flip-flop indices.
+    pub sar_ffs: std::ops::Range<usize>,
+    /// Output register flip-flop indices.
+    pub out_ffs: std::ops::Range<usize>,
+}
+
+/// Builds the sealed gate-level SAR digital core.
+pub fn build_sar_logic() -> (GateCircuit, SarHandles) {
+    let mut c = GateCircuit::new();
+    let cmp = c.input("cmp");
+
+    // One-hot ring counter: state[i] ← state[i−1 mod 12].
+    let state: Vec<Net> = (0..STATES).map(|i| c.net(&format!("state{i}"))).collect();
+    let ring_start = c.ffs().len();
+    for i in 0..STATES {
+        let prev = state[(i + STATES - 1) % STATES];
+        let d = c.g(GateKind::Buf, &[prev]);
+        c.dff(d, state[i]);
+    }
+    let ring_ffs = ring_start..c.ffs().len();
+
+    let sample = c.g(GateKind::Buf, &[state[0]]);
+    let capture = c.g(GateKind::Buf, &[state[STATES - 1]]);
+    let nsample = c.g(GateKind::Inv, &[sample]);
+    let ncapture = c.g(GateKind::Inv, &[capture]);
+    let ncmp = c.g(GateKind::Inv, &[cmp]);
+
+    // bit_en[b]: bit 9 decided in state 1, bit 0 in state 10.
+    let bit_en: Vec<Net> = (0..BITS)
+        .map(|b| c.g(GateKind::Buf, &[state[1 + (BITS - 1 - b)]]))
+        .collect();
+
+    // SAR register.
+    let q: Vec<Net> = (0..BITS).map(|b| c.net(&format!("q{b}"))).collect();
+    let sar_start = c.ffs().len();
+    for b in 0..BITS {
+        let set = c.g(GateKind::And, &[bit_en[b], ncmp]);
+        let nen = c.g(GateKind::Inv, &[bit_en[b]]);
+        let hold = c.g(GateKind::And, &[nen, q[b]]);
+        let next = c.g(GateKind::Or, &[set, hold]);
+        let gated = c.g(GateKind::And, &[nsample, next]);
+        c.dff(gated, q[b]);
+    }
+    let sar_ffs = sar_start..c.ffs().len();
+
+    // Trial code: decided bits plus the bit under test.
+    let trial: Vec<Net> = (0..BITS)
+        .map(|b| c.g(GateKind::Or, &[q[b], bit_en[b]]))
+        .collect();
+
+    // Output register, loaded at capture.
+    let dout: Vec<Net> = (0..BITS).map(|b| c.net(&format!("d{b}"))).collect();
+    let out_start = c.ffs().len();
+    for b in 0..BITS {
+        let load = c.g(GateKind::And, &[capture, q[b]]);
+        let hold = c.g(GateKind::And, &[ncapture, dout[b]]);
+        let next = c.g(GateKind::Or, &[load, hold]);
+        c.dff(next, dout[b]);
+    }
+    let out_ffs = out_start..c.ffs().len();
+
+    for &t in &trial {
+        c.output(t);
+    }
+    for &d in &dout {
+        c.output(d);
+    }
+    c.output(sample);
+    c.output(capture);
+    c.seal();
+
+    (
+        c,
+        SarHandles {
+            cmp,
+            trial,
+            dout,
+            sample,
+            capture,
+            ring_ffs,
+            sar_ffs,
+            out_ffs,
+        },
+    )
+}
+
+/// Functional run of one conversion frame on the gate-level core.
+///
+/// `comparator(trial_code)` returns `true` when the DAC level for the
+/// trial code is above the input — the same convention as the behavioral
+/// SAR. Returns the captured output code.
+pub fn run_conversion(
+    circuit: &GateCircuit,
+    handles: &SarHandles,
+    mut comparator: impl FnMut(u16) -> bool,
+) -> u16 {
+    // Reset: ring one-hot at state 0 (sample), registers cleared.
+    let mut state = vec![false; circuit.ffs().len()];
+    state[handles.ring_ffs.start] = true;
+
+    for _cycle in 0..STATES {
+        // Read the trial code combinationally (cmp does not affect it).
+        let values = circuit.evaluate(&[false], &state);
+        let trial_code: u16 = handles
+            .trial
+            .iter()
+            .enumerate()
+            .map(|(b, n)| u16::from(values[n.index()]) << b)
+            .sum();
+        let in_bit_cycle =
+            !values[handles.sample.index()] && !values[handles.capture.index()];
+        let cmp = if in_bit_cycle {
+            comparator(trial_code)
+        } else {
+            false
+        };
+        let (_, next) = circuit.tick(&[cmp], &state);
+        state = next;
+    }
+    // The output register updated on the capture tick; read it back.
+    let values = circuit.evaluate(&[false], &state);
+    handles
+        .dout
+        .iter()
+        .enumerate()
+        .map(|(b, n)| u16::from(values[n.index()]) << b)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netlist_statistics() {
+        let (c, h) = build_sar_logic();
+        assert_eq!(c.ffs().len(), STATES + 2 * BITS);
+        assert!(c.gates().len() > 80, "{} gates", c.gates().len());
+        assert_eq!(h.trial.len(), BITS);
+        assert_eq!(h.dout.len(), BITS);
+    }
+
+    #[test]
+    fn binary_search_matches_reference() {
+        let (c, h) = build_sar_logic();
+        for target in [0u16, 1, 17, 511, 512, 613, 777, 1022, 1023] {
+            let got = run_conversion(&c, &h, |trial| trial > target);
+            assert_eq!(got, target, "target {target}");
+        }
+    }
+
+    #[test]
+    fn msb_decided_first() {
+        let (c, h) = build_sar_logic();
+        let mut trials = Vec::new();
+        let _ = run_conversion(&c, &h, |trial| {
+            trials.push(trial);
+            true // always "above" → all bits clear
+        });
+        assert_eq!(trials.len(), BITS);
+        assert_eq!(trials[0], 1 << 9, "first trial is the MSB");
+        assert_eq!(trials[9], 1, "last trial is the LSB");
+        // Always-above drives the code to 0.
+        let got = run_conversion(&c, &h, |_| true);
+        assert_eq!(got, 0);
+        let got = run_conversion(&c, &h, |_| false);
+        assert_eq!(got, 1023);
+    }
+
+    #[test]
+    fn output_register_holds_between_frames() {
+        let (c, h) = build_sar_logic();
+        let first = run_conversion(&c, &h, |trial| trial > 700);
+        assert_eq!(first, 700);
+    }
+}

@@ -1,0 +1,191 @@
+//! Scan insertion and the scan test protocol.
+//!
+//! Full scan stitches every flip-flop into one shift chain; each pattern
+//! is applied as *shift-in (L cycles) → capture (1 cycle) → shift-out
+//! (overlapped with the next shift-in)*. This module models the protocol
+//! and its test time, and verifies patterns end-to-end through the chain
+//! — the "standard digital BIST" half of the paper's Fig. 1.
+
+use crate::circuit::GateCircuit;
+use crate::faults::{Pattern, StuckAt};
+
+/// A full-scan wrapper around a sealed circuit.
+#[derive(Debug, Clone)]
+pub struct ScanChain<'a> {
+    circuit: &'a GateCircuit,
+}
+
+/// Scan test-time model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanTestTime {
+    /// Chain length (flip-flop count).
+    pub chain_length: usize,
+    /// Number of patterns.
+    pub patterns: usize,
+    /// Total clock cycles: `(L + 1)` per pattern plus a final `L`-cycle
+    /// unload.
+    pub cycles: u64,
+    /// Seconds at the given clock.
+    pub seconds: f64,
+}
+
+impl<'a> ScanChain<'a> {
+    /// Wraps a sealed circuit.
+    pub fn new(circuit: &'a GateCircuit) -> Self {
+        Self { circuit }
+    }
+
+    /// Chain length.
+    pub fn len(&self) -> usize {
+        self.circuit.ffs().len()
+    }
+
+    /// `true` when the design has no flip-flops.
+    pub fn is_empty(&self) -> bool {
+        self.circuit.ffs().is_empty()
+    }
+
+    /// Applies one pattern through the scan protocol on a (possibly
+    /// faulty) machine and returns `(po_capture, shifted_out_state)`.
+    ///
+    /// `fault` of `None` runs the good machine.
+    pub fn apply(
+        &self,
+        pattern: &Pattern,
+        fault: Option<StuckAt>,
+    ) -> (Vec<bool>, Vec<bool>) {
+        // Shift-in is modeled as directly loading the state (the chain is
+        // just a path of DFFs in test mode); capture = one functional
+        // tick; shift-out exposes the captured next-state.
+        match fault {
+            None => self.circuit.tick(&pattern.pi, &pattern.state),
+            Some(f) => {
+                // Reuse the faulty evaluator through the public API.
+                let detected_out = crate::faults::detects(self.circuit, pattern, f);
+                // detects() recomputes; for the protocol we only need the
+                // faulty response, so recompute it here explicitly:
+                let _ = detected_out;
+                faulty_tick(self.circuit, pattern, f)
+            }
+        }
+    }
+
+    /// Verifies that a pattern set detects the given fault through the
+    /// full protocol (POs during capture + shifted-out state).
+    pub fn pattern_detects(&self, pattern: &Pattern, fault: StuckAt) -> bool {
+        let good = self.apply(pattern, None);
+        let bad = self.apply(pattern, Some(fault));
+        good != bad
+    }
+
+    /// Test time of a pattern set at `fclk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fclk` is not positive.
+    pub fn test_time(&self, patterns: usize, fclk: f64) -> ScanTestTime {
+        assert!(fclk > 0.0, "clock must be positive");
+        let l = self.len() as u64;
+        let cycles = (l + 1) * patterns as u64 + l;
+        ScanTestTime {
+            chain_length: self.len(),
+            patterns,
+            cycles,
+            seconds: cycles as f64 / fclk,
+        }
+    }
+}
+
+/// One faulty functional tick (same semantics as `faults::detects`'s bad
+/// machine).
+fn faulty_tick(circuit: &GateCircuit, pattern: &Pattern, fault: StuckAt) -> (Vec<bool>, Vec<bool>) {
+    let mut values = vec![false; circuit.net_count()];
+    for (n, v) in circuit.inputs().iter().zip(&pattern.pi) {
+        values[n.index()] = *v;
+    }
+    for (f, v) in circuit.ffs().iter().zip(&pattern.state) {
+        values[f.q.index()] = *v;
+    }
+    values[fault.net.index()] = fault.value;
+    let mut buf = Vec::with_capacity(8);
+    for &gi in circuit.order() {
+        let g = &circuit.gates()[gi];
+        buf.clear();
+        buf.extend(g.inputs.iter().map(|n| values[n.index()]));
+        values[g.output.index()] = g.kind.eval(&buf);
+        values[fault.net.index()] = fault.value;
+    }
+    (
+        circuit.outputs().iter().map(|n| values[n.index()]).collect(),
+        circuit.ffs().iter().map(|f| values[f.d.index()]).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::GateKind;
+    use crate::faults::fault_universe;
+
+    fn counter2() -> GateCircuit {
+        // 2-bit binary counter with enable.
+        let mut c = GateCircuit::new();
+        let en = c.input("en");
+        let q0 = c.net("q0");
+        let q1 = c.net("q1");
+        let d0 = c.g(GateKind::Xor, &[q0, en]);
+        let t = c.g(GateKind::And, &[q0, en]);
+        let d1 = c.g(GateKind::Xor, &[q1, t]);
+        c.dff(d0, q0);
+        c.dff(d1, q1);
+        c.output(q1);
+        c.seal();
+        c
+    }
+
+    #[test]
+    fn counter_counts_functionally() {
+        let c = counter2();
+        let mut state = vec![false, false];
+        for step in 1..=4u8 {
+            let (_, next) = c.tick(&[true], &state);
+            state = next;
+            let value = u8::from(state[0]) + 2 * u8::from(state[1]);
+            assert_eq!(value, step % 4, "after {step} ticks");
+        }
+    }
+
+    #[test]
+    fn scan_detects_every_testable_counter_fault() {
+        let c = counter2();
+        let chain = ScanChain::new(&c);
+        // Exhaustive full-scan patterns: 1 PI × 2 state bits = 8 patterns.
+        let patterns: Vec<Pattern> = (0..8u8)
+            .map(|b| Pattern {
+                pi: vec![b & 1 != 0],
+                state: vec![b & 2 != 0, b & 4 != 0],
+            })
+            .collect();
+        let mut undetected = Vec::new();
+        for fault in fault_universe(&c) {
+            if !patterns.iter().any(|p| chain.pattern_detects(p, fault)) {
+                undetected.push(fault);
+            }
+        }
+        assert!(
+            undetected.is_empty(),
+            "undetected with exhaustive scan: {undetected:?}"
+        );
+    }
+
+    #[test]
+    fn test_time_model() {
+        let c = counter2();
+        let chain = ScanChain::new(&c);
+        assert_eq!(chain.len(), 2);
+        let t = chain.test_time(10, 156e6);
+        // (2+1)*10 + 2 = 32 cycles.
+        assert_eq!(t.cycles, 32);
+        assert!((t.seconds - 32.0 / 156e6).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration tests asserting the *shape* of every reproduced experiment
+//! against the paper (who wins, by roughly what factor, where the
+//! crossovers fall) — the acceptance criteria of EXPERIMENTS.md.
+
+use symbist_repro::adc::SarAdc;
+use symbist_repro::bist::area::area_report;
+use symbist_repro::bist::experiments::{
+    baselines, fig5, table1, yield_sweep, ExperimentConfig, Table1Options,
+};
+use symbist_repro::bist::session::Schedule;
+use symbist_repro::bist::testtime::test_time;
+
+fn xc() -> ExperimentConfig {
+    ExperimentConfig {
+        calibration_samples: 8,
+        threads: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn fig5_shape_matches_paper() {
+    let data = fig5(&xc());
+    let hit_count = |i: usize| data.cases[i].detected.iter().filter(|d| **d).count();
+    // Defect-free: clean.
+    assert_eq!(hit_count(0), 0);
+    // SUBDAC1 and SC-array defects: specific conversion periods.
+    assert!(hit_count(1) > 0 && hit_count(1) < 32, "subdac {}", hit_count(1));
+    assert!(hit_count(2) > 0 && hit_count(2) < 32, "sc {}", hit_count(2));
+    // Vcm-generator defect: the entire test duration.
+    assert_eq!(hit_count(3), 32);
+    // Glitches exist in the waveform but never flag (clocked checks): the
+    // defect-free sum exceeds the window somewhere mid-cycle...
+    let sum = &data.cases[0].traces.sum;
+    let excursion = sum
+        .values()
+        .iter()
+        .fold(0.0f64, |m, v| m.max((v - data.nominal).abs()));
+    assert!(
+        excursion > data.delta,
+        "switching glitches ({excursion:.4} V) should exceed the window"
+    );
+    // ...yet no settled check fired (asserted above via hit_count(0) == 0).
+}
+
+#[test]
+#[ignore = "several minutes; run with --ignored for the full Table I shape check"]
+fn table1_shape_matches_paper() {
+    let (table, _) = table1(&xc(), &Table1Options::default());
+    let row = |label: &str| {
+        table
+            .rows()
+            .iter()
+            .find(|r| r.label.contains(label))
+            .unwrap_or_else(|| panic!("row {label}"))
+            .coverage
+            .value
+    };
+    // The load-bearing contrasts of Table I:
+    // 1. The reference buffer is nearly blind territory.
+    assert!(row("Reference Buffer") < 0.15);
+    // 2. Offset compensation is the worst covered comparator block.
+    assert!(row("Offset Compensation") < 0.2);
+    // 3. The big structural blocks are well covered.
+    assert!(row("SUBDAC1") > 0.6);
+    assert!(row("SUBDAC2") > 0.6);
+    assert!(row("SC Array") > 0.7);
+    assert!(row("BandGap") > 0.7);
+    assert!(row("Preamplifier") > 0.7);
+    // 4. The aggregate sits in the 70–95 band.
+    let agg = row("Complete");
+    assert!((0.6..0.95).contains(&agg), "aggregate {agg}");
+}
+
+#[test]
+fn test_time_and_area_match_paper_exactly() {
+    let cfg = xc().adc;
+    let t = test_time(&cfg, Schedule::Sequential);
+    assert_eq!(t.cycles, 6 * 32);
+    assert!((t.seconds - 1.23e-6).abs() < 0.01e-6);
+    assert!((t.conversions_equivalent - 16.0).abs() < 1e-12);
+
+    let adc = SarAdc::new(cfg);
+    let rep = area_report(&adc, Schedule::Sequential);
+    assert!(rep.overhead < 0.05, "area overhead {:.3}", rep.overhead);
+}
+
+#[test]
+fn yield_loss_negligible_at_k5() {
+    let points = yield_sweep(&xc(), &[3.0, 5.0], 10);
+    assert!(points[1].flagged == 0, "k=5 flagged {}", points[1].flagged);
+    assert!(points[0].yield_loss() >= points[1].yield_loss());
+}
+
+#[test]
+fn baseline_ips_order_as_in_the_literature() {
+    let res = baselines(&xc());
+    assert!(res.bandgap.value > res.por.value);
+    // POR lands near the 51% of [9]; bandgap well above it.
+    assert!((0.3..0.8).contains(&res.por.value), "por {}", res.por.value);
+    assert!(res.bandgap.value > 0.6, "bandgap {}", res.bandgap.value);
+}
