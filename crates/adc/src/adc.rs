@@ -174,9 +174,7 @@ impl Clone for SarAdc {
             catalog: self.catalog.clone(),
             ranges: self.ranges.clone(),
             injected: self.injected,
-            ref_cache: Mutex::new(
-                self.ref_cache.lock().expect("cache poisoned").clone(),
-            ),
+            ref_cache: Mutex::new(self.ref_cache.lock().expect("cache poisoned").clone()),
         }
     }
 }
@@ -200,19 +198,46 @@ impl SarAdc {
 
         let mut catalog = Vec::new();
         let mut ranges = Vec::new();
-        let add = |sb: SubBlock, comps: &[ComponentInfo], catalog: &mut Vec<ComponentInfo>,
-                       ranges: &mut Vec<(SubBlock, std::ops::Range<usize>)>| {
+        let add = |sb: SubBlock,
+                   comps: &[ComponentInfo],
+                   catalog: &mut Vec<ComponentInfo>,
+                   ranges: &mut Vec<(SubBlock, std::ops::Range<usize>)>| {
             let start = catalog.len();
             catalog.extend_from_slice(comps);
             ranges.push((sb, start..catalog.len()));
         };
-        add(SubBlock::Bandgap, bandgap.components(), &mut catalog, &mut ranges);
-        add(SubBlock::RefBuf, refbuf.components(), &mut catalog, &mut ranges);
-        add(SubBlock::SubDac1, sd1.components(), &mut catalog, &mut ranges);
-        add(SubBlock::SubDac2, sd2.components(), &mut catalog, &mut ranges);
+        add(
+            SubBlock::Bandgap,
+            bandgap.components(),
+            &mut catalog,
+            &mut ranges,
+        );
+        add(
+            SubBlock::RefBuf,
+            refbuf.components(),
+            &mut catalog,
+            &mut ranges,
+        );
+        add(
+            SubBlock::SubDac1,
+            sd1.components(),
+            &mut catalog,
+            &mut ranges,
+        );
+        add(
+            SubBlock::SubDac2,
+            sd2.components(),
+            &mut catalog,
+            &mut ranges,
+        );
         add(SubBlock::Sc, sc.components(), &mut catalog, &mut ranges);
         add(SubBlock::Vcm, vcm.components(), &mut catalog, &mut ranges);
-        add(SubBlock::Chain, chain.components(), &mut catalog, &mut ranges);
+        add(
+            SubBlock::Chain,
+            chain.components(),
+            &mut catalog,
+            &mut ranges,
+        );
 
         Self {
             cfg,
@@ -531,7 +556,11 @@ mod tests {
             );
         }
         // Order matches Table I grouping expectations.
-        assert!(a.components().len() > 600, "catalog size {}", a.components().len());
+        assert!(
+            a.components().len() > 600,
+            "catalog size {}",
+            a.components().len()
+        );
     }
 
     #[test]
@@ -540,8 +569,16 @@ mod tests {
         let obs = a.symbist_observations(0.05);
         assert_eq!(obs.len(), 32);
         for o in &obs {
-            assert!((o.m_plus + o.m_minus - o.vref32).abs() < 1e-4, "I1 @ {}", o.code);
-            assert!((o.l_plus + o.l_minus - o.vref32).abs() < 1e-4, "I2 @ {}", o.code);
+            assert!(
+                (o.m_plus + o.m_minus - o.vref32).abs() < 1e-4,
+                "I1 @ {}",
+                o.code
+            );
+            assert!(
+                (o.l_plus + o.l_minus - o.vref32).abs() < 1e-4,
+                "I2 @ {}",
+                o.code
+            );
             assert!(
                 (o.dac_plus + o.dac_minus - 2.0 * o.vref16).abs() < 5e-3,
                 "I3 @ {}: {}",
@@ -562,7 +599,11 @@ mod tests {
                 o.code
             );
             // I6.
-            assert!((o.q_plus + o.q_minus - o.vdd).abs() < 1e-9, "I6 @ {}", o.code);
+            assert!(
+                (o.q_plus + o.q_minus - o.vdd).abs() < 1e-9,
+                "I6 @ {}",
+                o.code
+            );
         }
     }
 
@@ -573,7 +614,10 @@ mod tests {
             .iter()
             .map(|d| a.convert(*d))
             .collect();
-        assert!(codes.windows(2).all(|w| w[1] >= w[0]), "monotone: {codes:?}");
+        assert!(
+            codes.windows(2).all(|w| w[1] >= w[0]),
+            "monotone: {codes:?}"
+        );
         // ΔIN = 0 → code near 528 (the architectural midpoint).
         assert!((codes[3] as i32 - 528).abs() <= 2, "mid code {}", codes[3]);
     }

@@ -229,8 +229,7 @@ impl Bandgap {
         // good), then ramp T in shrinking steps, warm-starting each solve
         // at full gain.
         const T_NOM: f64 = 26.85;
-        let Some((mut vbg, mut warm)) = self.gain_homotopy(T_NOM, fault, target_gain, None)
-        else {
+        let Some((mut vbg, mut warm)) = self.gain_homotopy(T_NOM, fault, target_gain, None) else {
             return BandgapOutput { vbg: 0.0 }; // block dead
         };
         let solve_full = |t: f64, warm: &[f64]| -> Option<(f64, Vec<f64>)> {
@@ -338,36 +337,72 @@ impl Bandgap {
         // Mirror PMOS (defects injected in-netlist; open pulls toward VDDA).
         let kp_m3 = P_KP * (1.0 + self.mismatch.mirror);
         emit_mosfet(
-            &mut nl, va, vg, vdda, MosPolarity::Pmos, P_VTH, P_KP, 0.02,
-            self.core_defect(M1), vdda, cfg,
+            &mut nl,
+            va,
+            vg,
+            vdda,
+            MosPolarity::Pmos,
+            P_VTH,
+            P_KP,
+            0.02,
+            self.core_defect(M1),
+            vdda,
+            cfg,
         );
         emit_mosfet(
-            &mut nl, vb, vg, vdda, MosPolarity::Pmos, P_VTH, P_KP, 0.02,
-            self.core_defect(M2), vdda, cfg,
+            &mut nl,
+            vb,
+            vg,
+            vdda,
+            MosPolarity::Pmos,
+            P_VTH,
+            P_KP,
+            0.02,
+            self.core_defect(M2),
+            vdda,
+            cfg,
         );
         emit_mosfet(
-            &mut nl, vbg, vg, vdda, MosPolarity::Pmos, P_VTH, kp_m3, 0.02,
-            self.core_defect(M3), vdda, cfg,
+            &mut nl,
+            vbg,
+            vg,
+            vdda,
+            MosPolarity::Pmos,
+            P_VTH,
+            kp_m3,
+            0.02,
+            self.core_defect(M3),
+            vdda,
+            cfg,
         );
 
         // Branch A: unit diode. Branch B: R1 + 8× diode.
         emit_diode(&mut nl, va, Netlist::GND, I_SAT, self.core_defect(D1), cfg);
         emit_resistor(
-            &mut nl, vb, vb2,
+            &mut nl,
+            vb,
+            vb2,
             R1_OHMS * (1.0 + self.mismatch.r1),
-            self.core_defect(R1), cfg,
+            self.core_defect(R1),
+            cfg,
         );
         emit_diode(
-            &mut nl, vb2, Netlist::GND,
+            &mut nl,
+            vb2,
+            Netlist::GND,
             I_SAT * DIODE_RATIO,
-            self.core_defect(D2), cfg,
+            self.core_defect(D2),
+            cfg,
         );
 
         // Output leg: R2 + diode → VBG at the mirror drain.
         emit_resistor(
-            &mut nl, vbg, vd3,
+            &mut nl,
+            vbg,
+            vd3,
             R2_OHMS * (1.0 + self.mismatch.r2),
-            self.core_defect(R2), cfg,
+            self.core_defect(R2),
+            cfg,
         );
         emit_diode(&mut nl, vd3, Netlist::GND, I_SAT, self.core_defect(D3), cfg);
         // Light load keeps the leg defined even if the mirror dies.
@@ -492,7 +527,10 @@ mod tests {
         let nominal = b.solve().vbg;
         b.set_defect(Some((STARTUP_BASE, DefectKind::OpenDrain)));
         let v = b.solve().vbg;
-        assert!((v - nominal).abs() < 1e-9, "start-up open must not shift DC");
+        assert!(
+            (v - nominal).abs() < 1e-9,
+            "start-up open must not shift DC"
+        );
     }
 
     #[test]
@@ -501,7 +539,10 @@ mod tests {
         let nominal = b.solve().vbg;
         b.set_defect(Some((STARTUP_BASE, DefectKind::ShortDs)));
         let v = b.solve().vbg;
-        assert!((v - nominal).abs() > 0.2, "start-up short must shift VBG, got {v}");
+        assert!(
+            (v - nominal).abs() > 0.2,
+            "start-up short must shift VBG, got {v}"
+        );
     }
 
     #[test]

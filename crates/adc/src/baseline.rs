@@ -172,29 +172,58 @@ impl PorIp {
         // Sense transistor: pulls its drain low once the divider passes Vth.
         emit_resistor(&mut nl, supply, sense_d, 200e3, None, cfg);
         emit_mosfet(
-            &mut nl, sense_d, mid, Netlist::GND,
-            MosPolarity::Nmos, 0.45, 5e-4, 0.01,
-            self.local(POR_M_SENSE), Netlist::GND, cfg,
+            &mut nl,
+            sense_d,
+            mid,
+            Netlist::GND,
+            MosPolarity::Nmos,
+            0.45,
+            5e-4,
+            0.01,
+            self.local(POR_M_SENSE),
+            Netlist::GND,
+            cfg,
         );
         // Output inverter (PMOS pull-up modeled; reset = out high).
         emit_mosfet(
-            &mut nl, out, sense_d, supply,
-            MosPolarity::Pmos, 0.45, 5e-4, 0.01,
-            self.local(POR_M_OUT), supply, cfg,
+            &mut nl,
+            out,
+            sense_d,
+            supply,
+            MosPolarity::Pmos,
+            0.45,
+            5e-4,
+            0.01,
+            self.local(POR_M_OUT),
+            supply,
+            cfg,
         );
         nl.resistor(out, Netlist::GND, 500e3);
         // Hysteresis device: weak feedback from out to mid.
         emit_mosfet(
-            &mut nl, mid, out, Netlist::GND,
-            MosPolarity::Nmos, 0.45, 2e-5, 0.01,
-            self.local(POR_M_HYST), Netlist::GND, cfg,
+            &mut nl,
+            mid,
+            out,
+            Netlist::GND,
+            MosPolarity::Nmos,
+            0.45,
+            2e-5,
+            0.01,
+            self.local(POR_M_HYST),
+            Netlist::GND,
+            cfg,
         );
         // Delay RC hangs off the output; invisible to a DC trip test.
         let delay = nl.node("delay");
         emit_resistor(&mut nl, out, delay, 1e6, self.local(POR_R_DELAY), cfg);
         emit_capacitor(
-            &mut nl, delay, Netlist::GND, 50e-12, None,
-            self.local(POR_C_DELAY), cfg,
+            &mut nl,
+            delay,
+            Netlist::GND,
+            50e-12,
+            None,
+            self.local(POR_C_DELAY),
+            cfg,
         );
 
         match DcSolver::new().solve(&nl) {

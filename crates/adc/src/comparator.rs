@@ -465,11 +465,7 @@ impl ComparatorChain {
                 }
             }
         }
-        LatchOut {
-            q_p,
-            q_n,
-            decision,
-        }
+        LatchOut { q_p, q_n, decision }
     }
 
     /// Full chain evaluation: preamp then latch. This is the canonical
@@ -568,7 +564,11 @@ mod tests {
         let mut c = chain();
         c.set_defect(Some((LATCH_BASE + 2, DefectKind::ShortDs)));
         let (_, q) = c.compare(0.7, 0.5, VBG);
-        assert!((q.q_p + q.q_n - 1.2).abs() > 0.5, "I6 signal {}", q.q_p + q.q_n);
+        assert!(
+            (q.q_p + q.q_n - 1.2).abs() > 0.5,
+            "I6 signal {}",
+            q.q_p + q.q_n
+        );
     }
 
     #[test]
@@ -632,7 +632,10 @@ mod tests {
             ..Default::default()
         });
         let healthy_resid = c.residual_offset();
-        assert!(healthy_resid.abs() < 5e-4, "auto-zero works: {healthy_resid}");
+        assert!(
+            healthy_resid.abs() < 5e-4,
+            "auto-zero works: {healthy_resid}"
+        );
         c.set_defect(Some((OFFSET_BASE, DefectKind::OpenGate)));
         let broken_resid = c.residual_offset();
         assert!(broken_resid.abs() > 5e-3, "auto-zero dead: {broken_resid}");

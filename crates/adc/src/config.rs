@@ -126,7 +126,10 @@ impl AdcConfig {
     /// Panics if any voltage/impedance/frequency is non-positive, if
     /// `vcm` is not below `vref_fs`, or if `bits` is outside 4..=16.
     pub fn validate(&self) {
-        assert!(self.vdd > 0.0 && self.vdda > 0.0, "supplies must be positive");
+        assert!(
+            self.vdd > 0.0 && self.vdda > 0.0,
+            "supplies must be positive"
+        );
         assert!(self.vref_fs > 0.0, "vref must be positive");
         assert!(
             self.vcm > 0.0 && self.vcm < self.vref_fs,
@@ -134,7 +137,10 @@ impl AdcConfig {
         );
         assert!((4..=16).contains(&self.bits), "bits out of supported range");
         assert!(self.fclk > 0.0, "clock must be positive");
-        assert!(self.unit_cap > 0.0 && self.top_parasitic >= 0.0, "capacitances invalid");
+        assert!(
+            self.unit_cap > 0.0 && self.top_parasitic >= 0.0,
+            "capacitances invalid"
+        );
         assert!(
             self.ladder_r > 0.0 && self.switch_ron > 0.0 && self.switch_roff > self.switch_ron,
             "resistances invalid"

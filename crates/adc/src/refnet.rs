@@ -92,8 +92,7 @@ impl ReferenceBuffer {
     /// faults rescale every tap coherently).
     pub fn new(cfg: &AdcConfig, vbg_nominal: f64) -> Self {
         assert!(vbg_nominal > 0.1, "nominal bandgap voltage implausible");
-        let mut components =
-            Vec::with_capacity(BUFFER_TRANSISTORS + 1 + LADDER_RESISTORS);
+        let mut components = Vec::with_capacity(BUFFER_TRANSISTORS + 1 + LADDER_RESISTORS);
         for i in 1..=BUFFER_TRANSISTORS {
             components.push(ComponentInfo {
                 block: BlockKind::ReferenceBuffer,
@@ -354,9 +353,7 @@ impl SubDac {
             MuxSide::N => MUX_COMPONENTS + tap * PER_TAP,
         };
         let defect = match self.defect {
-            Some((idx, kind)) if (base..base + PER_TAP).contains(&idx) => {
-                Some((idx - base, kind))
-            }
+            Some((idx, kind)) if (base..base + PER_TAP).contains(&idx) => Some((idx - base, kind)),
             _ => None,
         };
         let is_selected = tap == selected;
@@ -371,7 +368,9 @@ impl SubDac {
             }
             Some((role, kind)) => match (role, kind) {
                 // Pass transistors (0 = NMOS, 1 = PMOS).
-                (0 | 1, DefectKind::ShortDs) => TapState::On { r: cfg.defect_rshort },
+                (0 | 1, DefectKind::ShortDs) => TapState::On {
+                    r: cfg.defect_rshort,
+                },
                 (0, DefectKind::ShortGd) | (0, DefectKind::ShortGs) => TapState::OnLoaded {
                     r: 2.0 * ron,
                     load_r: CONTROL_LOAD_R,
@@ -507,16 +506,16 @@ pub fn solve_ref_network(
             MuxSide::P => eff as usize,
             MuxSide::N => 32 - eff as usize,
         };
-        for tap in 0..TAPS {
+        for (tap, &tap_node) in tap_nodes.iter().enumerate().take(TAPS) {
             match sub.tap_state(side, tap, selected, cfg) {
                 TapState::Off => {}
                 TapState::On { r } => {
-                    nl.resistor(tap_nodes[tap], out, r);
+                    nl.resistor(tap_node, out, r);
                 }
                 TapState::OnLoaded { r, load_r, to_vdda } => {
-                    nl.resistor(tap_nodes[tap], out, r);
+                    nl.resistor(tap_node, out, r);
                     let rail = if to_vdda { vdda } else { Netlist::GND };
-                    nl.resistor(tap_nodes[tap], rail, load_r);
+                    nl.resistor(tap_node, rail, load_r);
                 }
             }
         }
@@ -584,7 +583,11 @@ mod tests {
         let cfg = AdcConfig::default();
         // The buffer drives VREF[32] to the configured full scale (small
         // drop across Rout from the ladder current).
-        assert!((out.vref32 - cfg.vref_fs).abs() < 0.01, "VREF[32] = {}", out.vref32);
+        assert!(
+            (out.vref32 - cfg.vref_fs).abs() < 0.01,
+            "VREF[32] = {}",
+            out.vref32
+        );
         assert!((out.vref16 - cfg.vref_fs / 2.0).abs() < 0.01);
     }
 
@@ -699,7 +702,10 @@ mod tests {
     #[test]
     fn component_counts() {
         let (rb, s1, _) = parts();
-        assert_eq!(rb.components().len(), BUFFER_TRANSISTORS + 1 + LADDER_RESISTORS);
+        assert_eq!(
+            rb.components().len(),
+            BUFFER_TRANSISTORS + 1 + LADDER_RESISTORS
+        );
         assert_eq!(s1.components().len(), SUBDAC_COMPONENTS);
         assert_eq!(SUBDAC_COMPONENTS, 284);
     }

@@ -139,7 +139,14 @@ impl VcmGenerator {
         );
         // Decoupling: mid → ESR → cap → gnd.
         let esr = nl.node("esr");
-        emit_resistor(&mut nl, mid, esr, 200.0, self.local_defect(R_ESR), &self.cfg);
+        emit_resistor(
+            &mut nl,
+            mid,
+            esr,
+            200.0,
+            self.local_defect(R_ESR),
+            &self.cfg,
+        );
         emit_capacitor(
             &mut nl,
             esr,
@@ -156,8 +163,8 @@ impl VcmGenerator {
 
         // Buffer: unity follower with possible behavioral corruption.
         let (offset, stuck) = match self.defect {
-            Some((M_BUF1, k)) if k == DefectKind::ShortDs => (0.0, Some(self.cfg.vdda)),
-            Some((M_BUF2, k)) if k == DefectKind::ShortDs => (0.0, Some(0.0)),
+            Some((M_BUF1, DefectKind::ShortDs)) => (0.0, Some(self.cfg.vdda)),
+            Some((M_BUF2, DefectKind::ShortDs)) => (0.0, Some(0.0)),
             Some((M_BUF1, k)) if k.is_short() => (0.08, None),
             Some((M_BUF2, k)) if k.is_short() => (-0.08, None),
             Some((M_BUF1, _)) => (0.03, None),
@@ -201,7 +208,14 @@ impl VcmGenerator {
             &self.cfg,
         );
         let esr = nl.node("esr");
-        emit_resistor(&mut nl, mid, esr, 200.0, self.local_defect(R_ESR), &self.cfg);
+        emit_resistor(
+            &mut nl,
+            mid,
+            esr,
+            200.0,
+            self.local_defect(R_ESR),
+            &self.cfg,
+        );
         emit_capacitor(
             &mut nl,
             esr,
@@ -344,6 +358,9 @@ mod ac_tests {
         let mut g = VcmGenerator::new(&AdcConfig::default());
         g.set_defect(Some((C_DEC, DefectKind::ParamLow)));
         let low = g.ripple_attenuation(200e3);
-        assert!(low > nominal * 1.2, "pole shift visible: {low} vs {nominal}");
+        assert!(
+            low > nominal * 1.2,
+            "pole shift visible: {low} vs {nominal}"
+        );
     }
 }

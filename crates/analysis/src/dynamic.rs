@@ -182,7 +182,12 @@ mod tests {
             .collect();
         let rc = analyze_sine(&clean);
         let rd = analyze_sine(&dirty);
-        assert!(rd.thd_db > rc.thd_db + 20.0, "thd {} vs {}", rd.thd_db, rc.thd_db);
+        assert!(
+            rd.thd_db > rc.thd_db + 20.0,
+            "thd {} vs {}",
+            rd.thd_db,
+            rc.thd_db
+        );
         assert!(rd.sfdr_db < rc.sfdr_db - 20.0);
         // −26 dB harmonic: THD ≈ −26 dB.
         assert!((rd.thd_db + 26.0).abs() < 1.5, "thd {}", rd.thd_db);
@@ -195,13 +200,16 @@ mod tests {
             .map(|i| {
                 let ph = 2.0 * std::f64::consts::PI * 449.0 * i as f64 / n as f64;
                 // Deterministic pseudo-noise at −40 dB.
-                let noise =
-                    (((i as u64 * 2654435761) % 10007) as f64 / 10007.0 - 0.5) * 0.028;
+                let noise = (((i as u64 * 2654435761) % 10007) as f64 / 10007.0 - 0.5) * 0.028;
                 ph.sin() + noise
             })
             .collect();
         let rep = analyze_sine(&sig);
-        assert!(rep.sndr_db > 35.0 && rep.sndr_db < 47.0, "sndr {}", rep.sndr_db);
+        assert!(
+            rep.sndr_db > 35.0 && rep.sndr_db < 47.0,
+            "sndr {}",
+            rep.sndr_db
+        );
     }
 
     #[test]

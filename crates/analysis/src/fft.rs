@@ -61,7 +61,10 @@ impl Complex {
 /// Panics if the length is not a power of two (or is zero).
 pub fn fft_in_place(data: &mut [Complex]) {
     let n = data.len();
-    assert!(n > 0 && n.is_power_of_two(), "FFT length must be a power of two");
+    assert!(
+        n > 0 && n.is_power_of_two(),
+        "FFT length must be a power of two"
+    );
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
@@ -153,7 +156,7 @@ mod tests {
 
     #[test]
     fn fft_of_dc_concentrates_in_bin0() {
-        let d = fft_real(&vec![2.0; 16]);
+        let d = fft_real(&[2.0; 16]);
         assert!((d[0].re - 32.0).abs() < 1e-9);
         for c in &d[1..] {
             assert!(c.abs() < 1e-9);

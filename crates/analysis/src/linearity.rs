@@ -105,7 +105,7 @@ pub fn transitions_from_ramp(samples: &[(f64, u32)], n_codes: u32) -> Vec<Option
         if c1 > c0 {
             // Every threshold crossed in this interval gets the midpoint.
             for k in (c0 + 1)..=c1 {
-                if k >= 1 && k <= n_codes - 1 {
+                if k >= 1 && k < n_codes {
                     let slot = &mut out[(k - 1) as usize];
                     if slot.is_none() {
                         *slot = Some(0.5 * (v0 + v1));
@@ -135,8 +135,7 @@ pub fn offset_gain_error(
     let n = report.transitions.len();
     let ideal_lsb = (ideal_last - ideal_first) / (n - 1) as f64;
     let offset = (report.transitions[0] - ideal_first) / ideal_lsb;
-    let gain = ((report.transitions[n - 1] - report.transitions[0])
-        - (ideal_last - ideal_first))
+    let gain = ((report.transitions[n - 1] - report.transitions[0]) - (ideal_last - ideal_first))
         / ideal_lsb;
     (offset, gain)
 }

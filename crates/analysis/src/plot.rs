@@ -26,7 +26,12 @@ impl Series {
     ///
     /// Panics if lengths differ, fewer than 2 points, or values are not
     /// finite.
-    pub fn new(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>, color: impl Into<String>) -> Self {
+    pub fn new(
+        label: impl Into<String>,
+        x: Vec<f64>,
+        y: Vec<f64>,
+        color: impl Into<String>,
+    ) -> Self {
         assert_eq!(x.len(), y.len(), "x/y length mismatch");
         assert!(x.len() >= 2, "a series needs at least 2 points");
         assert!(
@@ -79,7 +84,11 @@ const MARGIN_B: f64 = 50.0;
 
 impl Chart {
     /// Creates an empty chart.
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         Self {
             title: title.into(),
             x_label: x_label.into(),
@@ -275,7 +284,9 @@ impl Chart {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Formats a value with an SI prefix (for tick labels).

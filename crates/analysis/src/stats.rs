@@ -116,7 +116,7 @@ pub fn normal_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -185,7 +185,10 @@ pub fn normal_cdf(x: f64) -> f64 {
 /// Panics if `n == 0` or `level` is not in `(0, 1)`.
 pub fn proportion_ci_half_width(p_hat: f64, n: usize, level: f64) -> f64 {
     assert!(n > 0, "confidence interval needs at least one sample");
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0,1)"
+    );
     let z = normal_quantile(0.5 + level / 2.0);
     let p = p_hat.clamp(0.0, 1.0);
     z * (p * (1.0 - p) / n as f64).sqrt()
@@ -202,12 +205,7 @@ pub fn weighted_mean(values: &[f64], weights: &[f64]) -> f64 {
     assert!(weights.iter().all(|w| *w >= 0.0), "negative weight");
     let wsum: f64 = weights.iter().sum();
     assert!(wsum > 0.0, "all weights are zero");
-    values
-        .iter()
-        .zip(weights)
-        .map(|(v, w)| v * w)
-        .sum::<f64>()
-        / wsum
+    values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / wsum
 }
 
 #[cfg(test)]

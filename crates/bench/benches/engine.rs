@@ -1,86 +1,22 @@
-//! Criterion benches of the simulation substrate: linear algebra, DC and
-//! transient solves, and the ADC-level primitives every experiment rests
-//! on.
+//! Benches of the simulation substrate: linear algebra, DC and transient
+//! solves (dense vs sparse), and the ADC-level primitives every experiment
+//! rests on.
+//!
+//! `harness = false`: this is a plain program on the in-repo
+//! [`symbist_bench::harness`]. Pass `--quick` for a fast smoke run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use symbist_bench::{engine_suite, harness::Harness};
 
-use symbist_adc::{AdcConfig, SarAdc};
-use symbist_circuit::dc::DcSolver;
-use symbist_circuit::matrix::Matrix;
-use symbist_circuit::netlist::{MosPolarity, Netlist};
-use symbist_circuit::rng::Rng;
-use symbist_circuit::transient::{TransientOptions, TransientSim};
-
-fn bench_lu(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lu_solve");
-    for n in [8usize, 16, 32, 64] {
-        let mut rng = Rng::seed_from_u64(1);
-        let mut a = Matrix::zeros(n, n);
-        for r in 0..n {
-            for col in 0..n {
-                a.set(r, col, rng.uniform(-1.0, 1.0));
-            }
-            a.add(r, r, n as f64);
-        }
-        let b: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| black_box(&a).solve(black_box(&b)).unwrap());
-        });
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut h = if quick {
+        Harness::quick()
+    } else {
+        Harness::new()
+    };
+    engine_suite::run(&mut h);
+    print!("{}", h.report());
+    for (name, ratio) in engine_suite::derived(&h) {
+        println!("{name}: {ratio:.2}x");
     }
-    group.finish();
 }
-
-fn bench_dc_nonlinear(c: &mut Criterion) {
-    // A diode + MOS Newton problem of bandgap-branch size.
-    let mut nl = Netlist::new();
-    let vdd = nl.node("vdd");
-    let a = nl.node("a");
-    let k = nl.node("k");
-    nl.vsource(vdd, Netlist::GND, 1.8);
-    nl.resistor(vdd, a, 10e3);
-    nl.diode(a, k, 1e-15, 1.0);
-    nl.resistor(k, Netlist::GND, 5e3);
-    nl.mosfet(a, k, Netlist::GND, MosPolarity::Nmos, 0.4, 1e-4, 0.01);
-    let solver = DcSolver::new();
-    c.bench_function("dc_newton_diode_mos", |bench| {
-        bench.iter(|| solver.solve(black_box(&nl)).unwrap());
-    });
-}
-
-fn bench_transient_rc(c: &mut Criterion) {
-    let mut nl = Netlist::new();
-    let s = nl.node("s");
-    let o = nl.node("o");
-    nl.vsource(s, Netlist::GND, 1.0);
-    nl.resistor(s, o, 1e3);
-    nl.capacitor(o, Netlist::GND, 1e-9);
-    c.bench_function("transient_rc_1000_steps", |bench| {
-        bench.iter(|| {
-            let mut sim =
-                TransientSim::new(&nl, TransientOptions { dt: 1e-9, ..Default::default() })
-                    .unwrap();
-            for _ in 0..1000 {
-                sim.step(&nl).unwrap();
-            }
-            black_box(sim.voltage(o))
-        });
-    });
-}
-
-fn bench_adc_primitives(c: &mut Criterion) {
-    let adc = SarAdc::new(AdcConfig::default());
-    c.bench_function("adc_full_conversion", |bench| {
-        bench.iter(|| black_box(adc.convert(black_box(0.123))));
-    });
-    c.bench_function("adc_symbist_observations", |bench| {
-        bench.iter(|| black_box(adc.symbist_observations(black_box(0.2))));
-    });
-}
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_lu, bench_dc_nonlinear, bench_transient_rc, bench_adc_primitives
-);
-criterion_main!(benches);

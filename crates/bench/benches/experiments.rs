@@ -1,9 +1,10 @@
-//! Criterion benches of the experiment pipeline: calibration, the BIST
-//! run (healthy vs defective with stop-on-detection), and the analysis
-//! kernels.
+//! Benches of the experiment pipeline: calibration, the BIST run (healthy
+//! vs defective with stop-on-detection), and the analysis kernels.
+//!
+//! `harness = false`: this is a plain program on the in-repo
+//! [`symbist_bench::harness`]. Pass `--quick` for a fast smoke run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use symbist_bench::harness::Harness;
 
 use symbist::calibrate::Calibration;
 use symbist::session::{Schedule, SymBist};
@@ -20,12 +21,17 @@ fn engine() -> SymBist {
     SymBist::new(cal, stimulus, Schedule::Sequential)
 }
 
-fn bench_bist_runs(c: &mut Criterion) {
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut h = if quick {
+        Harness::quick()
+    } else {
+        Harness::new()
+    };
+
     let bist = engine();
     let healthy = SarAdc::new(AdcConfig::default());
-    c.bench_function("bist_run_healthy_full", |bench| {
-        bench.iter(|| black_box(bist.run(&healthy, false).pass));
-    });
+    h.bench("bist_run_healthy_full", || bist.run(&healthy, false).pass);
 
     let mut defective = healthy.clone();
     let site = defective
@@ -37,43 +43,20 @@ fn bench_bist_runs(c: &mut Criterion) {
         component: site,
         kind: DefectKind::Short,
     });
-    c.bench_function("bist_run_defective_stop_on_detect", |bench| {
-        bench.iter(|| black_box(bist.run(&defective, true).pass));
+    h.bench("bist_run_defective_stop_on_detect", || {
+        bist.run(&defective, true).pass
     });
-}
 
-fn bench_calibration(c: &mut Criterion) {
     let cfg = AdcConfig::default();
-    c.bench_function("calibration_2_samples", |bench| {
-        bench.iter(|| {
-            black_box(Calibration::run(
-                &cfg,
-                &StimulusSpec::default(),
-                2,
-                5.0,
-                7,
-            ))
-        });
+    h.bench("calibration_2_samples", || {
+        Calibration::run(&cfg, &StimulusSpec::default(), 2, 5.0, 7)
     });
-}
 
-fn bench_analysis_kernels(c: &mut Criterion) {
     let sig = quantized_sine(4096, 449.0, 10);
-    c.bench_function("fft_4096", |bench| {
-        bench.iter(|| black_box(fft_real(black_box(&sig))));
-    });
+    h.bench("fft_4096", || fft_real(&sig));
     let win = hann_window(4096);
-    c.bench_function("power_spectrum_4096", |bench| {
-        bench.iter(|| black_box(power_spectrum(black_box(&sig), &win)));
-    });
-    c.bench_function("analyze_sine_4096", |bench| {
-        bench.iter(|| black_box(analyze_sine(black_box(&sig))));
-    });
-}
+    h.bench("power_spectrum_4096", || power_spectrum(&sig, &win));
+    h.bench("analyze_sine_4096", || analyze_sine(&sig));
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_bist_runs, bench_calibration, bench_analysis_kernels
-);
-criterion_main!(benches);
+    print!("{}", h.report());
+}

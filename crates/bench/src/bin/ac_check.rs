@@ -13,10 +13,19 @@ use symbist_bench::standard_config;
 fn main() {
     let probe = 10e6;
     let res = ac_extension(&standard_config(), probe);
-    println!("AC-BIST extension on the Vcm generator ({} defects, probe {} MHz):\n",
-        res.simulated, probe / 1e6);
-    println!("  DC invariances only:   {}", res.dc_only.to_percent_string());
-    println!("  + one AC ripple check: {}", res.with_ac.to_percent_string());
+    println!(
+        "AC-BIST extension on the Vcm generator ({} defects, probe {} MHz):\n",
+        res.simulated,
+        probe / 1e6
+    );
+    println!(
+        "  DC invariances only:   {}",
+        res.dc_only.to_percent_string()
+    );
+    println!(
+        "  + one AC ripple check: {}",
+        res.with_ac.to_percent_string()
+    );
     println!("  escapes recovered:     {}", res.recovered);
     println!(
         "\nThe decoupling capacitor and its ESR are invisible at DC (the cap\n\

@@ -20,8 +20,8 @@ fn main() {
         let v = bg.solve_at(t as f64).vbg;
         min = min.min(v);
         max = max.max(v);
-        let bar: String = std::iter::repeat_n('#', ((v - 1.15) * 2000.0).max(0.0) as usize)
-            .collect();
+        let bar: String =
+            std::iter::repeat_n('#', ((v - 1.15) * 2000.0).max(0.0) as usize).collect();
         println!("{:>8} {:>12.5}  {bar}", t, v);
     }
     let v25 = bg.solve_at(25.0).vbg;
@@ -36,5 +36,8 @@ fn main() {
         "A raw VBE drifts ≈ −2 mV/°C (~3000 ppm/°C); the ΔVBE/R1 PTAT term\n\
          cancels it to first order, leaving the classic shallow parabola."
     );
-    assert!(ppm_per_k < 500.0, "TC {ppm_per_k} ppm/°C implausible for a bandgap");
+    assert!(
+        ppm_per_k < 500.0,
+        "TC {ppm_per_k} ppm/°C implausible for a bandgap"
+    );
 }

@@ -1,0 +1,38 @@
+//! Runs the engine benchmark suite and writes `BENCH_engine.json` — the
+//! machine-readable perf record (dense vs sparse timings and derived
+//! speedup ratios) tracked across commits.
+//!
+//! ```text
+//! cargo run --release -p symbist-bench --bin bench_engine [-- --quick] [out.json]
+//! ```
+
+use symbist_bench::{engine_suite, harness::Harness};
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_engine.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let mut h = if quick {
+        Harness::quick()
+    } else {
+        Harness::new()
+    };
+    engine_suite::run(&mut h);
+    let derived = engine_suite::derived(&h);
+    print!("{}", h.report());
+    for (name, ratio) in &derived {
+        println!("{name}: {ratio:.2}x");
+    }
+    let json = h.to_json("engine", &derived);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

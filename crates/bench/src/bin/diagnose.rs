@@ -10,8 +10,8 @@ use symbist::diagnosis::{FaultDictionary, Signature};
 use symbist_adc::fault::Faultable;
 use symbist_adc::SarAdc;
 use symbist_bench::standard_config;
-use symbist_defects::{DefectUniverse, LikelihoodModel};
 use symbist_circuit::rng::Rng;
+use symbist_defects::{DefectUniverse, LikelihoodModel};
 
 fn main() {
     let xc = standard_config();
@@ -23,7 +23,10 @@ fn main() {
     let weights: Vec<f64> = universe.iter().map(|d| d.likelihood).collect();
     let mut rng = Rng::seed_from_u64(xc.seed ^ 0xD1A6);
     let dict_idx = rng.weighted_sample_without_replacement(&weights, 80);
-    let dict_sites: Vec<_> = dict_idx.iter().map(|i| universe.defects()[*i].site).collect();
+    let dict_sites: Vec<_> = dict_idx
+        .iter()
+        .map(|i| universe.defects()[*i].site)
+        .collect();
     eprintln!("Building the fault dictionary (80 defects, full signatures)...");
     let dict = FaultDictionary::build(&engine, &base, &dict_sites);
     let classes = dict.ambiguity_classes();
@@ -55,7 +58,10 @@ fn main() {
             continue;
         }
         let top = dict.diagnose(&observed, 3);
-        println!("\n  actual: {} ({}) [{}]", d.component_name, d.site.kind, d.block);
+        println!(
+            "\n  actual: {} ({}) [{}]",
+            d.component_name, d.site.kind, d.block
+        );
         for (rank, c) in top.iter().enumerate() {
             println!(
                 "    #{} d={:<3} {} ({}) [{}]",
@@ -66,7 +72,10 @@ fn main() {
                 c.entry.block
             );
         }
-        let hit = top.first().map(|c| c.entry.block == d.block.label()).unwrap_or(false);
+        let hit = top
+            .first()
+            .map(|c| c.entry.block == d.block.label())
+            .unwrap_or(false);
         println!("    → block-level {}", if hit { "HIT" } else { "miss" });
         shown += 1;
     }

@@ -53,9 +53,7 @@ fn main() {
     );
     println!(
         "{:<28} {:>16} {:>16}",
-        "stimulus",
-        "digital counter",
-        "precise sine"
+        "stimulus", "digital counter", "precise sine"
     );
     println!(
         "{:<28} {:>15.1}s {:>15.1}s",

@@ -27,7 +27,10 @@ fn main() {
         "Aggregate: {} of {} sampled defects detected; campaign wall time {:.1} s.",
         total.detected(),
         total.simulated(),
-        results.iter().map(|r| r.total_wall.as_secs_f64()).sum::<f64>()
+        results
+            .iter()
+            .map(|r| r.total_wall.as_secs_f64())
+            .sum::<f64>()
     );
     println!(
         "

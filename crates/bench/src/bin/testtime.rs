@@ -11,7 +11,10 @@ use symbist_bench::standard_config;
 
 fn main() {
     let cfg = standard_config().adc;
-    println!("Test-time model (fclk = {} MHz, 12-pulse conversion frame):\n", cfg.fclk / 1e6);
+    println!(
+        "Test-time model (fclk = {} MHz, 12-pulse conversion frame):\n",
+        cfg.fclk / 1e6
+    );
     println!(
         "{:<12} {:>8} {:>14} {:>16}",
         "schedule", "cycles", "test time", "x one conversion"
@@ -27,10 +30,12 @@ fn main() {
         );
     }
     let seq = test_time(&cfg, Schedule::Sequential);
-    println!(
-        "\nPaper §IV-5: 6·2⁵·(1/fclk) = 1.23 µs, ≈16× one sample conversion."
-    );
+    println!("\nPaper §IV-5: 6·2⁵·(1/fclk) = 1.23 µs, ≈16× one sample conversion.");
     assert!((seq.seconds - 1.23e-6).abs() < 0.01e-6);
     assert!((seq.conversions_equivalent - 16.0).abs() < 1e-9);
-    println!("Reproduced exactly: {:.4} µs, {}x.", seq.seconds * 1e6, seq.conversions_equivalent);
+    println!(
+        "Reproduced exactly: {:.4} µs, {}x.",
+        seq.seconds * 1e6,
+        seq.conversions_equivalent
+    );
 }

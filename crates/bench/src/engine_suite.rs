@@ -1,0 +1,179 @@
+//! The engine benchmark suite, shared between `benches/engine.rs` (human
+//! run via `cargo bench`) and the `bench_engine` binary (machine-readable
+//! `BENCH_engine.json` for tracking speedups across commits).
+//!
+//! Dense-vs-sparse pairs are benchmarked on the two hot shapes of the
+//! SymBIST experiments: the reference-ladder DC solve (the per-tap-code
+//! solve inside `refnet`) and the repeated transient step, plus the full
+//! 10-bit SAR conversion that composes them.
+
+use crate::harness::Harness;
+use symbist_adc::{AdcConfig, SarAdc};
+use symbist_circuit::dc::{set_thread_default_engine, DcOptions, DcSolver, EngineChoice};
+use symbist_circuit::matrix::Matrix;
+use symbist_circuit::netlist::{MosPolarity, Netlist, NodeId};
+use symbist_circuit::rng::Rng;
+use symbist_circuit::sparse::{Numeric, Symbolic};
+use symbist_circuit::transient::{TransientOptions, TransientSim};
+
+fn solver(engine: EngineChoice) -> DcSolver {
+    DcSolver::with_options(DcOptions {
+        engine,
+        ..Default::default()
+    })
+}
+
+/// A 32-segment 250 Ω reference ladder with tap loads — the same topology
+/// the SAR ADC's `refnet` solves once per tap code.
+fn ladder_netlist() -> Netlist {
+    let mut nl = Netlist::new();
+    let top = nl.node("top");
+    nl.vsource(top, Netlist::GND, 1.2);
+    let mut prev = top;
+    let mut taps: Vec<NodeId> = Vec::new();
+    for i in 0..32 {
+        let n = nl.node(&format!("tap{i}"));
+        nl.resistor(prev, n, 250.0);
+        taps.push(n);
+        prev = n;
+    }
+    nl.resistor(prev, Netlist::GND, 250.0);
+    for (i, tap) in taps.iter().enumerate() {
+        if i % 4 == 0 {
+            nl.resistor(*tap, Netlist::GND, 1e6);
+        }
+    }
+    nl
+}
+
+/// Runs the whole suite into `h`.
+pub fn run(h: &mut Harness) {
+    // --- raw linear algebra: dense LU vs sparse refactor+solve ---------
+    for n in [8usize, 16, 32, 64] {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut a = Matrix::zeros(n, n);
+        for r in 0..n {
+            for col in 0..n {
+                a.set(r, col, rng.uniform(-1.0, 1.0));
+            }
+            a.add(r, r, n as f64);
+        }
+        let b: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        h.bench(&format!("lu_solve/{n}"), || a.solve(&b).unwrap());
+    }
+
+    // Sparse kernel on a tridiagonal system (the ladder's matrix shape):
+    // symbolic analysis is done once, the timed loop is refactor + solve,
+    // exactly what repeated Newton/transient iterations pay.
+    {
+        let n = 64usize;
+        let mut entries = Vec::new();
+        for i in 0..n {
+            entries.push((i, i));
+            if i + 1 < n {
+                entries.push((i, i + 1));
+                entries.push((i + 1, i));
+            }
+        }
+        let sym = Symbolic::analyze(n, &entries);
+        let mut vals = sym.zero_values();
+        for i in 0..n {
+            *sym.value_mut(&mut vals, i, i) = 4.0;
+            if i + 1 < n {
+                *sym.value_mut(&mut vals, i, i + 1) = -1.0;
+                *sym.value_mut(&mut vals, i + 1, i) = -1.0;
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let mut num = Numeric::new(&sym);
+        h.bench("sparse_refactor_solve/64", || {
+            num.refactor(&sym, &vals).unwrap();
+            num.solve(&sym, &b)
+        });
+    }
+
+    // --- ladder DC: the refnet per-code solve, dense vs sparse ---------
+    let ladder = ladder_netlist();
+    h.bench("ladder_dc/dense", || {
+        solver(EngineChoice::Dense).solve(&ladder).unwrap()
+    });
+    h.bench("ladder_dc/sparse", || {
+        solver(EngineChoice::Sparse).solve(&ladder).unwrap()
+    });
+
+    // --- nonlinear Newton: diode + MOS, bandgap-branch size ------------
+    {
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let a = nl.node("a");
+        let k = nl.node("k");
+        nl.vsource(vdd, Netlist::GND, 1.8);
+        nl.resistor(vdd, a, 10e3);
+        nl.diode(a, k, 1e-15, 1.0);
+        nl.resistor(k, Netlist::GND, 5e3);
+        nl.mosfet(a, k, Netlist::GND, MosPolarity::Nmos, 0.4, 1e-4, 0.01);
+        let dc = DcSolver::new();
+        h.bench("dc_newton_diode_mos", || dc.solve(&nl).unwrap());
+    }
+
+    // --- transient: 1000 RC steps, dense vs sparse ---------------------
+    {
+        let mut nl = Netlist::new();
+        let s = nl.node("s");
+        let o = nl.node("o");
+        nl.vsource(s, Netlist::GND, 1.0);
+        nl.resistor(s, o, 1e3);
+        nl.capacitor(o, Netlist::GND, 1e-9);
+        let run = |engine: EngineChoice| {
+            let mut sim = TransientSim::new(
+                &nl,
+                TransientOptions {
+                    dt: 1e-9,
+                    dc: DcOptions {
+                        engine,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            for _ in 0..1000 {
+                sim.step(&nl).unwrap();
+            }
+            sim.voltage(o)
+        };
+        h.bench("transient_rc_1000_steps/dense", || run(EngineChoice::Dense));
+        h.bench("transient_rc_1000_steps/sparse", || {
+            run(EngineChoice::Sparse)
+        });
+    }
+
+    // --- ADC-level composites: the full 10-bit SAR conversion -----------
+    // The solvers are buried inside the ADC models, so the thread-default
+    // override flips the whole stack between the engines.
+    let adc = SarAdc::new(AdcConfig::default());
+    let prev = set_thread_default_engine(EngineChoice::Dense);
+    h.bench("sar_conversion_10bit/dense", || adc.convert(0.123));
+    set_thread_default_engine(EngineChoice::Sparse);
+    h.bench("sar_conversion_10bit/sparse", || adc.convert(0.123));
+    set_thread_default_engine(prev);
+    h.bench("adc_symbist_observations", || adc.symbist_observations(0.2));
+}
+
+/// Derived dense-over-sparse speedup ratios for the JSON report.
+pub fn derived(h: &Harness) -> Vec<(&'static str, f64)> {
+    let mut out = Vec::new();
+    if let Some(s) = h.speedup("ladder_dc/dense", "ladder_dc/sparse") {
+        out.push(("ladder_dc_speedup", s));
+    }
+    if let Some(s) = h.speedup(
+        "transient_rc_1000_steps/dense",
+        "transient_rc_1000_steps/sparse",
+    ) {
+        out.push(("transient_rc_1000_steps_speedup", s));
+    }
+    if let Some(s) = h.speedup("sar_conversion_10bit/dense", "sar_conversion_10bit/sparse") {
+        out.push(("sar_conversion_speedup", s));
+    }
+    out
+}

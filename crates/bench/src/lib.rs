@@ -16,12 +16,18 @@
 //!   | `baselines` | §VI comparison IPs (bandgap 74 %, POR 51 % in \[9\]) |
 //!   | `escapes` | §VI follow-up: spec-violating escapes (extension) |
 //!
-//! * **Criterion benches** (`benches/`): micro/meso performance of the
-//!   simulation substrate (`engine`) and throughput of the experiment
-//!   pipeline stages (`experiments`) — run with `cargo bench`.
+//! * **Benches** (`benches/`, plain `harness = false` programs on the
+//!   in-repo [`harness`]): micro/meso performance of the simulation
+//!   substrate (`engine`) and throughput of the experiment pipeline
+//!   stages (`experiments`) — run with `cargo bench`. The `bench_engine`
+//!   binary runs the same [`engine_suite`] and writes the results to
+//!   `BENCH_engine.json` for machine consumption.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod engine_suite;
+pub mod harness;
 
 use symbist::experiments::ExperimentConfig;
 

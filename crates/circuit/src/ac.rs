@@ -152,8 +152,8 @@ impl CMatrix {
         let mut x = vec![Cplx::default(); n];
         for i in (0..n).rev() {
             let mut sum = b[i];
-            for j in (i + 1)..n {
-                sum = sum.sub(self.data[i * n + j].mul(x[j]));
+            for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum = sum.sub(self.data[i * n + j].mul(*xj));
             }
             x[i] = sum.div(self.data[i * n + i]);
         }
@@ -267,23 +267,32 @@ impl AcSolver {
                     m.add(j, i, Cplx::new(-g.re, -g.im));
                 }
             };
-            let stamp_gm = |m: &mut CMatrix, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64| {
-                for (out, sign_o) in [(p, 1.0), (n, -1.0)] {
-                    let Some(r) = layout.node_index(out) else { continue };
-                    for (ctrl, sign_c) in [(cp, 1.0), (cn, -1.0)] {
-                        if let Some(c) = layout.node_index(ctrl) {
-                            m.add(r, c, Cplx::new(gm * sign_o * sign_c, 0.0));
+            let stamp_gm =
+                |m: &mut CMatrix, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64| {
+                    for (out, sign_o) in [(p, 1.0), (n, -1.0)] {
+                        let Some(r) = layout.node_index(out) else {
+                            continue;
+                        };
+                        for (ctrl, sign_c) in [(cp, 1.0), (cn, -1.0)] {
+                            if let Some(c) = layout.node_index(ctrl) {
+                                m.add(r, c, Cplx::new(gm * sign_o * sign_c, 0.0));
+                            }
                         }
                     }
-                }
-            };
+                };
 
             for (id, dev) in netlist.iter() {
                 match dev {
                     Device::Resistor { a, b, ohms } => {
                         stamp_g(&mut m, *a, *b, Cplx::new(1.0 / ohms, 0.0));
                     }
-                    Device::Switch { a, b, closed, r_on, r_off } => {
+                    Device::Switch {
+                        a,
+                        b,
+                        closed,
+                        r_on,
+                        r_off,
+                    } => {
                         let r = if *closed { *r_on } else { *r_off };
                         stamp_g(&mut m, *a, *b, Cplx::new(1.0 / r, 0.0));
                     }
@@ -335,8 +344,7 @@ impl AcSolver {
                         i_sat,
                         ideality,
                     } => {
-                        let thermal =
-                            Thermal::new(self.dc.options().temperature_c + 273.15);
+                        let thermal = Thermal::new(self.dc.options().temperature_c + 273.15);
                         let vd = v(*anode) - v(*cathode);
                         let (_, g) =
                             diode_eval(vd, thermal.diode_is(*i_sat), ideality * thermal.vt());
@@ -385,7 +393,10 @@ impl AcSolver {
 ///
 /// Panics if bounds are not positive or `points < 2`.
 pub fn log_space(f_start: f64, f_stop: f64, points: usize) -> Vec<f64> {
-    assert!(f_start > 0.0 && f_stop > f_start, "invalid frequency bounds");
+    assert!(
+        f_start > 0.0 && f_stop > f_start,
+        "invalid frequency bounds"
+    );
     assert!(points >= 2, "need at least 2 points");
     let l0 = f_start.log10();
     let l1 = f_stop.log10();
@@ -412,7 +423,9 @@ mod tests {
     fn rc_pole_minus_3db_and_phase() {
         let (nl, vs, out) = rc_lowpass();
         let fp = 1.0 / (2.0 * PI * 1e3 * 1e-9);
-        let sweep = AcSolver::new().solve(&nl, vs, &[fp / 100.0, fp, fp * 100.0]).unwrap();
+        let sweep = AcSolver::new()
+            .solve(&nl, vs, &[fp / 100.0, fp, fp * 100.0])
+            .unwrap();
         // Far below the pole: 0 dB, ~0°.
         assert!(sweep.magnitude_db(0, out).abs() < 0.01);
         assert!(sweep.phase_deg(0, out).abs() < 1.0);
@@ -433,7 +446,9 @@ mod tests {
         nl.capacitor(s, o, 1e-9);
         nl.resistor(o, Netlist::GND, 1e3);
         let fp = 1.0 / (2.0 * PI * 1e3 * 1e-9);
-        let sweep = AcSolver::new().solve(&nl, vs, &[fp / 100.0, fp * 100.0]).unwrap();
+        let sweep = AcSolver::new()
+            .solve(&nl, vs, &[fp / 100.0, fp * 100.0])
+            .unwrap();
         assert!(sweep.magnitude_db(0, o) < -35.0);
         assert!(sweep.magnitude_db(1, o).abs() < 0.1);
     }

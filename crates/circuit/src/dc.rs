@@ -23,8 +23,54 @@
 //! ```
 
 use crate::error::CircuitError;
-use crate::mna::{Assembler, AssemblyCtx, CapCompanion};
+use crate::mna::{AssemblyCtx, CapCompanion, MnaEngine};
 use crate::netlist::{DeviceId, Netlist, NodeId};
+
+/// Which linear-solver path the Newton engine uses.
+///
+/// The sparse path (see [`crate::sparse`]) computes a fill-reducing ordering
+/// and symbolic factorization once per topology, caches the linear device
+/// stamps, and per iteration only re-stamps nonlinear deltas and runs a
+/// static-pivot numeric refactorization. The dense path assembles and
+/// LU-factorizes (with partial pivoting) the full matrix every iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineChoice {
+    /// Sparse with automatic dense fallback on pivot failure (default).
+    #[default]
+    Auto,
+    /// Dense only — the reference/oracle path.
+    Dense,
+    /// Sparse-first; still falls back to dense on a vanishing static pivot
+    /// (a genuinely singular iterate is reported identically either way).
+    Sparse,
+}
+
+thread_local! {
+    static THREAD_DEFAULT_ENGINE: std::cell::Cell<EngineChoice> =
+        const { std::cell::Cell::new(EngineChoice::Auto) };
+}
+
+/// Overrides what [`EngineChoice::Auto`] resolves to on the current thread
+/// and returns the previous override.
+///
+/// Every solver constructed with default options — including the ones
+/// buried inside higher-level code such as the ADC models — picks the
+/// thread default up, which makes whole-stack A/B comparisons (benchmarks,
+/// cross-checking a suspect sparse result against the dense oracle)
+/// possible without threading options through every layer. Setting
+/// [`EngineChoice::Auto`] restores the built-in default (sparse with dense
+/// fallback).
+pub fn set_thread_default_engine(choice: EngineChoice) -> EngineChoice {
+    THREAD_DEFAULT_ENGINE.with(|c| c.replace(choice))
+}
+
+/// Resolves `Auto` against the thread default; explicit choices win.
+pub(crate) fn resolve_engine(choice: EngineChoice) -> EngineChoice {
+    match choice {
+        EngineChoice::Auto => THREAD_DEFAULT_ENGINE.with(std::cell::Cell::get),
+        explicit => explicit,
+    }
+}
 
 /// Result of a DC (or single transient step) solve: the full MNA solution
 /// with accessors by node.
@@ -93,6 +139,8 @@ pub struct DcOptions {
     /// 300 K = 26.85 °C, which is also the default (so nominal solves are
     /// bit-identical to the temperature-unaware model).
     pub temperature_c: f64,
+    /// Linear-solver engine selection.
+    pub engine: EngineChoice,
 }
 
 impl Default for DcOptions {
@@ -106,6 +154,7 @@ impl Default for DcOptions {
             gmin_steps: 10,
             source_steps: 20,
             temperature_c: 26.85,
+            engine: EngineChoice::default(),
         }
     }
 }
@@ -154,8 +203,8 @@ impl DcSolver {
         netlist: &Netlist,
         initial: Option<&[f64]>,
     ) -> Result<Operating, CircuitError> {
-        let mut asm = Assembler::new(netlist);
-        let dim = asm.layout.dim;
+        let mut asm = MnaEngine::new(netlist, self.options.engine);
+        let dim = asm.layout().dim;
         let caps: Vec<Option<CapCompanion>> = vec![None; netlist.device_count()];
         let mut x = match initial {
             Some(x0) if x0.len() == dim => x0.to_vec(),
@@ -163,7 +212,15 @@ impl DcSolver {
         };
 
         // Strategy 1: plain Newton at nominal gmin.
-        if self.newton(netlist, &mut asm, &mut x, 0.0, 1.0, self.options.gmin, &caps)? {
+        if self.newton(
+            netlist,
+            &mut asm,
+            &mut x,
+            0.0,
+            1.0,
+            self.options.gmin,
+            &caps,
+        )? {
             return Ok(self.finish(&asm, x));
         }
 
@@ -192,7 +249,15 @@ impl DcSolver {
         let mut ok = true;
         for k in 1..=n {
             let scale = k as f64 / n as f64;
-            if !self.newton(netlist, &mut asm, &mut xs, 0.0, scale, self.options.gmin, &caps)? {
+            if !self.newton(
+                netlist,
+                &mut asm,
+                &mut xs,
+                0.0,
+                scale,
+                self.options.gmin,
+                &caps,
+            )? {
                 ok = false;
                 break;
             }
@@ -212,7 +277,7 @@ impl DcSolver {
     pub(crate) fn newton(
         &self,
         netlist: &Netlist,
-        asm: &mut Assembler,
+        asm: &mut MnaEngine,
         x: &mut Vec<f64>,
         time: f64,
         source_scale: f64,
@@ -220,6 +285,7 @@ impl DcSolver {
         cap_companion: &[Option<CapCompanion>],
     ) -> Result<bool, CircuitError> {
         let linear = !netlist.has_nonlinear();
+        let node_unknowns = asm.layout().node_count - 1;
         for iter in 0..self.options.max_iter {
             // Progressive damping: halve the step cap every 50 iterations
             // to break Newton limit cycles on stiff feedback loops.
@@ -232,12 +298,11 @@ impl DcSolver {
                 cap_companion,
                 thermal: crate::mna::Thermal::new(self.options.temperature_c + 273.15),
             };
-            asm.assemble(netlist, &ctx);
             // A singular iterate (e.g. every MOSFET in cutoff at a bad
             // guess) is a convergence failure, not a fatal topology error:
             // report non-convergence so the caller's continuation
             // strategies (gmin/source stepping) get their chance.
-            let new_x = match asm.matrix.solve(&asm.rhs) {
+            let new_x = match asm.assemble_and_solve(netlist, &ctx) {
                 Ok(x) => x,
                 Err(_) => return Ok(false),
             };
@@ -247,11 +312,11 @@ impl DcSolver {
             let mut max_delta = 0.0f64;
             for i in 0..x.len() {
                 let mut delta = new_x[i] - x[i];
-                if !linear && delta.abs() > step_cap && i < asm.layout.node_count - 1 {
+                if !linear && delta.abs() > step_cap && i < node_unknowns {
                     delta = delta.signum() * step_cap;
                 }
                 x[i] += delta;
-                if i < asm.layout.node_count - 1 {
+                if i < node_unknowns {
                     let tol = self.options.vntol + self.options.reltol * x[i].abs();
                     if delta.abs() > tol {
                         max_delta = max_delta.max(delta.abs() / tol);
@@ -268,11 +333,11 @@ impl DcSolver {
         Ok(false)
     }
 
-    fn finish(&self, asm: &Assembler, x: Vec<f64>) -> Operating {
+    fn finish(&self, asm: &MnaEngine, x: Vec<f64>) -> Operating {
         Operating {
             x,
-            node_count: asm.layout.node_count,
-            branch_of: asm.layout.branch_of.clone(),
+            node_count: asm.layout().node_count,
+            branch_of: asm.layout().branch_of.clone(),
         }
     }
 }
@@ -394,7 +459,11 @@ mod tests {
         let op = DcSolver::new().solve(&nl).unwrap();
         // ids = 0.5·2e-4·(0.5)² = 25 µA; vd = 3 − 0.25 = 2.75 (saturation
         // holds since vds = 2.75 > vov = 0.5).
-        assert!((op.voltage(d) - 2.75).abs() < 1e-6, "v(d) = {}", op.voltage(d));
+        assert!(
+            (op.voltage(d) - 2.75).abs() < 1e-6,
+            "v(d) = {}",
+            op.voltage(d)
+        );
     }
 
     #[test]
@@ -409,7 +478,11 @@ mod tests {
         nl.mosfet(d, g, vdd, MosPolarity::Pmos, 0.5, 2e-4, 0.0);
         let op = DcSolver::new().solve(&nl).unwrap();
         // |ids| = 25 µA into the resistor: vd = 0.25 V.
-        assert!((op.voltage(d) - 0.25).abs() < 1e-6, "v(d) = {}", op.voltage(d));
+        assert!(
+            (op.voltage(d) - 0.25).abs() < 1e-6,
+            "v(d) = {}",
+            op.voltage(d)
+        );
     }
 
     #[test]
@@ -473,11 +546,23 @@ mod tests {
         nl.vsource(vdd, Netlist::GND, 3.0);
         // 100 µA reference pushed into the diode-connected device.
         nl.isource(vdd, ref_n, 1e-4);
-        nl.mosfet(ref_n, ref_n, Netlist::GND, MosPolarity::Nmos, 0.5, 4e-4, 0.0);
+        nl.mosfet(
+            ref_n,
+            ref_n,
+            Netlist::GND,
+            MosPolarity::Nmos,
+            0.5,
+            4e-4,
+            0.0,
+        );
         nl.mosfet(out, ref_n, Netlist::GND, MosPolarity::Nmos, 0.5, 4e-4, 0.0);
         nl.resistor(vdd, out, 5_000.0);
         let op = DcSolver::new().solve(&nl).unwrap();
         // Mirrored 100 µA through 5k: v(out) = 3 − 0.5 = 2.5 V.
-        assert!((op.voltage(out) - 2.5).abs() < 0.01, "v(out) = {}", op.voltage(out));
+        assert!(
+            (op.voltage(out) - 2.5).abs() < 0.01,
+            "v(out) = {}",
+            op.voltage(out)
+        );
     }
 }

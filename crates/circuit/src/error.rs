@@ -36,7 +36,10 @@ impl fmt::Display for CircuitError {
                 analysis,
                 iterations,
             } => {
-                write!(f, "{analysis} failed to converge within {iterations} iterations")
+                write!(
+                    f,
+                    "{analysis} failed to converge within {iterations} iterations"
+                )
             }
             CircuitError::InvalidConfig { reason } => {
                 write!(f, "invalid analysis configuration: {reason}")

@@ -12,9 +12,14 @@
 //!
 //! * [`netlist`] — circuit capture: nodes, R/C, sources, switches, diodes,
 //!   level-1 MOSFETs, controlled sources.
-//! * `mna` (crate-internal) — Modified Nodal Analysis assembly.
-//! * [`matrix`] — dense LU with partial pivoting (circuits here are ≤ a few
-//!   hundred nodes; dense is faster and simpler than sparse at this scale).
+//! * `mna` (crate-internal) — Modified Nodal Analysis assembly with a
+//!   linear/nonlinear stamp split: linear devices are pre-stamped once per
+//!   topology, nonlinear deltas are re-stamped per Newton iteration.
+//! * [`sparse`] — KLU-style sparse LU: one-time symbolic analysis
+//!   (fill-reducing ordering + static fill-in pattern) per topology, fast
+//!   numeric refactorization per solve. The default engine.
+//! * [`matrix`] — dense LU with partial pivoting; the fallback path when a
+//!   static pivot vanishes and the cross-check oracle in tests.
 //! * [`dc`] — Newton–Raphson operating point with gmin and source stepping.
 //! * [`transient`] — backward-Euler / trapezoidal integration; the netlist
 //!   is borrowed per step so digital controllers can flip switches, which is
@@ -51,16 +56,17 @@ pub mod ac;
 pub mod dc;
 pub mod error;
 pub mod matrix;
-pub(crate) mod mna;
 pub mod mc;
+pub(crate) mod mna;
 pub mod netlist;
 pub mod parser;
 pub mod rng;
+pub mod sparse;
 pub mod transient;
 pub mod units;
 pub mod waveform;
 
-pub use dc::{DcOptions, DcSolver, Operating};
+pub use dc::{DcOptions, DcSolver, EngineChoice, Operating};
 pub use error::CircuitError;
 pub use netlist::{Device, DeviceId, MosPolarity, Netlist, NodeId, SourceWave};
 pub use rng::Rng;

@@ -80,7 +80,11 @@ impl Matrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -100,7 +104,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -111,7 +118,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -122,7 +132,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn add(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] += v;
     }
 
@@ -139,9 +152,9 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yr = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -266,8 +279,8 @@ impl Lu {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[self.perm[i]];
-            for j in 0..i {
-                sum -= self.lu[i * n + j] * y[j];
+            for (j, yj) in y.iter().enumerate().take(i) {
+                sum -= self.lu[i * n + j] * yj;
             }
             y[i] = sum;
         }
@@ -275,8 +288,8 @@ impl Lu {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for j in (i + 1)..n {
-                sum -= self.lu[i * n + j] * x[j];
+            for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.lu[i * n + j] * xj;
             }
             x[i] = sum / self.lu[i * n + i];
         }

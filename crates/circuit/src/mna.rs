@@ -8,8 +8,13 @@
 //! The assembly is re-run at every Newton iteration / time step; the layout
 //! (index assignment) is computed once per topology.
 
-use crate::matrix::Matrix;
+use crate::matrix::{Matrix, SingularMatrixError};
 use crate::netlist::{Device, DeviceId, MosPolarity, Netlist, NodeId};
+use crate::sparse::{analyze_cached, FnvHasher, Numeric, Symbolic};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+use std::rc::Rc;
 
 /// Thermal voltage at room temperature, kT/q at 300 K.
 pub const VT_THERMAL: f64 = 0.025852;
@@ -383,6 +388,699 @@ impl Assembler {
     }
 }
 
+/// Precomputed sparse-pattern slots for one diode (the four conductance
+/// positions over `{anode, cathode}²`; `None` where a terminal is ground).
+#[derive(Debug, Clone, Copy, Default)]
+struct DiodeSlots {
+    aa: Option<usize>,
+    kk: Option<usize>,
+    ak: Option<usize>,
+    ka: Option<usize>,
+}
+
+/// Precomputed sparse-pattern slots for one MOSFET: all positions the stamp
+/// can touch in either drain/source orientation, `{d,s} × {d,s,g}`.
+#[derive(Debug, Clone, Copy, Default)]
+struct MosSlots {
+    dd: Option<usize>,
+    ds: Option<usize>,
+    sd: Option<usize>,
+    ss: Option<usize>,
+    dg: Option<usize>,
+    sg: Option<usize>,
+}
+
+/// Per-device nonlinear stamp plan, indexed by device id.
+#[derive(Debug, Clone, Copy)]
+enum NonlinearSlots {
+    /// Device is linear (or RHS-only); nothing to re-stamp per iteration.
+    None,
+    Diode(DiodeSlots),
+    Mos(MosSlots),
+}
+
+/// Sparse MNA assembler with a linear/nonlinear stamp split.
+///
+/// The expensive per-topology work — sparsity-pattern discovery, fill-reducing
+/// ordering, symbolic factorization, and stamping of all *linear* devices —
+/// happens once. Each Newton iteration then only copies the cached linear
+/// base values, adds the nonlinear deltas (diode and MOSFET conductances at
+/// the current guess), rebuilds the right-hand side, and runs the static-
+/// pattern numeric refactorization from [`crate::sparse`].
+///
+/// Linear device values *can* change between solves (switches toggled by the
+/// SAR controller, capacitor companions when `dt` changes, `gmin` stepping);
+/// a per-device fingerprint detects that and rebuilds the base lazily.
+#[derive(Debug)]
+pub(crate) struct SparseAssembler {
+    symbolic: Rc<Symbolic>,
+    numeric: Numeric,
+    /// Cached values of the linear portion of the matrix.
+    base: Vec<f64>,
+    /// Scratch: base + nonlinear deltas for the current iteration.
+    work: Vec<f64>,
+    /// The values the current factorization was computed from; when `work`
+    /// comes out bit-identical (linear circuits after the first iteration,
+    /// converged Newton re-checks), the refactorization is skipped.
+    factored: Vec<f64>,
+    pub rhs: Vec<f64>,
+    /// Per-device linear fingerprint; a change forces a base rebuild.
+    fingerprint: Vec<f64>,
+    /// gmin the base was built with (part of the fingerprint).
+    base_gmin: f64,
+    /// `true` until the first base build.
+    base_dirty: bool,
+    /// Per-device nonlinear stamp plans.
+    nonlinear: Vec<NonlinearSlots>,
+    /// Structure key this assembler was built for; used to return it to the
+    /// per-topology cache when the owning engine is dropped.
+    key: Vec<u64>,
+}
+
+type AssemblerCache = HashMap<Vec<u64>, SparseAssembler, BuildHasherDefault<FnvHasher>>;
+
+thread_local! {
+    static ASSEMBLER_CACHE: RefCell<AssemblerCache> = RefCell::new(HashMap::default());
+}
+
+/// Entry cap on the per-thread assembler cache (cleared on overflow). Sized
+/// for the worst realistic topology count: a defect campaign injecting a
+/// few hundred structural shorts/opens into one netlist.
+const ASSEMBLER_CACHE_CAP: usize = 256;
+
+impl SparseAssembler {
+    /// A cheap structural fingerprint of the netlist: device kinds and node
+    /// wiring, excluding every value (resistances, source levels, switch
+    /// state, MOS parameters) — those are handled per solve by the
+    /// per-device value fingerprint and the RHS rebuild.
+    fn structure_key(netlist: &Netlist, dim: usize) -> Vec<u64> {
+        let mut key = Vec::with_capacity(1 + netlist.device_count() * 4);
+        key.push(dim as u64);
+        let node = |n: &crate::netlist::NodeId| n.index() as u64;
+        for (_, dev) in netlist.iter() {
+            match dev {
+                Device::Resistor { a, b, .. } => key.extend([1, node(a), node(b)]),
+                Device::Switch { a, b, .. } => key.extend([2, node(a), node(b)]),
+                Device::Capacitor { a, b, .. } => key.extend([3, node(a), node(b)]),
+                Device::Diode { anode, cathode, .. } => {
+                    key.extend([4, node(anode), node(cathode)]);
+                }
+                Device::VSource { p, n, .. } => key.extend([5, node(p), node(n)]),
+                Device::ISource { p, n, .. } => key.extend([6, node(p), node(n)]),
+                Device::Vcvs { p, n, cp, cn, .. } => {
+                    key.extend([7, node(p), node(n), node(cp), node(cn)]);
+                }
+                Device::Vccs { p, n, cp, cn, .. } => {
+                    key.extend([8, node(p), node(n), node(cp), node(cn)]);
+                }
+                Device::Mosfet { d, g, s, .. } => {
+                    key.extend([9, node(d), node(g), node(s)]);
+                }
+            }
+        }
+        key
+    }
+
+    /// Fetches the assembler for this topology from the per-thread cache, or
+    /// builds one on first sight. The caller owns it until [`Self::release`].
+    ///
+    /// A cached assembler may carry state from a *different netlist* of the
+    /// same structure (other Monte-Carlo sample, toggled switches); that is
+    /// safe by construction — the value fingerprint rebuilds the linear base
+    /// on mismatch, nonlinear stamps and the RHS are rebuilt from the actual
+    /// netlist every iteration, and the numeric factorization is refreshed
+    /// whenever the assembled values change.
+    pub(crate) fn obtain(netlist: &Netlist, layout: &MnaLayout) -> Self {
+        let key = Self::structure_key(netlist, layout.dim);
+        let cached = ASSEMBLER_CACHE.with(|c| c.borrow_mut().remove(&key));
+        let mut asm = cached.unwrap_or_else(|| Self::new(netlist, layout));
+        asm.key = key;
+        asm
+    }
+
+    /// Returns the assembler to the per-thread cache for the next engine on
+    /// the same topology.
+    fn release(mut self) {
+        let key = std::mem::take(&mut self.key);
+        if key.is_empty() {
+            return;
+        }
+        // `try_with`: drops during thread teardown must not panic.
+        let _ = ASSEMBLER_CACHE.try_with(|c| {
+            let mut cache = c.borrow_mut();
+            if cache.len() >= ASSEMBLER_CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(key, self);
+        });
+    }
+
+    pub(crate) fn new(netlist: &Netlist, layout: &MnaLayout) -> Self {
+        let mut entries: Vec<(usize, usize)> = Vec::new();
+        let sym = |a: Option<usize>, b: Option<usize>, out: &mut Vec<(usize, usize)>| {
+            if let Some(i) = a {
+                out.push((i, i));
+            }
+            if let Some(j) = b {
+                out.push((j, j));
+            }
+            if let (Some(i), Some(j)) = (a, b) {
+                out.push((i, j));
+                out.push((j, i));
+            }
+        };
+        for (id, dev) in netlist.iter() {
+            match dev {
+                Device::Resistor { a, b, .. }
+                | Device::Switch { a, b, .. }
+                | Device::Capacitor { a, b, .. } => {
+                    sym(layout.node_index(*a), layout.node_index(*b), &mut entries);
+                }
+                Device::Diode { anode, cathode, .. } => {
+                    sym(
+                        layout.node_index(*anode),
+                        layout.node_index(*cathode),
+                        &mut entries,
+                    );
+                }
+                Device::VSource { p, n, .. } => {
+                    let br = layout.branch_index(id);
+                    for i in [layout.node_index(*p), layout.node_index(*n)]
+                        .into_iter()
+                        .flatten()
+                    {
+                        entries.push((i, br));
+                        entries.push((br, i));
+                    }
+                }
+                Device::Vcvs { p, n, cp, cn, .. } => {
+                    let br = layout.branch_index(id);
+                    for i in [layout.node_index(*p), layout.node_index(*n)]
+                        .into_iter()
+                        .flatten()
+                    {
+                        entries.push((i, br));
+                        entries.push((br, i));
+                    }
+                    for i in [layout.node_index(*cp), layout.node_index(*cn)]
+                        .into_iter()
+                        .flatten()
+                    {
+                        entries.push((br, i));
+                    }
+                }
+                Device::Vccs { p, n, cp, cn, .. } => {
+                    for row in [layout.node_index(*p), layout.node_index(*n)] {
+                        for col in [layout.node_index(*cp), layout.node_index(*cn)] {
+                            if let (Some(r), Some(c)) = (row, col) {
+                                entries.push((r, c));
+                            }
+                        }
+                    }
+                }
+                Device::Mosfet { d, g, s, .. } => {
+                    // The symmetric-MOS stamp can swap drain and source per
+                    // iteration; reserve every position either orientation
+                    // can touch.
+                    for row in [layout.node_index(*d), layout.node_index(*s)] {
+                        for col in [
+                            layout.node_index(*d),
+                            layout.node_index(*s),
+                            layout.node_index(*g),
+                        ] {
+                            if let (Some(r), Some(c)) = (row, col) {
+                                entries.push((r, c));
+                            }
+                        }
+                    }
+                }
+                Device::ISource { .. } => {}
+            }
+        }
+        let symbolic = analyze_cached(layout.dim, &entries);
+        let numeric = Numeric::new(&symbolic);
+
+        // Precompute per-iteration stamp slots for the nonlinear devices.
+        let slot2 = |sym: &Symbolic, r: Option<usize>, c: Option<usize>| match (r, c) {
+            (Some(r), Some(c)) => sym.slot(r, c),
+            _ => None,
+        };
+        let nonlinear = netlist
+            .iter()
+            .map(|(_, dev)| match dev {
+                Device::Diode { anode, cathode, .. } => {
+                    let a = layout.node_index(*anode);
+                    let k = layout.node_index(*cathode);
+                    NonlinearSlots::Diode(DiodeSlots {
+                        aa: slot2(&symbolic, a, a),
+                        kk: slot2(&symbolic, k, k),
+                        ak: slot2(&symbolic, a, k),
+                        ka: slot2(&symbolic, k, a),
+                    })
+                }
+                Device::Mosfet { d, g, s, .. } => {
+                    let id = layout.node_index(*d);
+                    let ig = layout.node_index(*g);
+                    let is = layout.node_index(*s);
+                    NonlinearSlots::Mos(MosSlots {
+                        dd: slot2(&symbolic, id, id),
+                        ds: slot2(&symbolic, id, is),
+                        sd: slot2(&symbolic, is, id),
+                        ss: slot2(&symbolic, is, is),
+                        dg: slot2(&symbolic, id, ig),
+                        sg: slot2(&symbolic, is, ig),
+                    })
+                }
+                _ => NonlinearSlots::None,
+            })
+            .collect();
+
+        let nnz = symbolic.nnz();
+        Self {
+            symbolic,
+            numeric,
+            base: vec![0.0; nnz],
+            work: vec![0.0; nnz],
+            factored: vec![f64::NAN; nnz],
+            rhs: vec![0.0; layout.dim],
+            fingerprint: vec![f64::NAN; netlist.device_count()],
+            base_gmin: f64::NAN,
+            base_dirty: true,
+            nonlinear,
+            key: Vec::new(),
+        }
+    }
+
+    /// The linear-portion value a device contributes to the matrix; when it
+    /// changes, the cached base is stale. RHS-only changes (source values,
+    /// companion `ieq`) deliberately do not appear here.
+    fn linear_value(dev: &Device, companion: Option<&CapCompanion>) -> f64 {
+        match dev {
+            Device::Resistor { ohms, .. } => 1.0 / ohms,
+            Device::Switch {
+                closed,
+                r_on,
+                r_off,
+                ..
+            } => 1.0 / if *closed { *r_on } else { *r_off },
+            Device::Capacitor { .. } => companion.map_or(0.0, |c| c.g),
+            Device::Vcvs { gain, .. } => *gain,
+            Device::Vccs { gm, .. } => *gm,
+            // Sources only move the RHS; diodes and MOSFETs are re-stamped
+            // every iteration anyway.
+            _ => 0.0,
+        }
+    }
+
+    /// Rebuilds the cached linear base if any linear value changed.
+    fn refresh_base(&mut self, netlist: &Netlist, layout: &MnaLayout, ctx: &AssemblyCtx<'_>) {
+        let mut stale = self.base_dirty || self.base_gmin != ctx.gmin;
+        for (id, dev) in netlist.iter() {
+            let comp = ctx.cap_companion.get(id.index()).and_then(|c| c.as_ref());
+            let v = Self::linear_value(dev, comp);
+            if self.fingerprint[id.index()].to_bits() != v.to_bits() {
+                self.fingerprint[id.index()] = v;
+                stale = true;
+            }
+        }
+        if !stale {
+            return;
+        }
+        self.base.fill(0.0);
+        fn add(sym: &Symbolic, base: &mut [f64], r: usize, c: usize, v: f64) {
+            let s = sym.slot(r, c).expect("position in pattern");
+            base[s] += v;
+        }
+        fn conductance(
+            sym: &Symbolic,
+            base: &mut [f64],
+            a: Option<usize>,
+            b: Option<usize>,
+            g: f64,
+        ) {
+            if let Some(i) = a {
+                add(sym, base, i, i, g);
+            }
+            if let Some(j) = b {
+                add(sym, base, j, j, g);
+            }
+            if let (Some(i), Some(j)) = (a, b) {
+                add(sym, base, i, j, -g);
+                add(sym, base, j, i, -g);
+            }
+        }
+        let sym = &self.symbolic;
+        let base = &mut self.base;
+        if ctx.gmin > 0.0 {
+            for i in 0..(layout.node_count - 1) {
+                add(sym, base, i, i, ctx.gmin);
+            }
+        }
+        for (id, dev) in netlist.iter() {
+            match dev {
+                Device::Resistor { a, b, ohms } => {
+                    conductance(
+                        sym,
+                        base,
+                        layout.node_index(*a),
+                        layout.node_index(*b),
+                        1.0 / ohms,
+                    );
+                }
+                Device::Switch {
+                    a,
+                    b,
+                    closed,
+                    r_on,
+                    r_off,
+                } => {
+                    let r = if *closed { *r_on } else { *r_off };
+                    conductance(
+                        sym,
+                        base,
+                        layout.node_index(*a),
+                        layout.node_index(*b),
+                        1.0 / r,
+                    );
+                }
+                Device::Capacitor { a, b, .. } => {
+                    if let Some(Some(comp)) = ctx.cap_companion.get(id.index()) {
+                        conductance(
+                            sym,
+                            base,
+                            layout.node_index(*a),
+                            layout.node_index(*b),
+                            comp.g,
+                        );
+                    }
+                }
+                Device::VSource { p, n, .. } => {
+                    let br = layout.branch_index(id);
+                    if let Some(ip) = layout.node_index(*p) {
+                        add(sym, base, ip, br, 1.0);
+                        add(sym, base, br, ip, 1.0);
+                    }
+                    if let Some(in_) = layout.node_index(*n) {
+                        add(sym, base, in_, br, -1.0);
+                        add(sym, base, br, in_, -1.0);
+                    }
+                }
+                Device::Vcvs { p, n, cp, cn, gain } => {
+                    let br = layout.branch_index(id);
+                    if let Some(ip) = layout.node_index(*p) {
+                        add(sym, base, ip, br, 1.0);
+                        add(sym, base, br, ip, 1.0);
+                    }
+                    if let Some(in_) = layout.node_index(*n) {
+                        add(sym, base, in_, br, -1.0);
+                        add(sym, base, br, in_, -1.0);
+                    }
+                    if let Some(icp) = layout.node_index(*cp) {
+                        add(sym, base, br, icp, -gain);
+                    }
+                    if let Some(icn) = layout.node_index(*cn) {
+                        add(sym, base, br, icn, *gain);
+                    }
+                }
+                Device::Vccs { p, n, cp, cn, gm } => {
+                    let rows = [(layout.node_index(*p), *gm), (layout.node_index(*n), -*gm)];
+                    for (row, s) in rows {
+                        if let Some(r) = row {
+                            if let Some(c) = layout.node_index(*cp) {
+                                add(sym, base, r, c, s);
+                            }
+                            if let Some(c) = layout.node_index(*cn) {
+                                add(sym, base, r, c, -s);
+                            }
+                        }
+                    }
+                }
+                // Sources only touch the RHS; nonlinear devices are stamped
+                // per iteration on top of the base.
+                Device::ISource { .. } | Device::Diode { .. } | Device::Mosfet { .. } => {}
+            }
+        }
+        self.base_gmin = ctx.gmin;
+        self.base_dirty = false;
+    }
+
+    /// Assembles (incrementally) and solves the MNA system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when the static-pivot refactorization
+    /// hits a numerically vanishing pivot; the caller may retry on the dense
+    /// partially-pivoted path.
+    pub(crate) fn assemble_and_solve(
+        &mut self,
+        netlist: &Netlist,
+        layout: &MnaLayout,
+        ctx: &AssemblyCtx<'_>,
+        x_out: &mut [f64],
+    ) -> Result<(), SingularMatrixError> {
+        self.refresh_base(netlist, layout, ctx);
+        self.work.copy_from_slice(&self.base);
+        self.rhs.fill(0.0);
+
+        let v = |n: NodeId| match layout.node_index(n) {
+            None => 0.0,
+            Some(i) => ctx.guess[i],
+        };
+
+        for (id, dev) in netlist.iter() {
+            match dev {
+                Device::VSource { p: _, n: _, wave } => {
+                    let br = layout.branch_index(id);
+                    self.rhs[br] += wave.at(ctx.time) * ctx.source_scale;
+                }
+                Device::ISource { p, n, wave } => {
+                    let i = wave.at(ctx.time) * ctx.source_scale;
+                    if let Some(ip) = layout.node_index(*p) {
+                        self.rhs[ip] -= i;
+                    }
+                    if let Some(in_) = layout.node_index(*n) {
+                        self.rhs[in_] += i;
+                    }
+                }
+                Device::Capacitor { a, b, .. } => {
+                    if let Some(Some(comp)) = ctx.cap_companion.get(id.index()) {
+                        // ieq feeds node a: i(a→b) = −ieq on the source term.
+                        if let Some(ia) = layout.node_index(*a) {
+                            self.rhs[ia] += comp.ieq;
+                        }
+                        if let Some(ib) = layout.node_index(*b) {
+                            self.rhs[ib] -= comp.ieq;
+                        }
+                    }
+                }
+                Device::Diode {
+                    anode,
+                    cathode,
+                    i_sat,
+                    ideality,
+                } => {
+                    let NonlinearSlots::Diode(slots) = self.nonlinear[id.index()] else {
+                        unreachable!("diode slot plan missing");
+                    };
+                    let vd = v(*anode) - v(*cathode);
+                    let nvt = ideality * ctx.thermal.vt();
+                    let is_eff = ctx.thermal.diode_is(*i_sat);
+                    let (i, g) = diode_eval(vd, is_eff, nvt);
+                    let ieq = i - g * vd;
+                    if let Some(s) = slots.aa {
+                        self.work[s] += g;
+                    }
+                    if let Some(s) = slots.kk {
+                        self.work[s] += g;
+                    }
+                    if let Some(s) = slots.ak {
+                        self.work[s] -= g;
+                    }
+                    if let Some(s) = slots.ka {
+                        self.work[s] -= g;
+                    }
+                    if let Some(ia) = layout.node_index(*anode) {
+                        self.rhs[ia] -= ieq;
+                    }
+                    if let Some(ik) = layout.node_index(*cathode) {
+                        self.rhs[ik] += ieq;
+                    }
+                }
+                Device::Mosfet {
+                    d,
+                    g,
+                    s,
+                    polarity,
+                    vth,
+                    kp,
+                    lambda,
+                } => {
+                    let NonlinearSlots::Mos(slots) = self.nonlinear[id.index()] else {
+                        unreachable!("mosfet slot plan missing");
+                    };
+                    let vth_t = ctx.thermal.mos_vth(*vth);
+                    let kp_t = ctx.thermal.mos_kp(*kp);
+                    let sign = match polarity {
+                        MosPolarity::Nmos => 1.0,
+                        MosPolarity::Pmos => -1.0,
+                    };
+                    let (nvd, nvg, nvs) = (sign * v(*d), sign * v(*g), sign * v(*s));
+                    let swapped = nvd < nvs;
+                    let (nhd, nhs) = if swapped { (nvs, nvd) } else { (nvd, nvs) };
+                    let vgs = nvg - nhs;
+                    let vds = nhd - nhs;
+                    let (ids, gm, gds) = nmos_eval(vgs, vds, vth_t, kp_t, *lambda);
+                    let ieq = ids - gm * vgs - gds * vds;
+                    // Conductance gds between hd and hs = between d and s.
+                    if let Some(sl) = slots.dd {
+                        self.work[sl] += gds;
+                    }
+                    if let Some(sl) = slots.ss {
+                        self.work[sl] += gds;
+                    }
+                    if let Some(sl) = slots.ds {
+                        self.work[sl] -= gds;
+                    }
+                    if let Some(sl) = slots.sd {
+                        self.work[sl] -= gds;
+                    }
+                    // VCCS gm from (g, hs) driving hd → hs.
+                    let (hd_g, hd_hs, hs_g, hs_hs) = if swapped {
+                        (slots.sg, slots.sd, slots.dg, slots.dd)
+                    } else {
+                        (slots.dg, slots.ds, slots.sg, slots.ss)
+                    };
+                    if let Some(sl) = hd_g {
+                        self.work[sl] += gm;
+                    }
+                    if let Some(sl) = hd_hs {
+                        self.work[sl] -= gm;
+                    }
+                    if let Some(sl) = hs_g {
+                        self.work[sl] -= gm;
+                    }
+                    if let Some(sl) = hs_hs {
+                        self.work[sl] += gm;
+                    }
+                    // Equivalent current hd → hs, mapped back by `sign`.
+                    let (hd, hs) = if swapped { (*s, *d) } else { (*d, *s) };
+                    if let Some(i) = layout.node_index(hd) {
+                        self.rhs[i] -= sign * ieq;
+                    }
+                    if let Some(i) = layout.node_index(hs) {
+                        self.rhs[i] += sign * ieq;
+                    }
+                }
+                Device::Resistor { .. }
+                | Device::Switch { .. }
+                | Device::Vcvs { .. }
+                | Device::Vccs { .. } => {}
+            }
+        }
+
+        // NaN-initialized `factored` never bit-matches, so the first
+        // iteration always factors.
+        let same = self
+            .work
+            .iter()
+            .zip(&self.factored)
+            .all(|(w, f)| w.to_bits() == f.to_bits());
+        if !same {
+            self.numeric.refactor(&self.symbolic, &self.work)?;
+            self.factored.copy_from_slice(&self.work);
+        }
+        self.numeric.solve_into(&self.symbolic, &self.rhs, x_out);
+        Ok(())
+    }
+}
+
+/// Solver engine: sparse split-assembly path with the dense partially-pivoted
+/// path as fallback and cross-check oracle.
+#[derive(Debug)]
+pub(crate) struct MnaEngine {
+    dense: Assembler,
+    sparse: Option<SparseAssembler>,
+    /// Solution buffer reused across iterations; [`MnaEngine::assemble_and_solve`]
+    /// hands out a borrow of it so the hot loop never allocates.
+    solution: Vec<f64>,
+    /// Consecutive sparse pivot failures; the engine goes sticky-dense after
+    /// a few so a topology that genuinely defeats static pivoting does not
+    /// pay for a doomed refactorization on every iteration.
+    sparse_failures: u32,
+}
+
+/// After this many consecutive static-pivot failures the engine stops trying
+/// the sparse path for the remainder of its lifetime.
+const SPARSE_FAILURE_LIMIT: u32 = 8;
+
+impl MnaEngine {
+    pub(crate) fn new(netlist: &Netlist, choice: crate::dc::EngineChoice) -> Self {
+        use crate::dc::EngineChoice;
+        let dense = Assembler::new(netlist);
+        let sparse = match crate::dc::resolve_engine(choice) {
+            EngineChoice::Dense => None,
+            EngineChoice::Auto | EngineChoice::Sparse => {
+                Some(SparseAssembler::obtain(netlist, &dense.layout))
+            }
+        };
+        let solution = vec![0.0; dense.layout.dim];
+        Self {
+            dense,
+            sparse,
+            solution,
+            sparse_failures: 0,
+        }
+    }
+
+    pub(crate) fn layout(&self) -> &MnaLayout {
+        &self.dense.layout
+    }
+
+    /// Assembles and solves one MNA system, preferring the sparse path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] only when the dense fallback also
+    /// finds the matrix singular (a genuinely singular iterate).
+    pub(crate) fn assemble_and_solve(
+        &mut self,
+        netlist: &Netlist,
+        ctx: &AssemblyCtx<'_>,
+    ) -> Result<&[f64], SingularMatrixError> {
+        let mut solved = false;
+        if self.sparse_failures < SPARSE_FAILURE_LIMIT {
+            // Split borrows: the layout lives on the dense assembler.
+            if let Some(sparse) = self.sparse.as_mut() {
+                match sparse.assemble_and_solve(
+                    netlist,
+                    &self.dense.layout,
+                    ctx,
+                    &mut self.solution,
+                ) {
+                    Ok(()) => {
+                        self.sparse_failures = 0;
+                        solved = true;
+                    }
+                    Err(_) => self.sparse_failures += 1,
+                }
+            }
+        }
+        if !solved {
+            self.dense.assemble(netlist, ctx);
+            self.solution = self.dense.matrix.solve(&self.dense.rhs)?;
+        }
+        Ok(&self.solution)
+    }
+}
+
+impl Drop for MnaEngine {
+    fn drop(&mut self) {
+        if let Some(sparse) = self.sparse.take() {
+            sparse.release();
+        }
+    }
+}
+
 /// Shockley diode with exponent limiting: returns `(i, di/dv)`.
 pub(crate) fn diode_eval(vd: f64, i_sat: f64, nvt: f64) -> (f64, f64) {
     let x = vd / nvt;
@@ -430,6 +1128,83 @@ pub(crate) fn nmos_eval(vgs: f64, vds: f64, vth: f64, kp: f64, lambda: f64) -> (
 mod tests {
     use super::*;
     use crate::netlist::Netlist;
+
+    #[test]
+    #[ignore = "timing probe, run manually with --release --nocapture"]
+    fn timing_probe() {
+        use std::hint::black_box;
+        use std::time::Instant;
+        let mut nl = Netlist::new();
+        let top = nl.node("top");
+        nl.vsource(top, Netlist::GND, 1.2);
+        let mut prev = top;
+        for i in 0..32 {
+            let n = nl.node(&format!("tap{i}"));
+            nl.resistor(prev, n, 250.0);
+            prev = n;
+        }
+        nl.resistor(prev, Netlist::GND, 250.0);
+        let time = |label: &str, f: &mut dyn FnMut()| {
+            let iters = 20000;
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            println!(
+                "{label:>30}: {:.0} ns",
+                start.elapsed().as_secs_f64() * 1e9 / f64::from(iters)
+            );
+        };
+        time("MnaLayout::new", &mut || {
+            black_box(MnaLayout::new(&nl));
+        });
+        time("Assembler::new", &mut || {
+            black_box(Assembler::new(&nl));
+        });
+        let layout = MnaLayout::new(&nl);
+        time("structure_key", &mut || {
+            black_box(SparseAssembler::structure_key(&nl, layout.dim));
+        });
+        time("obtain+release", &mut || {
+            SparseAssembler::obtain(&nl, &layout).release();
+        });
+        let caps = vec![None; nl.device_count()];
+        let guess = vec![0.0; layout.dim];
+        let ctx = AssemblyCtx {
+            time: 0.0,
+            source_scale: 1.0,
+            gmin: 1e-12,
+            guess: &guess,
+            cap_companion: &caps,
+            thermal: Thermal::new(T_NOMINAL_K),
+        };
+        let mut sp = SparseAssembler::obtain(&nl, &layout);
+        let mut x = vec![0.0; layout.dim];
+        time("sparse assemble_and_solve", &mut || {
+            sp.assemble_and_solve(&nl, &layout, &ctx, &mut x).unwrap();
+            black_box(&x);
+        });
+        let mut engine = MnaEngine::new(&nl, crate::dc::EngineChoice::Sparse);
+        time("engine assemble_and_solve", &mut || {
+            black_box(engine.assemble_and_solve(&nl, &ctx).unwrap());
+        });
+        time("MnaEngine::new sparse", &mut || {
+            black_box(MnaEngine::new(&nl, crate::dc::EngineChoice::Sparse));
+        });
+        time("MnaEngine::new dense", &mut || {
+            black_box(MnaEngine::new(&nl, crate::dc::EngineChoice::Dense));
+        });
+        time("full DcSolver sparse", &mut || {
+            black_box(
+                crate::dc::DcSolver::with_options(crate::dc::DcOptions {
+                    engine: crate::dc::EngineChoice::Sparse,
+                    ..Default::default()
+                })
+                .solve(&nl)
+                .unwrap(),
+            );
+        });
+    }
 
     fn assemble_linear(netlist: &Netlist) -> (Matrix, Vec<f64>) {
         let mut asm = Assembler::new(netlist);
@@ -517,7 +1292,10 @@ mod tests {
             // Non-decreasing everywhere (deep reverse saturates to −Isat at
             // f64 precision), strictly increasing once forward biased.
             if v > 0.0 {
-                assert!(i > prev, "forward current must be strictly increasing at v={v}");
+                assert!(
+                    i > prev,
+                    "forward current must be strictly increasing at v={v}"
+                );
             } else {
                 assert!(i >= prev, "current must never decrease at v={v}");
             }

@@ -408,7 +408,10 @@ impl Netlist {
 
     /// Iterates over `(DeviceId, &Device)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (DeviceId, &Device)> {
-        self.devices.iter().enumerate().map(|(i, d)| (DeviceId(i), d))
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DeviceId(i), d))
     }
 
     fn push(&mut self, d: Device) -> DeviceId {
@@ -418,7 +421,10 @@ impl Netlist {
     }
 
     fn check_node(&self, n: NodeId) {
-        assert!(n.0 < self.node_count, "node {n} does not exist in this netlist");
+        assert!(
+            n.0 < self.node_count,
+            "node {n} does not exist in this netlist"
+        );
     }
 
     /// Adds a resistor.
@@ -430,7 +436,10 @@ impl Netlist {
     pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> DeviceId {
         self.check_node(a);
         self.check_node(b);
-        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be > 0, got {ohms}");
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistance must be > 0, got {ohms}"
+        );
         self.push(Device::Resistor { a, b, ohms })
     }
 
@@ -442,8 +451,16 @@ impl Netlist {
     pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> DeviceId {
         self.check_node(a);
         self.check_node(b);
-        assert!(farads.is_finite() && farads > 0.0, "capacitance must be > 0, got {farads}");
-        self.push(Device::Capacitor { a, b, farads, ic: None })
+        assert!(
+            farads.is_finite() && farads > 0.0,
+            "capacitance must be > 0, got {farads}"
+        );
+        self.push(Device::Capacitor {
+            a,
+            b,
+            farads,
+            ic: None,
+        })
     }
 
     /// Adds a capacitor with an initial condition `v(a) − v(b)`.
@@ -533,7 +550,10 @@ impl Netlist {
         self.check_node(anode);
         self.check_node(cathode);
         assert!(i_sat.is_finite() && i_sat > 0.0, "i_sat must be > 0");
-        assert!(ideality.is_finite() && ideality >= 1.0, "ideality must be >= 1");
+        assert!(
+            ideality.is_finite() && ideality >= 1.0,
+            "ideality must be >= 1"
+        );
         self.push(Device::Diode {
             anode,
             cathode,
@@ -547,6 +567,7 @@ impl Netlist {
     /// # Panics
     ///
     /// Panics if `kp <= 0`, `vth <= 0` (magnitude), or `lambda < 0`.
+    #[allow(clippy::too_many_arguments)]
     pub fn mosfet(
         &mut self,
         d: NodeId,

@@ -139,12 +139,7 @@ impl LineParser<'_> {
         self.netlist.node(name)
     }
 
-    fn param(
-        &self,
-        tokens: &[&str],
-        key: &str,
-        default: Option<f64>,
-    ) -> Result<f64, ParseError> {
+    fn param(&self, tokens: &[&str], key: &str, default: Option<f64>) -> Result<f64, ParseError> {
         for t in tokens {
             if let Some((k, v)) = kv(t) {
                 if k.eq_ignore_ascii_case(key) {
@@ -179,7 +174,11 @@ impl LineParser<'_> {
                 offset: self.value(&args[0])?,
                 ampl: self.value(&args[1])?,
                 freq: self.value(&args[2])?,
-                delay: args.get(3).map(|a| self.value(a)).transpose()?.unwrap_or(0.0),
+                delay: args
+                    .get(3)
+                    .map(|a| self.value(a))
+                    .transpose()?
+                    .unwrap_or(0.0),
             });
         }
         if upper.contains("PULSE") {
@@ -199,7 +198,10 @@ impl LineParser<'_> {
         }
         // DC: `DC 1.5` or a bare value.
         let dc_token = if tokens[0].eq_ignore_ascii_case("dc") {
-            tokens.get(1).copied().ok_or_else(|| self.err("DC needs a value"))?
+            tokens
+                .get(1)
+                .copied()
+                .ok_or_else(|| self.err("DC needs a value"))?
         } else {
             tokens[0]
         };
@@ -295,7 +297,8 @@ impl LineParser<'_> {
                 }
                 let nodes: Vec<_> = tokens[1..=4].iter().map(|t| self.node(t)).collect();
                 let gain = self.value(tokens[5])?;
-                self.netlist.vcvs(nodes[0], nodes[1], nodes[2], nodes[3], gain)
+                self.netlist
+                    .vcvs(nodes[0], nodes[1], nodes[2], nodes[3], gain)
             }
             'G' => {
                 if tokens.len() < 6 {
@@ -303,7 +306,8 @@ impl LineParser<'_> {
                 }
                 let nodes: Vec<_> = tokens[1..=4].iter().map(|t| self.node(t)).collect();
                 let gm = self.value(tokens[5])?;
-                self.netlist.vccs(nodes[0], nodes[1], nodes[2], nodes[3], gm)
+                self.netlist
+                    .vccs(nodes[0], nodes[1], nodes[2], nodes[3], gm)
             }
             other => return Err(self.err(format!("unknown card type '{other}'"))),
         };
@@ -431,10 +435,9 @@ mod tests {
 
     #[test]
     fn divider_deck_solves() {
-        let parsed = parse_netlist(
-            "* divider\nV1 top 0 DC 3.0\nR1 top mid 2k\nR2 mid 0 1k\n.op\n.end\n",
-        )
-        .unwrap();
+        let parsed =
+            parse_netlist("* divider\nV1 top 0 DC 3.0\nR1 top mid 2k\nR2 mid 0 1k\n.op\n.end\n")
+                .unwrap();
         assert!(parsed.directives.op);
         assert_eq!(parsed.devices.len(), 3);
         let op = DcSolver::new().solve(&parsed.netlist).unwrap();
@@ -454,7 +457,11 @@ mod tests {
         .unwrap();
         let op = DcSolver::new().solve(&parsed.netlist).unwrap();
         let a = parsed.netlist.find_node("a").unwrap();
-        assert!((0.5..0.95).contains(&op.voltage(a)), "v(a) = {}", op.voltage(a));
+        assert!(
+            (0.5..0.95).contains(&op.voltage(a)),
+            "v(a) = {}",
+            op.voltage(a)
+        );
     }
 
     #[test]
@@ -482,7 +489,11 @@ mod tests {
         while sim.time() < 10e-9 {
             sim.step(&parsed.netlist).unwrap();
         }
-        assert!((sim.voltage(out) - 1.2).abs() < 0.01, "v = {}", sim.voltage(out));
+        assert!(
+            (sim.voltage(out) - 1.2).abs() < 0.01,
+            "v = {}",
+            sim.voltage(out)
+        );
         // After the fall (12 ns) the output decays back toward zero.
         while sim.time() < stop {
             sim.step(&parsed.netlist).unwrap();
@@ -502,7 +513,10 @@ mod tests {
         .unwrap();
         match parsed.netlist.device(parsed.devices["V1"]) {
             crate::netlist::Device::VSource {
-                wave: SourceWave::Sine { offset, ampl, freq, .. },
+                wave:
+                    SourceWave::Sine {
+                        offset, ampl, freq, ..
+                    },
                 ..
             } => {
                 assert_eq!(*offset, 0.6);

@@ -109,7 +109,10 @@ impl Rng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid uniform bounds");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid uniform bounds"
+        );
         lo + (hi - lo) * self.next_f64()
     }
 
@@ -194,17 +197,16 @@ impl Rng {
     ///
     /// Panics if `weights.len() != n`, if any weight is negative/non-finite,
     /// or if `k` exceeds the number of strictly positive weights.
-    pub fn weighted_sample_without_replacement(
-        &mut self,
-        weights: &[f64],
-        k: usize,
-    ) -> Vec<usize> {
+    pub fn weighted_sample_without_replacement(&mut self, weights: &[f64], k: usize) -> Vec<usize> {
         assert!(
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "weights must be finite and non-negative"
         );
         let positive = weights.iter().filter(|w| **w > 0.0).count();
-        assert!(k <= positive, "cannot draw {k} items from {positive} positive-weight items");
+        assert!(
+            k <= positive,
+            "cannot draw {k} items from {positive} positive-weight items"
+        );
         // key_i = u_i^(1/w_i); take the k largest keys. Equivalent to
         // sequential weighted draws without replacement.
         let mut keyed: Vec<(f64, usize)> = weights

@@ -32,7 +32,7 @@
 
 use crate::dc::{DcOptions, DcSolver, Operating};
 use crate::error::CircuitError;
-use crate::mna::{Assembler, CapCompanion};
+use crate::mna::{CapCompanion, MnaEngine};
 use crate::netlist::{Device, DeviceId, Netlist, NodeId};
 use crate::waveform::{Trace, TraceSet};
 
@@ -86,7 +86,7 @@ struct CapState {
 /// The topology (device and node counts) must not change between steps.
 #[derive(Debug)]
 pub struct TransientSim {
-    asm: Assembler,
+    asm: MnaEngine,
     solver: DcSolver,
     x: Vec<f64>,
     time: f64,
@@ -119,7 +119,7 @@ impl TransientSim {
         }
         let solver = DcSolver::with_options(options.dc.clone());
         let op = solver.solve(netlist)?;
-        let asm = Assembler::new(netlist);
+        let asm = MnaEngine::new(netlist, options.dc.engine);
         let mut cap_state = vec![None; netlist.device_count()];
         for (id, dev) in netlist.iter() {
             if let Device::Capacitor { a, b, ic, .. } = dev {
@@ -182,7 +182,10 @@ impl TransientSim {
         if n.is_ground() {
             return 0.0;
         }
-        assert!(n.index() < self.asm.layout.node_count, "node {n} out of range");
+        assert!(
+            n.index() < self.asm.layout().node_count,
+            "node {n} out of range"
+        );
         self.x[n.index() - 1]
     }
 
@@ -197,15 +200,15 @@ impl TransientSim {
     ///
     /// Panics if the device has no branch current.
     pub fn branch_current(&self, id: DeviceId) -> f64 {
-        self.x[self.asm.layout.branch_index(id)]
+        self.x[self.asm.layout().branch_index(id)]
     }
 
     /// A snapshot of the current solution as an [`Operating`] point.
     pub fn operating(&self) -> Operating {
         Operating {
             x: self.x.clone(),
-            node_count: self.asm.layout.node_count,
-            branch_of: self.asm.layout.branch_of.clone(),
+            node_count: self.asm.layout().node_count,
+            branch_of: self.asm.layout().branch_of.clone(),
         }
     }
 
@@ -286,7 +289,10 @@ impl TransientSim {
                 let comp = self.companions[id.index()].expect("companion missing");
                 let v = self.node_v(*a) - self.node_v(*b);
                 let i = comp.g * v - comp.ieq;
-                self.cap_state[id.index()] = Some(CapState { v_prev: v, i_prev: i });
+                self.cap_state[id.index()] = Some(CapState {
+                    v_prev: v,
+                    i_prev: i,
+                });
             }
         }
         self.time = t_next;
@@ -295,7 +301,7 @@ impl TransientSim {
     }
 
     fn node_v(&self, n: NodeId) -> f64 {
-        match self.asm.layout.node_index(n) {
+        match self.asm.layout().node_index(n) {
             None => 0.0,
             Some(i) => self.x[i],
         }
@@ -357,7 +363,11 @@ mod tests {
             sim.step(&nl).unwrap();
         }
         let expect = 1.0 - (-1.0f64).exp();
-        assert!((sim.voltage(o) - expect).abs() < 2e-3, "v = {}", sim.voltage(o));
+        assert!(
+            (sim.voltage(o) - expect).abs() < 2e-3,
+            "v = {}",
+            sim.voltage(o)
+        );
     }
 
     #[test]
@@ -456,7 +466,14 @@ mod tests {
             },
         );
         nl.resistor(s, Netlist::GND, 1e3);
-        let mut sim = TransientSim::new(&nl, TransientOptions { dt: 1e-9, ..Default::default() }).unwrap();
+        let mut sim = TransientSim::new(
+            &nl,
+            TransientOptions {
+                dt: 1e-9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let traces = sim
             .run_until(&nl, 4e-7, &[("s", nl.find_node("s").unwrap())])
             .unwrap();
@@ -489,8 +506,16 @@ mod tests {
         while sim.time() < 5e-9 {
             sim.step(&nl).unwrap();
         }
-        assert!((sim.voltage(a) - 0.5).abs() < 1e-3, "va = {}", sim.voltage(a));
-        assert!((sim.voltage(b) - 0.5).abs() < 1e-3, "vb = {}", sim.voltage(b));
+        assert!(
+            (sim.voltage(a) - 0.5).abs() < 1e-3,
+            "va = {}",
+            sim.voltage(a)
+        );
+        assert!(
+            (sim.voltage(b) - 0.5).abs() < 1e-3,
+            "vb = {}",
+            sim.voltage(b)
+        );
     }
 
     #[test]
@@ -498,7 +523,14 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.node("a");
         nl.resistor(a, Netlist::GND, 1e3);
-        assert!(TransientSim::new(&nl, TransientOptions { dt: 0.0, ..Default::default() }).is_err());
+        assert!(TransientSim::new(
+            &nl,
+            TransientOptions {
+                dt: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
         let mut sim = TransientSim::new(&nl, TransientOptions::default()).unwrap();
         assert!(sim.set_dt(-1.0).is_err());
         assert!(sim.set_dt(1e-9).is_ok());

@@ -64,7 +64,10 @@ impl Trace {
     /// Panics if `t` is not strictly after the last sample.
     pub fn push(&mut self, t: f64, v: f64) {
         if let Some(&last) = self.times.last() {
-            assert!(t > last, "samples must be appended in increasing time order");
+            assert!(
+                t > last,
+                "samples must be appended in increasing time order"
+            );
         }
         self.times.push(t);
         self.values.push(v);
@@ -116,7 +119,10 @@ impl Trace {
     /// Panics if the trace is empty.
     pub fn max(&self) -> f64 {
         assert!(!self.is_empty());
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Extrema `(min, max)` restricted to `t0..=t1`.
@@ -202,7 +208,11 @@ impl TraceSet {
         }
         out.push('\n');
         // Merge all time stamps.
-        let mut stamps: Vec<f64> = self.traces.iter().flat_map(|t| t.times().iter().copied()).collect();
+        let mut stamps: Vec<f64> = self
+            .traces
+            .iter()
+            .flat_map(|t| t.times().iter().copied())
+            .collect();
         stamps.sort_by(|a, b| a.partial_cmp(b).unwrap());
         stamps.dedup_by(|a, b| (*a - *b).abs() < f64::EPSILON);
         for s in stamps {

@@ -13,6 +13,7 @@
 
 use symbist_adc::{AdcConfig, AdcMismatch, SarAdc};
 use symbist_analysis::stats::summary;
+use symbist_circuit::mc::run_parallel_seeded;
 use symbist_circuit::rng::Rng;
 
 use crate::invariance::{deviation, CheckerWiring, InvarianceId};
@@ -38,27 +39,66 @@ pub struct Calibration {
 }
 
 impl Calibration {
-    /// Runs the Monte-Carlo calibration.
+    /// Runs the Monte-Carlo calibration, parallelized across the machine's
+    /// cores. The per-sample RNG streams are forked from the seed in sample
+    /// order, so the result is bit-identical for any level of parallelism.
     ///
     /// # Panics
     ///
     /// Panics if `samples < 2` or `k <= 0`.
-    pub fn run(cfg: &AdcConfig, stimulus: &StimulusSpec, samples: usize, k: f64, seed: u64) -> Self {
+    pub fn run(
+        cfg: &AdcConfig,
+        stimulus: &StimulusSpec,
+        samples: usize,
+        k: f64,
+        seed: u64,
+    ) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::run_with_threads(cfg, stimulus, samples, k, seed, threads)
+    }
+
+    /// [`Calibration::run`] with an explicit worker-thread count.
+    ///
+    /// `threads = 1` is the sequential reference path; every other value
+    /// produces bit-identical sigmas and deltas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples < 2` or `k <= 0`.
+    pub fn run_with_threads(
+        cfg: &AdcConfig,
+        stimulus: &StimulusSpec,
+        samples: usize,
+        k: f64,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
         assert!(samples >= 2, "need at least 2 MC samples");
         assert!(k > 0.0, "k must be positive");
         let wiring = CheckerWiring::from_config(cfg);
         let mut rng = Rng::seed_from_u64(seed);
-        let mut pooled: [Vec<f64>; 6] = Default::default();
-        for _ in 0..samples {
-            let mut adc = SarAdc::new(cfg.clone());
-            adc.apply_mismatch(&AdcMismatch::sample(&mut rng));
-            for obs in adc.symbist_observations(stimulus.din) {
-                for id in InvarianceId::ALL {
-                    if id.is_digital() {
-                        continue;
+        // One deviation matrix per sample, evaluated in parallel; pooling
+        // happens afterwards in sample order so the statistics cannot
+        // depend on thread scheduling.
+        let per_sample: Vec<[Vec<f64>; 6]> =
+            run_parallel_seeded(samples, &mut rng, threads, |_, sample_rng| {
+                let mut adc = SarAdc::new(cfg.clone());
+                adc.apply_mismatch(&AdcMismatch::sample(sample_rng));
+                let mut devs: [Vec<f64>; 6] = Default::default();
+                for obs in adc.symbist_observations(stimulus.din) {
+                    for id in InvarianceId::ALL {
+                        if id.is_digital() {
+                            continue;
+                        }
+                        devs[id.index()].push(deviation(id, &obs, &wiring));
                     }
-                    pooled[id.index()].push(deviation(id, &obs, &wiring));
                 }
+                devs
+            });
+        let mut pooled: [Vec<f64>; 6] = Default::default();
+        for devs in per_sample {
+            for (pool, mut dev) in pooled.iter_mut().zip(devs) {
+                pool.append(&mut dev);
             }
         }
         let mut means = [0.0; 6];
@@ -123,13 +163,7 @@ mod tests {
     use super::*;
 
     fn quick_cal() -> Calibration {
-        Calibration::run(
-            &AdcConfig::default(),
-            &StimulusSpec::default(),
-            8,
-            5.0,
-            42,
-        )
+        Calibration::run(&AdcConfig::default(), &StimulusSpec::default(), 8, 5.0, 42)
     }
 
     #[test]
@@ -167,6 +201,19 @@ mod tests {
         let a = quick_cal();
         let b = quick_cal();
         assert_eq!(a.deltas, b.deltas);
+    }
+
+    #[test]
+    fn parallel_calibration_bit_identical_to_sequential() {
+        let cfg = AdcConfig::default();
+        let stim = StimulusSpec::default();
+        let seq = Calibration::run_with_threads(&cfg, &stim, 6, 5.0, 42, 1);
+        for threads in [2, 4, 16] {
+            let par = Calibration::run_with_threads(&cfg, &stim, 6, 5.0, 42, threads);
+            assert_eq!(seq.sigmas, par.sigmas, "{threads} threads changed sigmas");
+            assert_eq!(seq.deltas, par.deltas, "{threads} threads changed deltas");
+            assert_eq!(seq.means, par.means, "{threads} threads changed means");
+        }
     }
 
     #[test]

@@ -202,7 +202,9 @@ impl FaultDictionary {
             .iter()
             .filter(|e| {
                 let best = self.diagnose(&e.signature, 1);
-                best.first().map(|c| c.entry.block == e.block).unwrap_or(false)
+                best.first()
+                    .map(|c| c.entry.block == e.block)
+                    .unwrap_or(false)
             })
             .count();
         hits as f64 / self.entries.len() as f64
@@ -226,18 +228,37 @@ mod tests {
 
     fn some_defects(adc: &SarAdc) -> Vec<DefectSite> {
         // A spread of clearly-detectable defects across blocks.
-        let find = |needle: &str| adc
-            .components()
-            .iter()
-            .position(|c| c.name.contains(needle))
-            .unwrap();
+        let find = |needle: &str| {
+            adc.components()
+                .iter()
+                .position(|c| c.name.contains(needle))
+                .unwrap()
+        };
         vec![
-            DefectSite { component: find("vcmgen/r_top"), kind: DefectKind::Short },
-            DefectSite { component: find("vcmgen/r_bot"), kind: DefectKind::Short },
-            DefectSite { component: find("scarray/p/c_main"), kind: DefectKind::Short },
-            DefectSite { component: find("subdac1/dec_p/bit3/p"), kind: DefectKind::ShortDs },
-            DefectSite { component: find("complatch/m3"), kind: DefectKind::ShortDs },
-            DefectSite { component: find("preamp/m3"), kind: DefectKind::ShortDs },
+            DefectSite {
+                component: find("vcmgen/r_top"),
+                kind: DefectKind::Short,
+            },
+            DefectSite {
+                component: find("vcmgen/r_bot"),
+                kind: DefectKind::Short,
+            },
+            DefectSite {
+                component: find("scarray/p/c_main"),
+                kind: DefectKind::Short,
+            },
+            DefectSite {
+                component: find("subdac1/dec_p/bit3/p"),
+                kind: DefectKind::ShortDs,
+            },
+            DefectSite {
+                component: find("complatch/m3"),
+                kind: DefectKind::ShortDs,
+            },
+            DefectSite {
+                component: find("preamp/m3"),
+                kind: DefectKind::ShortDs,
+            },
         ]
     }
 
@@ -309,8 +330,7 @@ mod tests {
             component: unknown,
             kind: DefectKind::ShortDs,
         });
-        let observed =
-            Signature::from_result(&engine.run(&dut, false), engine.calibration());
+        let observed = Signature::from_result(&engine.run(&dut, false), engine.calibration());
         assert!(!observed.is_clean());
         let best = &dict.diagnose(&observed, 1)[0];
         assert_eq!(

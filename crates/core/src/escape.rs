@@ -189,7 +189,10 @@ mod tests {
             }],
             &SpecLimits::default(),
         );
-        assert_eq!(report.spec_violating, 1, "a 150 mV reference shift must violate specs");
+        assert_eq!(
+            report.spec_violating, 1,
+            "a 150 mV reference shift must violate specs"
+        );
     }
 
     #[test]

@@ -102,8 +102,8 @@ pub fn table1(xc: &ExperimentConfig, opts: &Table1Options) -> (CoverageTable, Ve
     let mut results = Vec::new();
     for (block_idx, block) in BlockKind::ALL.into_iter().enumerate() {
         let sub = universe.filter_block(block);
-        let sample = (sub.len() > opts.exhaustive_threshold)
-            .then_some(opts.per_block_sample.min(sub.len()));
+        let sample =
+            (sub.len() > opts.exhaustive_threshold).then_some(opts.per_block_sample.min(sub.len()));
         let campaign = run_campaign(
             &adc,
             &sub,
@@ -275,13 +275,7 @@ impl YieldPoint {
 /// mismatched instances (paper §VI: k = 5 chosen so yield loss is
 /// negligible).
 pub fn yield_sweep(xc: &ExperimentConfig, ks: &[f64], instances: usize) -> Vec<YieldPoint> {
-    let base_cal = Calibration::run(
-        &xc.adc,
-        &xc.stimulus,
-        xc.calibration_samples,
-        xc.k,
-        xc.seed,
-    );
+    let base_cal = Calibration::run(&xc.adc, &xc.stimulus, xc.calibration_samples, xc.k, xc.seed);
     // Fresh instances, *different* seed stream from calibration.
     let mut rng = Rng::seed_from_u64(xc.seed ^ 0x11E1D);
     let duts: Vec<SarAdc> = (0..instances)
@@ -450,7 +444,7 @@ pub fn escapes_experiment(
         },
         |dut| engine.campaign_test(dut),
     );
-    let escapes: Vec<DefectSite> = campaign.escapes().map(|r| r.defect.site).collect();
+    let escapes: Vec<DefectSite> = campaign.escapes().map(|r| r.site).collect();
     (escape_analysis(&xc.adc, &escapes, limits), escapes)
 }
 
@@ -475,7 +469,11 @@ mod tests {
         // Vcm case: detected at every code (paper: "during the entire test
         // duration").
         let vcm = &data.cases[3];
-        assert!(vcm.detected.iter().all(|d| *d), "vcm devs: {:?}", vcm.deviations);
+        assert!(
+            vcm.detected.iter().all(|d| *d),
+            "vcm devs: {:?}",
+            vcm.deviations
+        );
         // SUBDAC case: detected at some codes but not all ("specific
         // conversion periods").
         let sd = &data.cases[1];
@@ -510,7 +508,15 @@ mod tests {
             res.bandgap.value,
             res.por.value
         );
-        assert!((0.45..0.95).contains(&res.bandgap.value), "bandgap {}", res.bandgap.value);
-        assert!((0.25..0.75).contains(&res.por.value), "por {}", res.por.value);
+        assert!(
+            (0.45..0.95).contains(&res.bandgap.value),
+            "bandgap {}",
+            res.bandgap.value
+        );
+        assert!(
+            (0.25..0.75).contains(&res.por.value),
+            "por {}",
+            res.por.value
+        );
     }
 }

@@ -97,8 +97,8 @@ pub fn field_campaign(
         let outcome = if detectable {
             // Next scheduled run strictly after activation, plus the test
             // itself.
-            let next_run = activated_at.div_ceil(profile.bist_period_frames)
-                * profile.bist_period_frames;
+            let next_run =
+                activated_at.div_ceil(profile.bist_period_frames) * profile.bist_period_frames;
             let next_run = if next_run <= activated_at {
                 next_run + profile.bist_period_frames
             } else {
@@ -161,8 +161,14 @@ mod tests {
             .position(|c| c.name.contains("r_esr"))
             .unwrap();
         vec![
-            DefectSite { component: vcm, kind: DefectKind::Short }, // detectable
-            DefectSite { component: esr, kind: DefectKind::Open },  // escape
+            DefectSite {
+                component: vcm,
+                kind: DefectKind::Short,
+            }, // detectable
+            DefectSite {
+                component: esr,
+                kind: DefectKind::Open,
+            }, // escape
         ]
     }
 
@@ -178,7 +184,7 @@ mod tests {
         let report = field_campaign(&engine, &base, &sites(&base), profile, 100_000, 1);
         let detectable = &report.outcomes[0];
         let lat = detectable.latency_frames.unwrap();
-        assert!(lat >= 16 && lat <= 1016, "latency {lat}");
+        assert!((16..=1016).contains(&lat), "latency {lat}");
         assert!(detectable.within_ftti);
         // The escape is never caught by the periodic DC BIST.
         assert!(report.outcomes[1].detected_at.is_none());

@@ -68,8 +68,7 @@ impl HistogramBist {
         let mut counts = vec![0u32; codes];
         for i in 0..self.samples {
             // Incoherent sampling (odd cycle count keeps phases spread).
-            let phase = 2.0 * PI * 7.0 * i as f64 / self.samples as f64
-                + PI * i as f64 / 977.0;
+            let phase = 2.0 * PI * 7.0 * i as f64 / self.samples as f64 + PI * i as f64 / 977.0;
             let code = adc.convert(ampl * phase.sin()) as usize;
             counts[code.min(codes - 1)] += 1;
         }
@@ -101,8 +100,7 @@ impl HistogramBist {
                     0.5 + x.asin() / PI
                 };
                 let expect_frac = cdf(to_v(hi)) - cdf(to_v(lo));
-                let interior_frac =
-                    cdf(to_v(interior.end)) - cdf(to_v(interior.start));
+                let interior_frac = cdf(to_v(interior.end)) - cdf(to_v(interior.start));
                 let expected = total as f64 * expect_frac / interior_frac.max(1e-12);
                 if expected > 0.0 {
                     // Bin-average DNL in LSB.
@@ -214,8 +212,8 @@ mod tests {
     fn test_time_vastly_exceeds_symbist() {
         let cfg = AdcConfig::default();
         let functional = HistogramBist::default().test_time(&cfg);
-        let symbist = crate::testtime::test_time(&cfg, crate::session::Schedule::Sequential)
-            .seconds;
+        let symbist =
+            crate::testtime::test_time(&cfg, crate::session::Schedule::Sequential).seconds;
         assert!(
             functional / symbist > 100.0,
             "functional {functional} vs symbist {symbist}"

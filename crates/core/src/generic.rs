@@ -197,12 +197,7 @@ impl GenericBist {
         let op = self.solver.solve(netlist)?;
         let mut details = Vec::with_capacity(self.invariances.len());
         let mut pass = true;
-        for ((inv, mean), window) in self
-            .invariances
-            .iter()
-            .zip(&self.means)
-            .zip(&self.windows)
-        {
+        for ((inv, mean), window) in self.invariances.iter().zip(&self.means).zip(&self.windows) {
             let dev = inv.deviation(&op);
             let ok = window.check(dev - mean);
             pass &= ok;
@@ -242,7 +237,12 @@ mod tests {
 
     fn fd_bist() -> (GenericBist, Netlist, Vec<DeviceId>) {
         let (template, outp, outn, resistors) = fd_stage();
-        let inv = vec![NodeInvariance::complementary("outp+outn=2Vcm", outp, outn, 1.2)];
+        let inv = vec![NodeInvariance::complementary(
+            "outp+outn=2Vcm",
+            outp,
+            outn,
+            1.2,
+        )];
         let mut rng = Rng::seed_from_u64(3);
         let tmpl = template.clone();
         let bist = GenericBist::calibrate(inv, 5.0, 150, &mut rng, move |rng| {

@@ -190,8 +190,8 @@ impl SymBist {
 mod tests {
     use super::*;
     use symbist_adc::fault::{DefectKind, DefectSite, Faultable};
-    use symbist_adc::{AdcConfig, BlockKind};
     use symbist_adc::SarAdc;
+    use symbist_adc::{AdcConfig, BlockKind};
 
     fn engine(schedule: Schedule) -> SymBist {
         let cfg = AdcConfig::default();

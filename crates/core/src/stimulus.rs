@@ -61,7 +61,10 @@ mod tests {
     fn default_is_valid_and_nonzero() {
         let s = StimulusSpec::default();
         s.validate(&AdcConfig::default());
-        assert!(s.din != 0.0, "see ScArray::cap_short test: din must be nonzero");
+        assert!(
+            s.din != 0.0,
+            "see ScArray::cap_short test: din must be nonzero"
+        );
     }
 
     #[test]

@@ -55,8 +55,10 @@ mod tests {
 
     #[test]
     fn scales_with_clock() {
-        let mut cfg = AdcConfig::default();
-        cfg.fclk = 78e6;
+        let cfg = AdcConfig {
+            fclk: 78e6,
+            ..Default::default()
+        };
         let t = test_time(&cfg, Schedule::Sequential);
         assert!((t.seconds - 2.46e-6).abs() < 0.01e-6);
     }

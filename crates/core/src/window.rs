@@ -19,7 +19,10 @@ impl WindowComparator {
     ///
     /// Panics if `delta` is not strictly positive and finite.
     pub fn new(delta: f64) -> Self {
-        assert!(delta.is_finite() && delta > 0.0, "window half-width must be > 0");
+        assert!(
+            delta.is_finite() && delta > 0.0,
+            "window half-width must be > 0"
+        );
         Self { delta }
     }
 
@@ -37,9 +40,7 @@ impl WindowComparator {
     /// Checks a sequence of settled deviations; returns the index of the
     /// first violation, if any.
     pub fn first_violation(&self, deviations: impl IntoIterator<Item = f64>) -> Option<usize> {
-        deviations
-            .into_iter()
-            .position(|d| !self.check(d))
+        deviations.into_iter().position(|d| !self.check(d))
     }
 }
 

@@ -4,13 +4,15 @@
 //! A campaign takes a defect-free DUT, a [`DefectUniverse`], and a test
 //! closure; for each (possibly LWRS-sampled) defect it clones the DUT,
 //! injects the defect, runs the test, and records detection plus wall
-//! time. Work is spread across threads with crossbeam scoped threads —
-//! the paper ran its campaign on a 16-core server — with deterministic
-//! result ordering regardless of scheduling.
+//! time. Work is spread across std scoped threads — the paper ran its
+//! campaign on a 16-core server — with deterministic result ordering
+//! regardless of scheduling. Records identify their defect by index into
+//! the universe (plus the small `Copy` site and likelihood needed by the
+//! coverage estimator), so no per-record `Defect` clone is made.
 
 use std::time::{Duration, Instant};
 
-use symbist_adc::fault::Faultable;
+use symbist_adc::fault::{DefectSite, Faultable};
 use symbist_circuit::rng::Rng;
 
 use crate::coverage::{lw_coverage_exhaustive, lw_coverage_sampled, Coverage};
@@ -61,14 +63,35 @@ impl Default for CampaignOptions {
 }
 
 /// Per-defect campaign record.
-#[derive(Debug, Clone)]
+///
+/// The record references its defect by index into the originating
+/// [`DefectUniverse`] instead of cloning the whole `Defect` (whose
+/// `component_name` string would otherwise be duplicated once per record);
+/// the `Copy`-sized site and likelihood are duplicated because the coverage
+/// estimator and escape analysis need them without the universe in hand.
+#[derive(Debug, Clone, Copy)]
 pub struct DefectRecord {
-    /// The simulated defect.
-    pub defect: Defect,
+    /// Index of the simulated defect in the originating universe.
+    pub defect_index: usize,
+    /// The defect site (what was injected where).
+    pub site: DefectSite,
+    /// Relative likelihood copied from the universe entry.
+    pub likelihood: f64,
     /// Test outcome.
     pub outcome: TestOutcome,
     /// Wall-clock simulation time for this defect.
     pub wall: Duration,
+}
+
+impl DefectRecord {
+    /// Resolves the full defect description in the originating universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe` is not the universe the campaign ran over.
+    pub fn defect<'a>(&self, universe: &'a DefectUniverse) -> &'a Defect {
+        &universe.defects()[self.defect_index]
+    }
 }
 
 /// Full campaign result.
@@ -110,7 +133,7 @@ impl CampaignResult {
             let outcomes: Vec<(f64, bool)> = self
                 .records
                 .iter()
-                .map(|r| (r.defect.likelihood, r.outcome.detected))
+                .map(|r| (r.likelihood, r.outcome.detected))
                 .collect();
             lw_coverage_exhaustive(&outcomes)
         }
@@ -143,8 +166,8 @@ where
     assert!(!universe.is_empty(), "empty defect universe");
     let start = Instant::now();
 
-    // LWRS draw (or the full universe).
-    let selected: Vec<&Defect> = match options.sample_size {
+    // LWRS draw (or the full universe), as indices into the universe.
+    let selected: Vec<usize> = match options.sample_size {
         Some(n) => {
             assert!(n > 0, "sample size must be positive");
             assert!(
@@ -156,15 +179,15 @@ where
             let mut rng = Rng::seed_from_u64(options.seed);
             let mut idx = rng.weighted_sample_without_replacement(&weights, n);
             idx.sort_unstable();
-            idx.into_iter().map(|i| &universe.defects()[i]).collect()
+            idx
         }
-        None => universe.iter().collect(),
+        None => (0..universe.len()).collect(),
     };
 
     let threads = options.threads.max(1).min(selected.len());
     let mut slots: Vec<Option<DefectRecord>> = vec![None; selected.len()];
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let chunk = selected.len().div_ceil(threads);
         let mut remaining: &mut [Option<DefectRecord>] = &mut slots;
         for t in 0..threads {
@@ -175,27 +198,32 @@ where
             let hi = ((t + 1) * chunk).min(selected.len());
             let (head, tail) = remaining.split_at_mut(hi - lo);
             remaining = tail;
-            let defects = &selected[lo..hi];
+            let indices = &selected[lo..hi];
             let test = &test;
-            scope.spawn(move |_| {
-                for (slot, defect) in head.iter_mut().zip(defects) {
+            scope.spawn(move || {
+                for (slot, &defect_index) in head.iter_mut().zip(indices) {
+                    let defect = &universe.defects()[defect_index];
                     let mut instance = dut.clone();
                     instance.inject(defect.site);
                     let t0 = Instant::now();
                     let outcome = test(&instance);
                     *slot = Some(DefectRecord {
-                        defect: (*defect).clone(),
+                        defect_index,
+                        site: defect.site,
+                        likelihood: defect.likelihood,
                         outcome,
                         wall: t0.elapsed(),
                     });
                 }
             });
         }
-    })
-    .expect("campaign worker panicked");
+    });
 
     CampaignResult {
-        records: slots.into_iter().map(|s| s.expect("all slots filled")).collect(),
+        records: slots
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect(),
         universe_size: universe.len(),
         universe_likelihood: universe.total_likelihood(),
         sampled: options.sample_size.is_some(),
@@ -207,9 +235,7 @@ where
 mod tests {
     use super::*;
     use crate::likelihood::LikelihoodModel;
-    use symbist_adc::fault::{
-        check_site, BlockKind, ComponentInfo, ComponentKind, DefectSite,
-    };
+    use symbist_adc::fault::{check_site, BlockKind, ComponentInfo, ComponentKind, DefectSite};
 
     /// A toy DUT: detection iff the injected defect is a short.
     #[derive(Clone)]
@@ -269,7 +295,11 @@ mod tests {
         assert!(!res.sampled);
         // Shorts detected: weight 3 of (3+1+0.5) per component.
         let cov = res.coverage();
-        assert!((cov.value - 3.0 / 4.5).abs() < 1e-12, "coverage {}", cov.value);
+        assert!(
+            (cov.value - 3.0 / 4.5).abs() < 1e-12,
+            "coverage {}",
+            cov.value
+        );
         assert!(cov.ci_half_width.is_none());
     }
 
@@ -285,8 +315,16 @@ mod tests {
         let a = run_campaign(&dut, &uni, &opts, toy_test);
         let b = run_campaign(&dut, &uni, &opts, toy_test);
         assert_eq!(a.simulated(), 12);
-        let names_a: Vec<&str> = a.records.iter().map(|r| r.defect.component_name.as_str()).collect();
-        let names_b: Vec<&str> = b.records.iter().map(|r| r.defect.component_name.as_str()).collect();
+        let names_a: Vec<&str> = a
+            .records
+            .iter()
+            .map(|r| r.defect(&uni).component_name.as_str())
+            .collect();
+        let names_b: Vec<&str> = b
+            .records
+            .iter()
+            .map(|r| r.defect(&uni).component_name.as_str())
+            .collect();
         assert_eq!(names_a, names_b);
         assert!(a.sampled);
         assert!(a.coverage().ci_half_width.is_some());
@@ -337,10 +375,7 @@ mod tests {
             }
         }
         // Escapes iterator complements detections.
-        assert_eq!(
-            res.escapes().count() + res.detected(),
-            res.simulated()
-        );
+        assert_eq!(res.escapes().count() + res.detected(), res.simulated());
     }
 
     #[test]

@@ -43,11 +43,7 @@ pub fn lw_coverage_exhaustive(outcomes: &[(f64, bool)]) -> Coverage {
     assert!(!outcomes.is_empty(), "no outcomes");
     let total: f64 = outcomes.iter().map(|(l, _)| *l).sum();
     assert!(total > 0.0, "zero total likelihood");
-    let detected: f64 = outcomes
-        .iter()
-        .filter(|(_, d)| *d)
-        .map(|(l, _)| *l)
-        .sum();
+    let detected: f64 = outcomes.iter().filter(|(_, d)| *d).map(|(l, _)| *l).sum();
     Coverage {
         value: detected / total,
         ci_half_width: None,
@@ -100,7 +96,11 @@ mod tests {
         let mut outcomes = vec![(100.0, false)];
         outcomes.extend(std::iter::repeat_n((1.0, true), 99));
         let c = lw_coverage_exhaustive(&outcomes);
-        assert!(c.value < 0.5, "L-W coverage {} despite 99% absolute", c.value);
+        assert!(
+            c.value < 0.5,
+            "L-W coverage {} despite 99% absolute",
+            c.value
+        );
     }
 
     #[test]

@@ -101,7 +101,9 @@ mod tests {
     #[test]
     fn shorts_outweigh_opens() {
         let m = LikelihoodModel::default();
-        assert!(m.likelihood(&mos(), DefectKind::ShortDs) > m.likelihood(&mos(), DefectKind::OpenGate));
+        assert!(
+            m.likelihood(&mos(), DefectKind::ShortDs) > m.likelihood(&mos(), DefectKind::OpenGate)
+        );
     }
 
     #[test]
@@ -119,10 +121,14 @@ mod tests {
     fn class_budget_is_split_across_terminal_pairs() {
         let m = LikelihoodModel::default();
         // MOS: 3 shorts share the budget; resistor: 1 short gets it all.
-        let mos_total: f64 = [DefectKind::ShortGd, DefectKind::ShortGs, DefectKind::ShortDs]
-            .iter()
-            .map(|k| m.likelihood(&mos(), *k))
-            .sum();
+        let mos_total: f64 = [
+            DefectKind::ShortGd,
+            DefectKind::ShortGs,
+            DefectKind::ShortDs,
+        ]
+        .iter()
+        .map(|k| m.likelihood(&mos(), *k))
+        .sum();
         assert!((mos_total - 2.0 * 3.0).abs() < 1e-12);
         let r_short = m.likelihood(&res(), DefectKind::Short);
         assert!((r_short - 4.0 * 3.0).abs() < 1e-12);

@@ -112,7 +112,6 @@ impl CoverageTable {
 mod tests {
     use super::*;
     use crate::campaign::{DefectRecord, TestOutcome};
-    use crate::universe::Defect;
     use symbist_adc::fault::{DefectKind, DefectSite};
 
     fn fake_result(detected: &[bool]) -> CampaignResult {
@@ -120,15 +119,12 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, d)| DefectRecord {
-                defect: Defect {
-                    site: DefectSite {
-                        component: i,
-                        kind: DefectKind::Short,
-                    },
-                    component_name: format!("c{i}"),
-                    block: BlockKind::ScArray,
-                    likelihood: 1.0,
+                defect_index: i,
+                site: DefectSite {
+                    component: i,
+                    kind: DefectKind::Short,
                 },
+                likelihood: 1.0,
                 outcome: TestOutcome {
                     detected: *d,
                     detection_cycle: d.then_some(1),

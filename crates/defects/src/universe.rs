@@ -106,7 +106,11 @@ mod tests {
             .sum();
         assert_eq!(uni.len(), expect);
         // Same order of magnitude as the paper's 2956 for the same IP.
-        assert!(uni.len() > 1500 && uni.len() < 8000, "universe size {}", uni.len());
+        assert!(
+            uni.len() > 1500 && uni.len() < 8000,
+            "universe size {}",
+            uni.len()
+        );
     }
 
     #[test]

@@ -75,8 +75,12 @@ pub fn run_atpg(circuit: &GateCircuit, options: &AtpgOptions) -> AtpgResult {
             break;
         }
         let pattern = Pattern {
-            pi: (0..circuit.inputs().len()).map(|_| rng.bernoulli(0.5)).collect(),
-            state: (0..circuit.ffs().len()).map(|_| rng.bernoulli(0.5)).collect(),
+            pi: (0..circuit.inputs().len())
+                .map(|_| rng.bernoulli(0.5))
+                .collect(),
+            state: (0..circuit.ffs().len())
+                .map(|_| rng.bernoulli(0.5))
+                .collect(),
         };
         let before = remaining.len();
         remaining.retain(|f| !detects(circuit, &pattern, *f));

@@ -230,11 +230,7 @@ impl GateCircuit {
                     indeg[gi] += 1;
                     fanout[di].push(gi);
                 } else {
-                    assert!(
-                        source[inp.0],
-                        "net {} is used but never driven",
-                        inp
-                    );
+                    assert!(source[inp.0], "net {} is used but never driven", inp);
                 }
             }
         }

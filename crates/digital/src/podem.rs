@@ -32,7 +32,7 @@ impl V5 {
 fn eval3(kind: GateKind, inputs: &[T3]) -> T3 {
     match kind {
         GateKind::And | GateKind::Nand => {
-            let v = if inputs.iter().any(|x| *x == Some(false)) {
+            let v = if inputs.contains(&Some(false)) {
                 Some(false)
             } else if inputs.iter().all(|x| *x == Some(true)) {
                 Some(true)
@@ -46,7 +46,7 @@ fn eval3(kind: GateKind, inputs: &[T3]) -> T3 {
             }
         }
         GateKind::Or | GateKind::Nor => {
-            let v = if inputs.iter().any(|x| *x == Some(true)) {
+            let v = if inputs.contains(&Some(true)) {
                 Some(true)
             } else if inputs.iter().all(|x| *x == Some(false)) {
                 Some(false)
@@ -153,9 +153,7 @@ impl Frame<'_> {
     }
 
     fn d_at_sink(&self) -> bool {
-        self.sinks
-            .iter()
-            .any(|n| self.values[n.index()].known_d())
+        self.sinks.iter().any(|n| self.values[n.index()].known_d())
     }
 
     /// D-frontier: gates with a known D/D̄ input and an X output (on
@@ -168,9 +166,7 @@ impl Frame<'_> {
             .filter(|(_, g)| {
                 let out = self.values[g.output.index()];
                 (out.good.is_none() || out.bad.is_none())
-                    && g.inputs
-                        .iter()
-                        .any(|i| self.values[i.index()].known_d())
+                    && g.inputs.iter().any(|i| self.values[i.index()].known_d())
             })
             .map(|(gi, _)| gi)
             .collect()

@@ -138,8 +138,7 @@ pub fn run_conversion(
             .enumerate()
             .map(|(b, n)| u16::from(values[n.index()]) << b)
             .sum();
-        let in_bit_cycle =
-            !values[handles.sample.index()] && !values[handles.capture.index()];
+        let in_bit_cycle = !values[handles.sample.index()] && !values[handles.capture.index()];
         let cmp = if in_bit_cycle {
             comparator(trial_code)
         } else {

@@ -49,11 +49,7 @@ impl<'a> ScanChain<'a> {
     /// faulty) machine and returns `(po_capture, shifted_out_state)`.
     ///
     /// `fault` of `None` runs the good machine.
-    pub fn apply(
-        &self,
-        pattern: &Pattern,
-        fault: Option<StuckAt>,
-    ) -> (Vec<bool>, Vec<bool>) {
+    pub fn apply(&self, pattern: &Pattern, fault: Option<StuckAt>) -> (Vec<bool>, Vec<bool>) {
         // Shift-in is modeled as directly loading the state (the chain is
         // just a path of DFFs in test mode); capture = one functional
         // tick; shift-out exposes the captured next-state.
@@ -116,7 +112,11 @@ fn faulty_tick(circuit: &GateCircuit, pattern: &Pattern, fault: StuckAt) -> (Vec
         values[fault.net.index()] = fault.value;
     }
     (
-        circuit.outputs().iter().map(|n| values[n.index()]).collect(),
+        circuit
+            .outputs()
+            .iter()
+            .map(|n| values[n.index()])
+            .collect(),
         circuit.ffs().iter().map(|f| values[f.d.index()]).collect(),
     )
 }

@@ -19,7 +19,10 @@ use symbist_repro::circuit::rng::Rng;
 
 /// A fully-differential inverting gain stage built from two matched
 /// resistor pairs around ideal inverting amplifiers (VCVS).
-fn build_stage(vin_diff: f64, r_fault: Option<(usize, f64)>) -> (Netlist, [symbist_repro::circuit::NodeId; 2]) {
+fn build_stage(
+    vin_diff: f64,
+    r_fault: Option<(usize, f64)>,
+) -> (Netlist, [symbist_repro::circuit::NodeId; 2]) {
     let vcm = 0.6;
     let mut nl = Netlist::new();
     let inp = nl.node("inp");
@@ -97,7 +100,11 @@ fn main() {
         println!(
             "  {label:<18} → deviation {:+.2} mV: {}",
             dev * 1e3,
-            if window.check(dev) { "ESCAPE" } else { "DETECTED" }
+            if window.check(dev) {
+                "ESCAPE"
+            } else {
+                "DETECTED"
+            }
         );
         assert!(!window.check(dev), "{label} must violate the invariance");
     }

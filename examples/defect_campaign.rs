@@ -9,9 +9,7 @@
 
 use symbist_repro::adc::{AdcConfig, BlockKind, SarAdc};
 use symbist_repro::bist::experiments::ExperimentConfig;
-use symbist_repro::defects::{
-    run_campaign, CampaignOptions, DefectUniverse, LikelihoodModel,
-};
+use symbist_repro::defects::{run_campaign, CampaignOptions, DefectUniverse, LikelihoodModel};
 
 fn main() {
     let xc = ExperimentConfig::default();
@@ -20,8 +18,8 @@ fn main() {
 
     // Defect universe of the SC array (paper §V model: terminal shorts and
     // opens on transistors, short/open/±50% on passives).
-    let universe =
-        DefectUniverse::enumerate(&adc, &LikelihoodModel::default()).filter_block(BlockKind::ScArray);
+    let universe = DefectUniverse::enumerate(&adc, &LikelihoodModel::default())
+        .filter_block(BlockKind::ScArray);
     println!(
         "SC array: {} defects, total likelihood {:.1}",
         universe.len(),
@@ -29,18 +27,18 @@ fn main() {
     );
 
     // Exhaustive campaign (the block is small, like the paper's 44/44).
-    let result = run_campaign(
-        &adc,
-        &universe,
-        &CampaignOptions::default(),
-        |dut| engine.campaign_test(dut),
-    );
+    let result = run_campaign(&adc, &universe, &CampaignOptions::default(), |dut| {
+        engine.campaign_test(dut)
+    });
 
-    println!("\n{:<38} {:>10} {:>10} {:>12}", "defect", "detected", "cycle", "sim ms");
+    println!(
+        "\n{:<38} {:>10} {:>10} {:>12}",
+        "defect", "detected", "cycle", "sim ms"
+    );
     for r in &result.records {
         println!(
             "{:<38} {:>10} {:>10} {:>12.2}",
-            format!("{}:{}", r.defect.component_name, r.defect.site.kind),
+            format!("{}:{}", r.defect(&universe).component_name, r.site.kind),
             r.outcome.detected,
             r.outcome
                 .detection_cycle

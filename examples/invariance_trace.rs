@@ -53,10 +53,7 @@ fn main() {
                 )
             }
         );
-        let worst = case
-            .deviations
-            .iter()
-            .fold(0.0f64, |m, d| m.max(d.abs()));
+        let worst = case.deviations.iter().fold(0.0f64, |m, d| m.max(d.abs()));
         println!("  worst settled deviation: {:.1} mV", worst * 1e3);
     }
 

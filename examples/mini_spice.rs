@@ -33,8 +33,8 @@ C1  out 0   2p
 fn main() {
     let (name, source) = match env::args().nth(1) {
         Some(path) => {
-            let text = fs::read_to_string(&path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let text =
+                fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
             (path, text)
         }
         None => ("<built-in demo>".to_string(), DEMO.to_string()),
@@ -104,4 +104,3 @@ fn main() {
         }
     }
 }
-

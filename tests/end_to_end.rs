@@ -7,9 +7,7 @@ use symbist_repro::bist::calibrate::Calibration;
 use symbist_repro::bist::invariance::InvarianceId;
 use symbist_repro::bist::session::{Schedule, SymBist};
 use symbist_repro::bist::stimulus::StimulusSpec;
-use symbist_repro::defects::{
-    run_campaign, CampaignOptions, DefectUniverse, LikelihoodModel,
-};
+use symbist_repro::defects::{run_campaign, CampaignOptions, DefectUniverse, LikelihoodModel};
 
 fn engine() -> SymBist {
     let cfg = AdcConfig::default();
@@ -23,7 +21,11 @@ fn healthy_device_passes_and_runs_full_length() {
     let bist = engine();
     let adc = SarAdc::new(AdcConfig::default());
     let result = bist.run(&adc, true);
-    assert!(result.pass, "healthy DUT flagged: {:?}", result.first_detection());
+    assert!(
+        result.pass,
+        "healthy DUT flagged: {:?}",
+        result.first_detection()
+    );
     assert_eq!(result.cycles_run, 192);
 }
 
@@ -82,7 +84,11 @@ fn campaign_pipeline_smoke() {
     );
     assert_eq!(res.simulated(), universe.len());
     let cov = res.coverage();
-    assert!(cov.value > 0.2 && cov.value < 0.95, "vcm coverage {}", cov.value);
+    assert!(
+        cov.value > 0.2 && cov.value < 0.95,
+        "vcm coverage {}",
+        cov.value
+    );
     // Detected defects stopped early; escapes ran the full test.
     for r in &res.records {
         if r.outcome.detected {

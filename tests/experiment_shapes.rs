@@ -25,7 +25,11 @@ fn fig5_shape_matches_paper() {
     // Defect-free: clean.
     assert_eq!(hit_count(0), 0);
     // SUBDAC1 and SC-array defects: specific conversion periods.
-    assert!(hit_count(1) > 0 && hit_count(1) < 32, "subdac {}", hit_count(1));
+    assert!(
+        hit_count(1) > 0 && hit_count(1) < 32,
+        "subdac {}",
+        hit_count(1)
+    );
     assert!(hit_count(2) > 0 && hit_count(2) < 32, "sc {}", hit_count(2));
     // Vcm-generator defect: the entire test duration.
     assert_eq!(hit_count(3), 32);

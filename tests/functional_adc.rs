@@ -39,7 +39,11 @@ fn mid_scale_window_linearity() {
             prev_code = code;
         }
     }
-    assert!(transitions.len() >= 15, "found {} transitions", transitions.len());
+    assert!(
+        transitions.len() >= 15,
+        "found {} transitions",
+        transitions.len()
+    );
     let report = LinearityReport::from_transitions(&transitions[..15]);
     assert!(report.max_dnl < 0.9, "DNL {}", report.max_dnl);
     assert!(report.missing_codes().is_empty());
@@ -66,9 +70,6 @@ fn conversion_agrees_with_ideal_levels_everywhere() {
         let t = target as u16;
         let din = (adc.ideal_level(t) + adc.ideal_level(t - 1)) / 2.0;
         let got = adc.convert(din);
-        assert!(
-            (got as i32 - t as i32).abs() <= 1,
-            "target {t}, got {got}"
-        );
+        assert!((got as i32 - t as i32).abs() <= 1, "target {t}, got {got}");
     }
 }
