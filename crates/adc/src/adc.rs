@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use symbist_circuit::error::CircuitError;
 use symbist_circuit::rng::Rng;
 
 use crate::bandgap::{Bandgap, BandgapMismatch};
@@ -174,7 +175,12 @@ impl Clone for SarAdc {
             catalog: self.catalog.clone(),
             ranges: self.ranges.clone(),
             injected: self.injected,
-            ref_cache: Mutex::new(self.ref_cache.lock().expect("cache poisoned").clone()),
+            ref_cache: Mutex::new(
+                self.ref_cache
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clone(),
+            ),
         }
     }
 }
@@ -188,7 +194,10 @@ impl SarAdc {
     pub fn new(cfg: AdcConfig) -> Self {
         cfg.validate();
         let bandgap = Bandgap::new(&cfg);
-        let vbg_nominal = bandgap.solve().vbg;
+        let vbg_nominal = bandgap
+            .solve()
+            .expect("nominal bandgap solves without a budget")
+            .vbg;
         let refbuf = ReferenceBuffer::new(&cfg, vbg_nominal);
         let sd1 = SubDac::new(BlockKind::SubDac1);
         let sd2 = SubDac::new(BlockKind::SubDac2);
@@ -271,7 +280,10 @@ impl SarAdc {
         self.sc.set_mismatch(m.sc);
         self.vcm.set_mismatch(m.vcm);
         self.chain.set_mismatch(m.chain);
-        self.ref_cache.lock().expect("cache poisoned").clear();
+        self.ref_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
     }
 
     /// The electrical configuration.
@@ -295,14 +307,14 @@ impl SarAdc {
         &self.vcm
     }
 
-    fn vbg(&self) -> f64 {
-        self.bandgap.solve().vbg
+    fn vbg(&self) -> Result<f64, CircuitError> {
+        Ok(self.bandgap.solve()?.vbg)
     }
 
     /// The actual buffered reference (ladder top tap) feeding the Vcm
     /// generator's divider.
-    fn vrefp(&self, vbg: f64) -> f64 {
-        self.ref_solve(vbg, 0, 0).vref32
+    fn vrefp(&self, vbg: f64) -> Result<f64, CircuitError> {
+        Ok(self.ref_solve(vbg, 0, 0)?.vref32)
     }
 
     /// The exported common-mode pin: the ladder mid-tap `VREF[16]`, which
@@ -310,29 +322,45 @@ impl SarAdc {
     /// input. Referencing the stimulus to this pin keeps the I3 invariance
     /// immune to absolute reference-scale error while leaving
     /// Vcm-generator defects fully observable.
-    fn vcm_pin(&self, vbg: f64) -> f64 {
-        self.ref_solve(vbg, 0, 0).vref16
+    fn vcm_pin(&self, vbg: f64) -> Result<f64, CircuitError> {
+        Ok(self.ref_solve(vbg, 0, 0)?.vref16)
     }
 
-    fn ref_solve(&self, vbg: f64, m: u8, l: u8) -> RefOutputs {
-        if let Some(out) = self.ref_cache.lock().expect("cache poisoned").get(&(m, l)) {
-            return *out;
+    fn ref_solve(&self, vbg: f64, m: u8, l: u8) -> Result<RefOutputs, CircuitError> {
+        if let Some(out) = self
+            .ref_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&(m, l))
+        {
+            return Ok(*out);
         }
-        let out = solve_ref_network(&self.refbuf, &self.sd1, &self.sd2, vbg, m, l);
+        let out = solve_ref_network(&self.refbuf, &self.sd1, &self.sd2, vbg, m, l)?;
         self.ref_cache
             .lock()
-            .expect("cache poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .insert((m, l), out);
-        out
+        Ok(out)
     }
 
     /// Runs the SymBIST counter stimulus (paper §IV-2): the FD input is
     /// held at the DC value `din` (externally supplied, common mode at the
     /// nominal `vcm`), a 5-bit counter sweeps all 32 codes onto both
     /// sub-DACs, and every invariance node is observed per code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the analog simulation fails; campaign code should use
+    /// [`SarAdc::try_symbist_observations`].
     pub fn symbist_observations(&self, din: f64) -> Vec<TestObservation> {
-        let mut stream = self.observation_stream(din);
-        (0..32u8).map(|c| *stream.observe(c)).collect()
+        self.try_symbist_observations(din)
+            .unwrap_or_else(|e| panic!("analog simulation failed: {e}"))
+    }
+
+    /// Fallible form of [`SarAdc::symbist_observations`].
+    pub fn try_symbist_observations(&self, din: f64) -> Result<Vec<TestObservation>, CircuitError> {
+        let mut stream = self.try_observation_stream(din)?;
+        (0..32u8).map(|c| stream.try_observe(c).copied()).collect()
     }
 
     /// Starts a lazy observation stream over the counter stimulus.
@@ -342,32 +370,56 @@ impl SarAdc {
     /// the analog simulation exactly as far as requested. This is what
     /// makes stop-on-detection genuinely cheaper: a defect caught at
     /// counter code 3 costs 4 conversion cycles of simulation, not 32.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the analog simulation fails; campaign code should use
+    /// [`SarAdc::try_observation_stream`].
     pub fn observation_stream(&self, din: f64) -> ObservationStream<'_> {
-        let vbg = self.vbg();
-        let vcm_v = self.vcm.solve(self.vrefp(vbg));
-        let v_pin = self.vcm_pin(vbg);
+        self.try_observation_stream(din)
+            .unwrap_or_else(|e| panic!("analog simulation failed: {e}"))
+    }
+
+    /// Fallible form of [`SarAdc::observation_stream`]: an injected defect
+    /// that leaves the reference network singular or the SC array without
+    /// an operating point surfaces here as `Err` instead of a panic.
+    pub fn try_observation_stream(&self, din: f64) -> Result<ObservationStream<'_>, CircuitError> {
+        let vbg = self.vbg()?;
+        let vcm_v = self.vcm.solve(self.vrefp(vbg)?)?;
+        let v_pin = self.vcm_pin(vbg)?;
         let in_p = v_pin + din / 2.0;
         let in_n = v_pin - din / 2.0;
-        ObservationStream {
+        Ok(ObservationStream {
             adc: self,
             vbg,
-            session: self.sc.begin(in_p, in_n, vcm_v, false),
+            session: self.sc.begin(in_p, in_n, vcm_v, false)?,
             computed: Vec::with_capacity(32),
-        }
+        })
     }
 
     /// Full-waveform run of the invariance-I3 signal `DAC+ + DAC−` over the
     /// counter stimulus — the paper's Fig. 5 trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the analog simulation fails; campaign code should use
+    /// [`SarAdc::try_invariance3_trace`].
     pub fn invariance3_trace(&self, din: f64) -> ScTraces {
-        let vbg = self.vbg();
-        let vcm_v = self.vcm.solve(self.vrefp(vbg));
-        let v_pin = self.vcm_pin(vbg);
+        self.try_invariance3_trace(din)
+            .unwrap_or_else(|e| panic!("analog simulation failed: {e}"))
+    }
+
+    /// Fallible form of [`SarAdc::invariance3_trace`].
+    pub fn try_invariance3_trace(&self, din: f64) -> Result<ScTraces, CircuitError> {
+        let vbg = self.vbg()?;
+        let vcm_v = self.vcm.solve(self.vrefp(vbg)?)?;
+        let v_pin = self.vcm_pin(vbg)?;
         let in_p = v_pin + din / 2.0;
         let in_n = v_pin - din / 2.0;
         let mut levels_p = Vec::with_capacity(32);
         let mut levels_n = Vec::with_capacity(32);
         for c in 0..32u8 {
-            let r = self.ref_solve(vbg, c, c);
+            let r = self.ref_solve(vbg, c, c)?;
             levels_p.push(SideLevels {
                 m: r.m_plus,
                 l: r.l_plus,
@@ -384,10 +436,21 @@ impl SarAdc {
     /// frame: sample, ten comparator-in-the-loop bit decisions, capture.
     ///
     /// Returns the captured 10-bit output code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the analog simulation fails; campaign code should use
+    /// [`SarAdc::try_convert`].
     pub fn convert(&self, din: f64) -> u16 {
-        let vbg = self.vbg();
-        let vcm_v = self.vcm.solve(self.vrefp(vbg));
-        let v_pin = self.vcm_pin(vbg);
+        self.try_convert(din)
+            .unwrap_or_else(|e| panic!("analog simulation failed: {e}"))
+    }
+
+    /// Fallible form of [`SarAdc::convert`].
+    pub fn try_convert(&self, din: f64) -> Result<u16, CircuitError> {
+        let vbg = self.vbg()?;
+        let vcm_v = self.vcm.solve(self.vrefp(vbg)?)?;
+        let v_pin = self.vcm_pin(vbg)?;
         let in_p = v_pin + din / 2.0;
         let in_n = v_pin - din / 2.0;
 
@@ -397,13 +460,13 @@ impl SarAdc {
             match self.control.pulse(cycle) {
                 Pulse::Sample => {
                     sar.begin();
-                    session = Some(self.sc.begin(in_p, in_n, vcm_v, false));
+                    session = Some(self.sc.begin(in_p, in_n, vcm_v, false)?);
                 }
                 Pulse::Bit(_) => {
                     let trial = sar.trial_code();
                     let m = (trial >> 5) as u8;
                     let l = (trial & 0x1F) as u8;
-                    let r = self.ref_solve(vbg, m, l);
+                    let r = self.ref_solve(vbg, m, l)?;
                     let sess = session.as_mut().expect("sample pulse precedes bits");
                     let (dac_p, dac_n) = sess.apply_code(
                         SideLevels {
@@ -414,7 +477,7 @@ impl SarAdc {
                             m: r.m_minus,
                             l: r.l_minus,
                         },
-                    );
+                    )?;
                     let (_, q) = self.chain.compare(dac_p, dac_n, vbg);
                     // decision true ⇔ DAC level above the input.
                     sar.apply_decision(q.decision);
@@ -422,7 +485,7 @@ impl SarAdc {
                 Pulse::Capture => sar.capture(),
             }
         }
-        sar.output().expect("capture pulse ran")
+        Ok(sar.output().expect("capture pulse ran"))
     }
 
     /// The ideal decision level (differential volts) of code `c` for this
@@ -448,12 +511,23 @@ impl ObservationStream<'_> {
     ///
     /// # Panics
     ///
-    /// Panics if `code >= 32`.
+    /// Panics if `code >= 32` or the analog simulation fails; campaign
+    /// code should use [`ObservationStream::try_observe`].
     pub fn observe(&mut self, code: u8) -> &TestObservation {
+        self.try_observe(code)
+            .unwrap_or_else(|e| panic!("analog simulation failed: {e}"))
+    }
+
+    /// Fallible form of [`ObservationStream::observe`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= 32`.
+    pub fn try_observe(&mut self, code: u8) -> Result<&TestObservation, CircuitError> {
         assert!(code < 32, "counter codes are 5-bit");
         while self.computed.len() <= code as usize {
             let c = self.computed.len() as u8;
-            let r = self.adc.ref_solve(self.vbg, c, c);
+            let r = self.adc.ref_solve(self.vbg, c, c)?;
             let (dac_p, dac_n) = self.session.apply_code(
                 SideLevels {
                     m: r.m_plus,
@@ -463,7 +537,7 @@ impl ObservationStream<'_> {
                     m: r.m_minus,
                     l: r.l_minus,
                 },
-            );
+            )?;
             let (pre, q) = self.adc.chain.compare(dac_p, dac_n, self.vbg);
             self.computed.push(TestObservation {
                 code: c,
@@ -482,7 +556,7 @@ impl ObservationStream<'_> {
                 vdd: self.adc.cfg.vdd,
             });
         }
-        &self.computed[code as usize]
+        Ok(&self.computed[code as usize])
     }
 
     /// Codes observed so far.
@@ -517,7 +591,10 @@ impl Faultable for SarAdc {
             SubBlock::Chain => self.chain.set_defect(d),
         }
         self.injected = Some(site);
-        self.ref_cache.lock().expect("cache poisoned").clear();
+        self.ref_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
     }
 
     fn clear_defects(&mut self) {
@@ -529,7 +606,10 @@ impl Faultable for SarAdc {
         self.vcm.set_defect(None);
         self.chain.set_defect(None);
         self.injected = None;
-        self.ref_cache.lock().expect("cache poisoned").clear();
+        self.ref_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
     }
 
     fn injected(&self) -> Option<DefectSite> {

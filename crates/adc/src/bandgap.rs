@@ -14,6 +14,7 @@
 //! abstracts a sub-block it cannot afford to flatten.
 
 use symbist_circuit::dc::DcSolver;
+use symbist_circuit::error::CircuitError;
 use symbist_circuit::netlist::{MosPolarity, Netlist};
 
 use crate::builder::{emit_diode, emit_mosfet, emit_resistor};
@@ -202,7 +203,12 @@ impl Bandgap {
     /// Falls back to a railed output (0 V) if a defect makes the operating
     /// point unsolvable — silicon would also produce *some* DC value; 0 V
     /// is the conservative "block dead" abstraction.
-    pub fn solve(&self) -> BandgapOutput {
+    ///
+    /// The only `Err` is [`CircuitError::BudgetExhausted`]: convergence
+    /// failures are absorbed by the fallback (they model a dead block),
+    /// but a budget expiry must surface so the campaign records the task
+    /// as unresolved rather than mistaking an aborted solve for 0 V.
+    pub fn solve(&self) -> Result<BandgapOutput, CircuitError> {
         self.solve_at(26.85) // 300 K, the device-model reference point
     }
 
@@ -212,7 +218,7 @@ impl Bandgap {
     /// classic bandgap behaviour: the CTAT base-emitter drop and the PTAT
     /// `ΔVBE/R1` term cancel to first order, leaving a shallow parabola
     /// over temperature (see the `bandgap_tc` experiment).
-    pub fn solve_at(&self, temperature_c: f64) -> BandgapOutput {
+    pub fn solve_at(&self, temperature_c: f64) -> Result<BandgapOutput, CircuitError> {
         let fault = self.amp_fault();
         let target_gain = match fault {
             AmpFault::GainScale(s) => AMP_GAIN * s,
@@ -220,8 +226,8 @@ impl Bandgap {
         };
         // First try the gain homotopy directly at the requested
         // temperature.
-        if let Some((vbg, _)) = self.gain_homotopy(temperature_c, fault, target_gain, None) {
-            return BandgapOutput { vbg };
+        if let Some((vbg, _)) = self.gain_homotopy(temperature_c, fault, target_gain, None)? {
+            return Ok(BandgapOutput { vbg });
         }
         // Narrow basin-boundary windows exist where Newton cannot track the
         // high-gain loop at some temperatures; continue along the
@@ -229,21 +235,23 @@ impl Bandgap {
         // good), then ramp T in shrinking steps, warm-starting each solve
         // at full gain.
         const T_NOM: f64 = 26.85;
-        let Some((mut vbg, mut warm)) = self.gain_homotopy(T_NOM, fault, target_gain, None) else {
-            return BandgapOutput { vbg: 0.0 }; // block dead
+        let Some((mut vbg, mut warm)) = self.gain_homotopy(T_NOM, fault, target_gain, None)? else {
+            return Ok(BandgapOutput { vbg: 0.0 }); // block dead
         };
-        let solve_full = |t: f64, warm: &[f64]| -> Option<(f64, Vec<f64>)> {
+        let solve_full = |t: f64, warm: &[f64]| -> Result<Option<(f64, Vec<f64>)>, CircuitError> {
             let solver = DcSolver::with_options(symbist_circuit::dc::DcOptions {
                 temperature_c: t,
                 ..Default::default()
             });
             let (nl, vbg_node) = self.build_netlist(target_gain, fault);
-            solver.solve_from(&nl, Some(warm)).ok().map(|op| {
-                (
+            match solver.solve_from(&nl, Some(warm)) {
+                Ok(op) => Ok(Some((
                     op.voltage(vbg_node).clamp(0.0, self.cfg.vdda),
                     op.raw().to_vec(),
-                )
-            })
+                ))),
+                Err(e @ CircuitError::BudgetExhausted { .. }) => Err(e),
+                Err(_) => Ok(None),
+            }
         };
         let mut t = T_NOM;
         let mut step = 5.0f64 * (temperature_c - T_NOM).signum();
@@ -253,7 +261,7 @@ impl Bandgap {
             } else {
                 (t + step).max(temperature_c)
             };
-            match solve_full(next, &warm) {
+            match solve_full(next, &warm)? {
                 Some((v, w)) => {
                     vbg = v;
                     warm = w;
@@ -268,18 +276,21 @@ impl Bandgap {
                 }
             }
         }
-        BandgapOutput { vbg }
+        Ok(BandgapOutput { vbg })
     }
 
-    /// Gain homotopy at a fixed temperature; `Some` only when the target
-    /// gain stage itself solved.
+    /// Gain homotopy at a fixed temperature; `Ok(Some)` only when the
+    /// target gain stage itself solved. Convergence failures at the finest
+    /// step are reported as `Ok(None)` ("block dead"); only a budget
+    /// expiry propagates as `Err`, so an aborted solve is never mistaken
+    /// for an unsolvable circuit.
     fn gain_homotopy(
         &self,
         temperature_c: f64,
         fault: AmpFault,
         target_gain: f64,
         warm0: Option<Vec<f64>>,
-    ) -> Option<(f64, Vec<f64>)> {
+    ) -> Result<Option<(f64, Vec<f64>)>, CircuitError> {
         let solver = DcSolver::with_options(symbist_circuit::dc::DcOptions {
             temperature_c,
             ..Default::default()
@@ -295,7 +306,7 @@ impl Bandgap {
                     let vbg = op.voltage(vbg_node).clamp(0.0, self.cfg.vdda);
                     warm = Some(raw.clone());
                     if gain >= target_gain || matches!(fault, AmpFault::Stuck(_)) {
-                        return Some((vbg, raw));
+                        return Ok(Some((vbg, raw)));
                     }
                     gain = if gain == 0.0 {
                         1.0
@@ -303,6 +314,7 @@ impl Bandgap {
                         (gain * step).min(target_gain)
                     };
                 }
+                Err(e @ CircuitError::BudgetExhausted { .. }) => return Err(e),
                 Err(_) => {
                     // Retry the stage with a finer gain step.
                     if gain > 0.0 && step > 1.05 {
@@ -310,7 +322,7 @@ impl Bandgap {
                         gain = (gain / step).max(1.0);
                         continue;
                     }
-                    return None;
+                    return Ok(None);
                 }
             }
         }
@@ -464,7 +476,7 @@ mod tests {
 
     #[test]
     fn nominal_output_near_bandgap_voltage() {
-        let out = bg().solve();
+        let out = bg().solve().unwrap();
         assert!(
             (1.0..1.35).contains(&out.vbg),
             "nominal VBG = {} should be near 1.17 V",
@@ -489,9 +501,9 @@ mod tests {
     #[test]
     fn diode_short_collapses_output() {
         let mut b = bg();
-        let nominal = b.solve().vbg;
+        let nominal = b.solve().unwrap().vbg;
         b.set_defect(Some((D3, DefectKind::Short)));
-        let defective = b.solve().vbg;
+        let defective = b.solve().unwrap().vbg;
         // Output diode shorted: VBG loses its CTAT part (~0.6 V drop).
         assert!(
             (nominal - defective) > 0.3,
@@ -502,13 +514,13 @@ mod tests {
     #[test]
     fn r1_variation_shifts_ptat() {
         let mut b = bg();
-        let nominal = b.solve().vbg;
+        let nominal = b.solve().unwrap().vbg;
         b.set_defect(Some((R1, DefectKind::ParamHigh)));
-        let high = b.solve().vbg;
+        let high = b.solve().unwrap().vbg;
         // +50% on R1 cuts the PTAT current by a third: VBG drops ~0.15 V.
         assert!(nominal - high > 0.08, "nominal {nominal} vs R1+50% {high}");
         b.set_defect(Some((R1, DefectKind::ParamLow)));
-        let low = b.solve().vbg;
+        let low = b.solve().unwrap().vbg;
         assert!(low - nominal > 0.1, "nominal {nominal} vs R1-50% {low}");
     }
 
@@ -517,16 +529,16 @@ mod tests {
         let mut b = bg();
         // Tail open: amp stuck at bias → mirrors fully on → VBG high.
         b.set_defect(Some((AMP_BASE + 4, DefectKind::OpenDrain)));
-        let v = b.solve().vbg;
+        let v = b.solve().unwrap().vbg;
         assert!(v > 1.5, "dead-amp VBG = {v}");
     }
 
     #[test]
     fn startup_open_is_benign() {
         let mut b = bg();
-        let nominal = b.solve().vbg;
+        let nominal = b.solve().unwrap().vbg;
         b.set_defect(Some((STARTUP_BASE, DefectKind::OpenDrain)));
-        let v = b.solve().vbg;
+        let v = b.solve().unwrap().vbg;
         assert!(
             (v - nominal).abs() < 1e-9,
             "start-up open must not shift DC"
@@ -536,9 +548,9 @@ mod tests {
     #[test]
     fn startup_short_is_catastrophic() {
         let mut b = bg();
-        let nominal = b.solve().vbg;
+        let nominal = b.solve().unwrap().vbg;
         b.set_defect(Some((STARTUP_BASE, DefectKind::ShortDs)));
-        let v = b.solve().vbg;
+        let v = b.solve().unwrap().vbg;
         assert!(
             (v - nominal).abs() > 0.2,
             "start-up short must shift VBG, got {v}"
@@ -548,14 +560,14 @@ mod tests {
     #[test]
     fn mismatch_shifts_moderately() {
         let mut b = bg();
-        let nominal = b.solve().vbg;
+        let nominal = b.solve().unwrap().vbg;
         b.set_mismatch(BandgapMismatch {
             r1: 0.01,
             r2: -0.01,
             amp_offset: 0.002,
             mirror: 0.01,
         });
-        let v = b.solve().vbg;
+        let v = b.solve().unwrap().vbg;
         let shift = (v - nominal).abs();
         assert!(shift > 1e-6 && shift < 0.1, "mismatch shift {shift}");
     }
@@ -564,7 +576,7 @@ mod tests {
     fn mirror_open_kills_output_leg() {
         let mut b = bg();
         b.set_defect(Some((M3, DefectKind::OpenDrain)));
-        let v = b.solve().vbg;
+        let v = b.solve().unwrap().vbg;
         assert!(v < 0.4, "open mirror leg VBG = {v}");
     }
 }
@@ -576,9 +588,9 @@ mod temperature_tests {
     #[test]
     fn bandgap_curvature_over_temperature() {
         let bg = Bandgap::new(&AdcConfig::default());
-        let cold = bg.solve_at(-40.0).vbg;
-        let room = bg.solve_at(26.85).vbg;
-        let hot = bg.solve_at(125.0).vbg;
+        let cold = bg.solve_at(-40.0).unwrap().vbg;
+        let room = bg.solve_at(26.85).unwrap().vbg;
+        let hot = bg.solve_at(125.0).unwrap().vbg;
         // First-order cancellation: total excursion over the automotive
         // range stays within tens of millivolts...
         let span = (cold.max(room).max(hot)) - (cold.min(room).min(hot));
@@ -620,8 +632,8 @@ mod temperature_tests {
     #[test]
     fn tc_is_much_better_than_a_raw_diode() {
         let bg = Bandgap::new(&AdcConfig::default());
-        let v25 = bg.solve_at(25.0).vbg;
-        let v85 = bg.solve_at(85.0).vbg;
+        let v25 = bg.solve_at(25.0).unwrap().vbg;
+        let v85 = bg.solve_at(85.0).unwrap().vbg;
         let tc = ((v85 - v25) / v25 / 60.0).abs();
         // A raw VBE drifts ~3000 ppm/K; the bandgap must be far better.
         assert!(tc < 4e-4, "bandgap TC {tc} /K");

@@ -8,6 +8,7 @@
 //! be regenerated.
 
 use symbist_circuit::dc::DcSolver;
+use symbist_circuit::error::CircuitError;
 use symbist_circuit::netlist::{MosPolarity, Netlist};
 use symbist_circuit::rng::Rng;
 
@@ -32,7 +33,10 @@ impl BandgapIp {
     /// Creates the IP.
     pub fn new(cfg: &AdcConfig) -> Self {
         let inner = Bandgap::new(cfg);
-        let nominal = inner.solve().vbg;
+        let nominal = inner
+            .solve()
+            .expect("nominal bandgap solves without a budget")
+            .vbg;
         let catalog = inner.components().to_vec();
         Self {
             inner,
@@ -45,9 +49,20 @@ impl BandgapIp {
     /// The conventional production test: the output must sit within
     /// ±`tolerance` (relative) of nominal. Returns `true` when the DUT
     /// passes (i.e. a defect *escapes* when this returns `true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solve is cut short by a budget; campaign code should
+    /// use [`BandgapIp::try_passes_dc_test`].
     pub fn passes_dc_test(&self, tolerance: f64) -> bool {
-        let v = self.inner.solve().vbg;
-        (v - self.nominal).abs() <= tolerance * self.nominal
+        self.try_passes_dc_test(tolerance)
+            .unwrap_or_else(|e| panic!("analog simulation failed: {e}"))
+    }
+
+    /// Fallible form of [`BandgapIp::passes_dc_test`].
+    pub fn try_passes_dc_test(&self, tolerance: f64) -> Result<bool, CircuitError> {
+        let v = self.inner.solve()?.vbg;
+        Ok((v - self.nominal).abs() <= tolerance * self.nominal)
     }
 
     /// Nominal output voltage.

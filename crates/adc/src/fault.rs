@@ -190,6 +190,24 @@ impl DefectKind {
             DefectKind::OpenSource => "open-source",
         }
     }
+
+    /// Inverse of [`label`](Self::label), for parsing checkpoint records.
+    pub fn from_label(label: &str) -> Option<DefectKind> {
+        let kind = match label {
+            "short" => DefectKind::Short,
+            "open" => DefectKind::Open,
+            "-50%" => DefectKind::ParamLow,
+            "+50%" => DefectKind::ParamHigh,
+            "short-gd" => DefectKind::ShortGd,
+            "short-gs" => DefectKind::ShortGs,
+            "short-ds" => DefectKind::ShortDs,
+            "open-gate" => DefectKind::OpenGate,
+            "open-drain" => DefectKind::OpenDrain,
+            "open-source" => DefectKind::OpenSource,
+            _ => return None,
+        };
+        Some(kind)
+    }
 }
 
 impl fmt::Display for DefectKind {
@@ -344,5 +362,25 @@ mod tests {
             )
         });
         assert!(oob.is_err());
+    }
+
+    #[test]
+    fn defect_kind_label_roundtrip() {
+        let kinds = [
+            DefectKind::Short,
+            DefectKind::Open,
+            DefectKind::ParamLow,
+            DefectKind::ParamHigh,
+            DefectKind::ShortGd,
+            DefectKind::ShortGs,
+            DefectKind::ShortDs,
+            DefectKind::OpenGate,
+            DefectKind::OpenDrain,
+            DefectKind::OpenSource,
+        ];
+        for kind in kinds {
+            assert_eq!(DefectKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(DefectKind::from_label("bogus"), None);
     }
 }

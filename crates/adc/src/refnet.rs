@@ -14,6 +14,7 @@
 //! `M+ + M− = VREF[32]` and `L+ + L− = VREF[32]` (Eq. (2)).
 
 use symbist_circuit::dc::DcSolver;
+use symbist_circuit::error::CircuitError;
 use symbist_circuit::netlist::{Netlist, NodeId};
 
 use crate::builder::emit_resistor;
@@ -443,6 +444,11 @@ pub struct RefOutputs {
 /// Solves the coupled reference network for select codes `m` (SUBDAC1) and
 /// `l` (SUBDAC2), both in `0..32`.
 ///
+/// The nominal network is linear and always solvable, but an injected
+/// defect can make it singular (e.g. an open that floats a mux output) or
+/// a thread [`SolveBudget`](symbist_circuit::dc::SolveBudget) can expire
+/// mid-solve — both surface as `Err` for the campaign to record.
+///
 /// # Panics
 ///
 /// Panics if a code is out of range.
@@ -453,7 +459,7 @@ pub fn solve_ref_network(
     vbg: f64,
     m: u8,
     l: u8,
-) -> RefOutputs {
+) -> Result<RefOutputs, CircuitError> {
     assert!(m < 32 && l < 32, "select codes must be 5-bit");
     let cfg = &refbuf.cfg;
     let mut nl = Netlist::new();
@@ -525,17 +531,15 @@ pub fn solve_ref_network(
     emit_mux(sd2, MuxSide::P, l, l_plus, &mut nl);
     emit_mux(sd2, MuxSide::N, l, l_minus, &mut nl);
 
-    let op = DcSolver::new()
-        .solve(&nl)
-        .expect("reference network is linear and must always solve");
-    RefOutputs {
+    let op = DcSolver::new().solve(&nl)?;
+    Ok(RefOutputs {
         m_plus: op.voltage(m_plus),
         m_minus: op.voltage(m_minus),
         l_plus: op.voltage(l_plus),
         l_minus: op.voltage(l_minus),
         vref16: op.voltage(tap_nodes[16]),
         vref32: op.voltage(tap_nodes[32]),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -557,7 +561,7 @@ mod tests {
     fn nominal_taps_follow_eq1() {
         let (rb, s1, s2) = parts();
         for code in [0u8, 1, 7, 16, 31] {
-            let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, code, 31 - code);
+            let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, code, 31 - code).unwrap();
             let vr = out.vref32;
             // Eq. (1): M+ = VREF[m] = m/32 · VREF[32].
             let expect_p = code as f64 / 32.0 * vr;
@@ -579,7 +583,7 @@ mod tests {
     #[test]
     fn full_scale_near_config() {
         let (rb, s1, s2) = parts();
-        let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 0, 0);
+        let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 0, 0).unwrap();
         let cfg = AdcConfig::default();
         // The buffer drives VREF[32] to the configured full scale (small
         // drop across Rout from the ladder current).
@@ -601,10 +605,10 @@ mod tests {
         // conversion periods" behaviour of the paper's Fig. 5.
         let (mut rb, s1, s2) = parts();
         rb.set_defect(Some((BUFFER_TRANSISTORS + 1 + 5, DefectKind::Short)));
-        let mid = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 16, 0);
+        let mid = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 16, 0).unwrap();
         let viol_mid = (mid.m_plus + mid.m_minus - mid.vref32).abs();
         assert!(viol_mid > 0.02, "I1 violation at code 16: {viol_mid}");
-        let near = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 5, 0);
+        let near = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 5, 0).unwrap();
         let viol_near = (near.m_plus + near.m_minus - near.vref32).abs();
         assert!(
             viol_near < viol_mid / 10.0,
@@ -621,12 +625,12 @@ mod tests {
         let (mut rb, s1, s2) = parts();
         rb.set_defect(Some((0, DefectKind::ShortGs))); // +150 mV input offset
         for code in [0u8, 5, 16, 27] {
-            let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, code, code);
+            let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, code, code).unwrap();
             assert!((out.m_plus + out.m_minus - out.vref32).abs() < 1e-6);
             assert!((out.l_plus + out.l_minus - out.vref32).abs() < 1e-6);
         }
         // ...even though the absolute level is badly wrong.
-        let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 16, 16);
+        let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 16, 16).unwrap();
         assert!((out.vref32 - AdcConfig::default().vref_fs).abs() > 0.1);
     }
 
@@ -639,10 +643,10 @@ mod tests {
         let (rb, mut s1, s2) = parts();
         let idx = 20 * PER_TAP + 3; // tap 20, drvP
         s1.set_defect(Some((idx, DefectKind::ShortDs)));
-        let bad = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 4, 0);
+        let bad = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 4, 0).unwrap();
         let viol_bad = (bad.m_plus + bad.m_minus - bad.vref32).abs();
         assert!(viol_bad > 0.05, "violation at code 4: {viol_bad}");
-        let good = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 20, 0);
+        let good = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 20, 0).unwrap();
         let viol_good = (good.m_plus + good.m_minus - good.vref32).abs();
         assert!(viol_good < 1e-3, "violation at code 20: {viol_good}");
     }
@@ -653,10 +657,10 @@ mod tests {
         let idx = 7 * PER_TAP + 2; // tap 7, drvN shorted → control stuck low
         s1.set_defect(Some((idx, DefectKind::ShortDs)));
         // Selecting tap 7: the switch never closes, M+ floats to ~0 (gmin).
-        let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 7, 0);
+        let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 7, 0).unwrap();
         assert!(out.m_plus.abs() < 0.05, "floating M+ = {}", out.m_plus);
         // Other codes are unaffected.
-        let ok = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 8, 0);
+        let ok = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 8, 0).unwrap();
         assert!((ok.m_plus - 8.0 / 32.0 * ok.vref32).abs() < 1e-4);
     }
 
@@ -666,13 +670,13 @@ mod tests {
         // P-decoder bit 3 PMOS short → bit stuck 1 → code 2 decodes as 10.
         let idx = 2 * MUX_COMPONENTS + 3 * 2 + 1;
         s1.set_defect(Some((idx, DefectKind::ShortDs)));
-        let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 2, 0);
+        let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 2, 0).unwrap();
         // M+ selects tap 10 while M− correctly selects tap 30.
         assert!((out.m_plus - 10.0 / 32.0 * out.vref32).abs() < 1e-4);
         let violation = (out.m_plus + out.m_minus - out.vref32).abs();
         assert!(violation > 0.2, "decoder violation {violation}");
         // Codes that already have bit 3 set are unaffected.
-        let ok = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 10, 0);
+        let ok = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 10, 0).unwrap();
         assert!((ok.m_plus + ok.m_minus - ok.vref32).abs() < 1e-4);
     }
 
@@ -684,7 +688,7 @@ mod tests {
         // a realistic analog escape.
         let idx = 20 * PER_TAP; // tap 20 (0.75 V), swN open → PMOS carries
         s1.set_defect(Some((idx, DefectKind::OpenSource)));
-        let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 20, 0);
+        let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 20, 0).unwrap();
         assert!((out.m_plus + out.m_minus - out.vref32).abs() < 1e-5);
     }
 
@@ -695,7 +699,7 @@ mod tests {
         // so the selected tap is unreachable and M+ floats — detected.
         let idx = 5 * PER_TAP; // tap 5 (0.19 V), swN open
         s1.set_defect(Some((idx, DefectKind::OpenSource)));
-        let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 5, 0);
+        let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 5, 0).unwrap();
         assert!(out.m_plus.abs() < 0.05, "floating M+ = {}", out.m_plus);
     }
 
@@ -718,7 +722,7 @@ mod tests {
             *slot = if i % 2 == 0 { 0.003 } else { -0.003 };
         }
         rb.set_mismatch(mm);
-        let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 5, 9);
+        let out = solve_ref_network(&rb, &s1, &s2, VBG_NOM, 5, 9).unwrap();
         // Complement holds to within a few mV under 0.3 % mismatch.
         let dev = (out.m_plus + out.m_minus - out.vref32).abs();
         assert!(dev < 5e-3, "mismatch deviation {dev}");

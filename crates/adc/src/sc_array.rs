@@ -16,6 +16,7 @@
 //! visible in the paper's Fig. 5, and defects (stuck switches, floating
 //! bottom plates, shorted capacitors) need no special-case algebra.
 
+use symbist_circuit::error::CircuitError;
 use symbist_circuit::netlist::{Device, DeviceId, Netlist, NodeId, SourceWave};
 use symbist_circuit::transient::{TransientOptions, TransientSim};
 use symbist_circuit::waveform::Trace;
@@ -330,11 +331,20 @@ impl ScArray {
     /// `in_p`/`in_n` are the (externally supplied) FD input voltages and
     /// `vcm` is the Vcm-generator output. Set `record` to capture full
     /// waveforms (the paper's Fig. 5 signals).
-    pub fn begin(&self, in_p: f64, in_n: f64, vcm: f64, record: bool) -> ScSession {
+    ///
+    /// Errs if a side has no DC operating point (e.g. an injected open
+    /// floats a plate) or the initial sampling cycle fails to settle.
+    pub fn begin(
+        &self,
+        in_p: f64,
+        in_n: f64,
+        vcm: f64,
+        record: bool,
+    ) -> Result<ScSession, CircuitError> {
         let tclk = self.cfg.clock_period();
         let dt = tclk / STEPS_PER_CYCLE as f64;
 
-        let mut circuits = [Side::P, Side::N].map(|side| {
+        let circuits = [Side::P, Side::N].map(|side| {
             let vin = match side {
                 Side::P => in_p,
                 Side::N => in_n,
@@ -343,7 +353,7 @@ impl ScArray {
             circuit.set_phase(true); // sampling
             circuit
         });
-        let sims = circuits.each_mut().map(|circuit| {
+        let mk_sim = |circuit: &SideCircuit| {
             TransientSim::new(
                 &circuit.nl,
                 TransientOptions {
@@ -351,8 +361,8 @@ impl ScArray {
                     ..Default::default()
                 },
             )
-            .expect("SC side must have a DC operating point")
-        });
+        };
+        let sims = [mk_sim(&circuits[0])?, mk_sim(&circuits[1])?];
 
         let mut session = ScSession {
             circuits,
@@ -367,8 +377,8 @@ impl ScArray {
             record,
             sampling: true,
         };
-        session.run_cycle();
-        session
+        session.run_cycle()?;
+        Ok(session)
     }
 
     /// Runs the sample-then-convert sequence on both sides and returns the
@@ -388,9 +398,10 @@ impl ScArray {
         vcm: f64,
         levels_p: &[SideLevels],
         levels_n: &[SideLevels],
-    ) -> Vec<(f64, f64)> {
-        self.run_sequence(in_p, in_n, vcm, levels_p, levels_n, false)
-            .settled
+    ) -> Result<Vec<(f64, f64)>, CircuitError> {
+        Ok(self
+            .run_sequence(in_p, in_n, vcm, levels_p, levels_n, false)?
+            .settled)
     }
 
     /// Like [`ScArray::run_codes`] but also returns full waveforms of
@@ -402,7 +413,7 @@ impl ScArray {
         vcm: f64,
         levels_p: &[SideLevels],
         levels_n: &[SideLevels],
-    ) -> ScTraces {
+    ) -> Result<ScTraces, CircuitError> {
         self.run_sequence(in_p, in_n, vcm, levels_p, levels_n, true)
     }
 
@@ -414,14 +425,14 @@ impl ScArray {
         levels_p: &[SideLevels],
         levels_n: &[SideLevels],
         record: bool,
-    ) -> ScTraces {
+    ) -> Result<ScTraces, CircuitError> {
         assert_eq!(levels_p.len(), levels_n.len(), "side code counts differ");
         assert!(!levels_p.is_empty(), "need at least one code");
-        let mut session = self.begin(in_p, in_n, vcm, record);
+        let mut session = self.begin(in_p, in_n, vcm, record)?;
         for (lp, ln) in levels_p.iter().zip(levels_n) {
-            session.apply_code(*lp, *ln);
+            session.apply_code(*lp, *ln)?;
         }
-        session.finish()
+        Ok(session.finish())
     }
 }
 
@@ -445,7 +456,11 @@ impl ScSession {
     /// this is what produces the switching glitches on the `DAC+ + DAC−`
     /// sum that the paper's Fig. 5 shows (and that the clocked checker
     /// deliberately ignores by sampling at settled instants).
-    pub fn apply_code(&mut self, lv_p: SideLevels, lv_n: SideLevels) -> (f64, f64) {
+    pub fn apply_code(
+        &mut self,
+        lv_p: SideLevels,
+        lv_n: SideLevels,
+    ) -> Result<(f64, f64), CircuitError> {
         if self.sampling {
             for circuit in self.circuits.iter_mut() {
                 circuit.set_phase(false);
@@ -455,27 +470,27 @@ impl ScSession {
         // P side switches first...
         self.circuits[0].set_source(self.circuits[0].src_m, lv_p.m);
         self.circuits[0].set_source(self.circuits[0].src_l, lv_p.l);
-        self.run_steps(1);
+        self.run_steps(1)?;
         // ...then the N side, one step of skew later.
         self.circuits[1].set_source(self.circuits[1].src_m, lv_n.m);
         self.circuits[1].set_source(self.circuits[1].src_l, lv_n.l);
-        self.run_steps(STEPS_PER_CYCLE - 1);
+        self.run_steps(STEPS_PER_CYCLE - 1)?;
         let out = (
             self.sims[0].voltage(self.circuits[0].top),
             self.sims[1].voltage(self.circuits[1].top),
         );
         self.traces.settled.push(out);
-        out
+        Ok(out)
     }
 
-    fn run_cycle(&mut self) {
-        self.run_steps(STEPS_PER_CYCLE);
+    fn run_cycle(&mut self) -> Result<(), CircuitError> {
+        self.run_steps(STEPS_PER_CYCLE)
     }
 
-    fn run_steps(&mut self, steps: usize) {
+    fn run_steps(&mut self, steps: usize) -> Result<(), CircuitError> {
         for _ in 0..steps {
             for (sim, circuit) in self.sims.iter_mut().zip(self.circuits.iter()) {
-                sim.step(&circuit.nl).expect("SC transient step");
+                sim.step(&circuit.nl)?;
             }
             if self.record {
                 let vp = self.sims[0].voltage(self.circuits[0].top);
@@ -486,6 +501,7 @@ impl ScSession {
                 self.traces.sum.push(t, vp + vn);
             }
         }
+        Ok(())
     }
 
     /// Ends the session and returns the accumulated traces.
@@ -558,7 +574,7 @@ mod tests {
         let din = 0.2;
         let (in_p, in_n) = (0.6 + din / 2.0, 0.6 - din / 2.0);
         let (lp, ln) = counter_levels(1.2, 4..8);
-        let out = sc.run_codes(in_p, in_n, 0.6, &lp, &ln);
+        let out = sc.run_codes(in_p, in_n, 0.6, &lp, &ln).unwrap();
         for (i, (vp, vn)) in out.iter().enumerate() {
             let code = 4 + i as u8;
             let m = code as f64 / 32.0 * 1.2;
@@ -578,7 +594,9 @@ mod tests {
         let sc = ScArray::new(&c);
         let (lp, ln) = counter_levels(1.2, 10..12);
         for din in [-0.5, -0.1, 0.0, 0.3, 0.8] {
-            let out = sc.run_codes(0.6 + din / 2.0, 0.6 - din / 2.0, 0.6, &lp, &ln);
+            let out = sc
+                .run_codes(0.6 + din / 2.0, 0.6 - din / 2.0, 0.6, &lp, &ln)
+                .unwrap();
             for (vp, vn) in out {
                 assert!((vp + vn - 1.2).abs() < 3e-3, "din {din}: sum {}", vp + vn);
             }
@@ -592,7 +610,7 @@ mod tests {
         let c = cfg();
         let sc = ScArray::new(&c);
         let (lp, ln) = counter_levels(1.2, 0..4);
-        let out = sc.run_codes(0.6, 0.6, 0.45, &lp, &ln);
+        let out = sc.run_codes(0.6, 0.6, 0.45, &lp, &ln).unwrap();
         for (vp, vn) in out {
             assert!(
                 (vp + vn - 1.2).abs() > 0.2,
@@ -613,7 +631,7 @@ mod tests {
         let mut sc = ScArray::new(&c);
         sc.set_defect(Some((0, DefectKind::Short))); // P-side main cap
         let (lp, ln) = counter_levels(1.2, 8..12);
-        let out = sc.run_codes(0.6 + 0.15, 0.6 - 0.15, 0.6, &lp, &ln);
+        let out = sc.run_codes(0.6 + 0.15, 0.6 - 0.15, 0.6, &lp, &ln).unwrap();
         let worst = out
             .iter()
             .map(|(vp, vn)| (vp + vn - 1.2).abs())
@@ -628,7 +646,7 @@ mod tests {
         // P side, sw_conv_main open drain (index 3).
         sc.set_defect(Some((3, DefectKind::OpenDrain)));
         let (lp, ln) = counter_levels(1.2, 20..24);
-        let out = sc.run_codes(0.6, 0.6, 0.6, &lp, &ln);
+        let out = sc.run_codes(0.6, 0.6, 0.6, &lp, &ln).unwrap();
         let worst = out
             .iter()
             .map(|(vp, vn)| (vp + vn - 1.2).abs())
@@ -643,7 +661,7 @@ mod tests {
         // P side sw_cm (index 6) stuck on: DAC+ pinned at Vcm.
         sc.set_defect(Some((6, DefectKind::ShortDs)));
         let (lp, ln) = counter_levels(1.2, 28..32);
-        let out = sc.run_codes(0.6, 0.6, 0.6, &lp, &ln);
+        let out = sc.run_codes(0.6, 0.6, 0.6, &lp, &ln).unwrap();
         for (vp, _) in &out {
             assert!((vp - 0.6).abs() < 0.02, "pinned DAC+ = {vp}");
         }
@@ -661,7 +679,7 @@ mod tests {
         let c = cfg();
         let sc = ScArray::new(&c);
         let (lp, ln) = counter_levels(1.2, 0..32);
-        let tr = sc.trace_codes(0.6, 0.6, 0.6, &lp, &ln);
+        let tr = sc.trace_codes(0.6, 0.6, 0.6, &lp, &ln).unwrap();
         assert_eq!(tr.settled.len(), 32);
         // The sum signal stays near 1.2 at cycle ends but must exhibit
         // excursions (glitches) somewhere mid-cycle.
@@ -684,7 +702,7 @@ mod tests {
             cl_n: 0.002,
         });
         let (lp, ln) = counter_levels(1.2, 0..8);
-        let out = sc.run_codes(0.65, 0.55, 0.6, &lp, &ln);
+        let out = sc.run_codes(0.65, 0.55, 0.6, &lp, &ln).unwrap();
         for (vp, vn) in out {
             let dev = (vp + vn - 1.2).abs();
             assert!(dev < 5e-3, "mismatch dev {dev}");

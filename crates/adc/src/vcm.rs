@@ -14,6 +14,7 @@
 //! likelihood.
 
 use symbist_circuit::dc::DcSolver;
+use symbist_circuit::error::CircuitError;
 use symbist_circuit::netlist::Netlist;
 
 use crate::builder::{emit_capacitor, emit_resistor};
@@ -115,7 +116,10 @@ impl VcmGenerator {
     /// Solves the block: returns the generated common-mode voltage for a
     /// given buffered reference `vrefp` (nominally `vref_fs`, yielding
     /// `Vcm = vref_fs / 2`).
-    pub fn solve(&self, vrefp: f64) -> f64 {
+    ///
+    /// Errs if an injected defect makes the divider singular or a thread
+    /// solve budget expires.
+    pub fn solve(&self, vrefp: f64) -> Result<f64, CircuitError> {
         let v_in = vrefp;
         let mut nl = Netlist::new();
         let src = nl.node("src");
@@ -156,10 +160,7 @@ impl VcmGenerator {
             self.local_defect(C_DEC),
             &self.cfg,
         );
-        let v_mid = DcSolver::new()
-            .solve(&nl)
-            .expect("vcm divider is linear")
-            .voltage(mid);
+        let v_mid = DcSolver::new().solve(&nl)?.voltage(mid);
 
         // Buffer: unity follower with possible behavioral corruption.
         let (offset, stuck) = match self.defect {
@@ -171,10 +172,10 @@ impl VcmGenerator {
             Some((M_BUF2, _)) => (-0.03, None),
             _ => (0.0, None),
         };
-        match stuck {
+        Ok(match stuck {
             Some(v) => v,
             None => (v_mid + offset + self.mismatch.buf_offset).clamp(0.0, self.cfg.vdda),
-        }
+        })
     }
 
     /// AC-BIST extension: ripple attenuation from the reference input to
@@ -185,7 +186,9 @@ impl VcmGenerator {
     /// *open* — invisible to every DC invariance — leaves the ripple
     /// almost unattenuated. A single AC check on the Vcm node therefore
     /// recovers the largest class of escapes in this block.
-    pub fn ripple_attenuation(&self, freq: f64) -> f64 {
+    ///
+    /// Errs if a defect makes the AC network singular.
+    pub fn ripple_attenuation(&self, freq: f64) -> Result<f64, CircuitError> {
         use symbist_circuit::ac::AcSolver;
         let mut nl = Netlist::new();
         let src = nl.node("src");
@@ -225,11 +228,9 @@ impl VcmGenerator {
             self.local_defect(C_DEC),
             &self.cfg,
         );
-        let sweep = AcSolver::new()
-            .solve(&nl, vs, &[freq])
-            .expect("vcm AC network is linear");
+        let sweep = AcSolver::new().solve(&nl, vs, &[freq])?;
         // Normalize to the healthy passive divider ratio (0.5).
-        sweep.voltage(0, mid).abs() / 0.5
+        Ok(sweep.voltage(0, mid).abs() / 0.5)
     }
 }
 
@@ -245,7 +246,7 @@ mod tests {
 
     #[test]
     fn nominal_vcm_is_half_reference() {
-        let v = gen().solve(VREFP);
+        let v = gen().solve(VREFP).unwrap();
         assert!((v - 0.6).abs() < 1e-6, "Vcm = {v}");
     }
 
@@ -253,7 +254,7 @@ mod tests {
     fn tracks_reference() {
         // 10% reference droop → 10% Vcm droop (the tracking that makes
         // reference-path errors invisible to the I3 checker).
-        let v = gen().solve(VREFP * 0.9);
+        let v = gen().solve(VREFP * 0.9).unwrap();
         assert!((v - 0.54).abs() < 1e-6);
     }
 
@@ -261,27 +262,27 @@ mod tests {
     fn divider_defects_shift_vcm() {
         let mut g = gen();
         g.set_defect(Some((R_TOP, DefectKind::Short)));
-        assert!(g.solve(VREFP) > 1.1, "top short rails Vcm high");
+        assert!(g.solve(VREFP).unwrap() > 1.1, "top short rails Vcm high");
         g.set_defect(Some((R_BOT, DefectKind::Short)));
-        assert!(g.solve(VREFP) < 0.01, "bottom short rails Vcm low");
+        assert!(g.solve(VREFP).unwrap() < 0.01, "bottom short rails Vcm low");
         g.set_defect(Some((R_TOP, DefectKind::ParamHigh)));
-        let v = g.solve(VREFP);
+        let v = g.solve(VREFP).unwrap();
         assert!((v - 0.48).abs() < 0.01, "+50% top → 0.48, got {v}");
     }
 
     #[test]
     fn cap_open_is_a_dc_escape() {
         let mut g = gen();
-        let nominal = g.solve(VREFP);
+        let nominal = g.solve(VREFP).unwrap();
         g.set_defect(Some((C_DEC, DefectKind::Open)));
-        assert!((g.solve(VREFP) - nominal).abs() < 1e-9);
+        assert!((g.solve(VREFP).unwrap() - nominal).abs() < 1e-9);
     }
 
     #[test]
     fn cap_short_collapses_vcm_through_esr() {
         let mut g = gen();
         g.set_defect(Some((C_DEC, DefectKind::Short)));
-        let v = g.solve(VREFP);
+        let v = g.solve(VREFP).unwrap();
         assert!(v < 0.05, "Vcm with shorted decoupling = {v}");
     }
 
@@ -290,7 +291,7 @@ mod tests {
         // Even a SHORT on the ESR resistor has no DC signature: the
         // capacitor still blocks DC. A high-likelihood true escape.
         let mut g = gen();
-        let nominal = g.solve(VREFP);
+        let nominal = g.solve(VREFP).unwrap();
         for kind in [
             DefectKind::Short,
             DefectKind::Open,
@@ -298,7 +299,7 @@ mod tests {
             DefectKind::ParamHigh,
         ] {
             g.set_defect(Some((R_ESR, kind)));
-            assert!((g.solve(VREFP) - nominal).abs() < 1e-9, "{kind}");
+            assert!((g.solve(VREFP).unwrap() - nominal).abs() < 1e-9, "{kind}");
         }
     }
 
@@ -306,9 +307,9 @@ mod tests {
     fn buffer_defects() {
         let mut g = gen();
         g.set_defect(Some((M_BUF1, DefectKind::ShortDs)));
-        assert!((g.solve(VREFP) - 1.8).abs() < 1e-9);
+        assert!((g.solve(VREFP).unwrap() - 1.8).abs() < 1e-9);
         g.set_defect(Some((M_BUF2, DefectKind::OpenGate)));
-        let v = g.solve(VREFP);
+        let v = g.solve(VREFP).unwrap();
         assert!((v - 0.57).abs() < 1e-6);
     }
 
@@ -326,10 +327,10 @@ mod ac_tests {
     fn healthy_block_attenuates_ripple() {
         let g = VcmGenerator::new(&AdcConfig::default());
         // Pole at 1/(2π·(10k‖)·100p) ≈ 156 kHz; at 10 MHz ripple is crushed.
-        let att = g.ripple_attenuation(10e6);
+        let att = g.ripple_attenuation(10e6).unwrap();
         assert!(att < 0.1, "healthy attenuation {att}");
         // Well below the pole the divider passes the ripple.
-        let low = g.ripple_attenuation(1e3);
+        let low = g.ripple_attenuation(1e3).unwrap();
         assert!((low - 1.0).abs() < 0.05, "low-frequency ratio {low}");
     }
 
@@ -337,7 +338,7 @@ mod ac_tests {
     fn cap_open_defeats_the_filter() {
         let mut g = VcmGenerator::new(&AdcConfig::default());
         g.set_defect(Some((C_DEC, DefectKind::Open)));
-        let att = g.ripple_attenuation(10e6);
+        let att = g.ripple_attenuation(10e6).unwrap();
         // The 2% fringe remnant barely filters: ripple nearly unattenuated.
         assert!(att > 0.5, "open-cap attenuation {att}");
     }
@@ -348,16 +349,18 @@ mod ac_tests {
         // DC-benign defect that the AC check catches.
         let mut g = VcmGenerator::new(&AdcConfig::default());
         g.set_defect(Some((R_ESR, DefectKind::Open)));
-        let att = g.ripple_attenuation(10e6);
+        let att = g.ripple_attenuation(10e6).unwrap();
         assert!(att > 0.3, "esr-open attenuation {att}");
     }
 
     #[test]
     fn param_shift_moves_the_pole() {
-        let nominal = VcmGenerator::new(&AdcConfig::default()).ripple_attenuation(200e3);
+        let nominal = VcmGenerator::new(&AdcConfig::default())
+            .ripple_attenuation(200e3)
+            .unwrap();
         let mut g = VcmGenerator::new(&AdcConfig::default());
         g.set_defect(Some((C_DEC, DefectKind::ParamLow)));
-        let low = g.ripple_attenuation(200e3);
+        let low = g.ripple_attenuation(200e3).unwrap();
         assert!(
             low > nominal * 1.2,
             "pole shift visible: {low} vs {nominal}"

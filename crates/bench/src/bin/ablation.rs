@@ -35,7 +35,8 @@ fn main() {
             .filter_block(BlockKind::ScArray);
         let res = run_campaign(&adc, &uni, &CampaignOptions::default(), |dut| {
             engine.campaign_test(dut)
-        });
+        })
+        .expect("ablation campaign is well-formed");
         println!("{:>8.2} {:>14}", din, res.coverage().to_percent_string());
     }
     println!(

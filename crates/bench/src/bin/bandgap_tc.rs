@@ -17,14 +17,14 @@ fn main() {
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
     for t in (-40..=125).step_by(15) {
-        let v = bg.solve_at(t as f64).vbg;
+        let v = bg.solve_at(t as f64).expect("nominal bandgap solves").vbg;
         min = min.min(v);
         max = max.max(v);
         let bar: String =
             std::iter::repeat_n('#', ((v - 1.15) * 2000.0).max(0.0) as usize).collect();
         println!("{:>8} {:>12.5}  {bar}", t, v);
     }
-    let v25 = bg.solve_at(25.0).vbg;
+    let v25 = bg.solve_at(25.0).expect("nominal bandgap solves").vbg;
     let ppm_per_k = (max - min) / v25 / 165.0 * 1e6;
     println!(
         "\nSpan {:.2} mV over −40…125 °C around {:.4} V → box TC ≈ {:.0} ppm/°C.",

@@ -27,9 +27,12 @@ fn main() {
         sample_size: Some(sample),
         seed: xc.seed ^ 0xF0C,
         threads: xc.threads,
+        ..Default::default()
     };
-    let sym = run_campaign(&base, &universe, &opts, |dut| engine.campaign_test(dut));
-    let fun = run_campaign(&base, &universe, &opts, |dut| functional.campaign_test(dut));
+    let sym = run_campaign(&base, &universe, &opts, |dut| engine.campaign_test(dut))
+        .expect("SymBIST campaign is well-formed");
+    let fun = run_campaign(&base, &universe, &opts, |dut| functional.campaign_test(dut))
+        .expect("functional campaign is well-formed");
 
     let cfg = &xc.adc;
     let t_sym = test_time(cfg, Schedule::Sequential).seconds;
@@ -66,7 +69,7 @@ fn main() {
     let mut only_sym = 0;
     let mut only_fun = 0;
     for (a, b) in sym.records.iter().zip(&fun.records) {
-        match (a.outcome.detected, b.outcome.detected) {
+        match (a.outcome.detected(), b.outcome.detected()) {
             (true, false) => only_sym += 1,
             (false, true) => only_fun += 1,
             _ => {}

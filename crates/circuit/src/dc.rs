@@ -72,6 +72,76 @@ pub(crate) fn resolve_engine(choice: EngineChoice) -> EngineChoice {
     }
 }
 
+/// A per-thread bound on how much solver work one logical task may consume.
+///
+/// Installed with [`set_thread_solve_budget`] using the same thread-local
+/// pattern as [`set_thread_default_engine`]: every Newton iteration run on
+/// the thread — DC operating points, continuation stages, transient steps,
+/// no matter how deeply buried inside higher-level models — charges against
+/// it. When either resource runs out the innermost solve returns
+/// [`CircuitError::BudgetExhausted`], which unwinds through `?`-threaded
+/// call chains back to whoever installed the budget.
+///
+/// This is how the defect campaign keeps one pathological injected defect
+/// (e.g. a short that sends gmin stepping into deep continuation) from
+/// stalling a worker thread indefinitely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Absolute wall-clock deadline. Checked once per Newton iteration, so
+    /// enforcement granularity is one matrix assembly + factorization.
+    pub deadline: Option<std::time::Instant>,
+    /// Total Newton iterations allowed across every solve on the thread.
+    /// Unlike the deadline this is deterministic: the same circuit and
+    /// budget always fail (or pass) at the same iteration.
+    pub newton_iters: Option<u64>,
+}
+
+impl SolveBudget {
+    /// A budget with neither limit set (never exhausts).
+    pub const UNLIMITED: SolveBudget = SolveBudget {
+        deadline: None,
+        newton_iters: None,
+    };
+}
+
+thread_local! {
+    static THREAD_BUDGET: std::cell::Cell<Option<SolveBudget>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Installs (or with `None` clears) the solve budget for the current thread
+/// and returns the previous one — with `newton_iters` reflecting what was
+/// still unspent, so budgets can be nested save/restore style.
+pub fn set_thread_solve_budget(budget: Option<SolveBudget>) -> Option<SolveBudget> {
+    THREAD_BUDGET.with(|b| b.replace(budget))
+}
+
+/// Charges one Newton iteration against the thread budget, if any.
+pub(crate) fn charge_newton_iteration() -> Result<(), CircuitError> {
+    THREAD_BUDGET.with(|b| {
+        let Some(mut budget) = b.get() else {
+            return Ok(());
+        };
+        if let Some(deadline) = budget.deadline {
+            if std::time::Instant::now() >= deadline {
+                return Err(CircuitError::BudgetExhausted {
+                    resource: "deadline",
+                });
+            }
+        }
+        if let Some(iters) = budget.newton_iters {
+            if iters == 0 {
+                return Err(CircuitError::BudgetExhausted {
+                    resource: "newton-iterations",
+                });
+            }
+            budget.newton_iters = Some(iters - 1);
+            b.set(Some(budget));
+        }
+        Ok(())
+    })
+}
+
 /// Result of a DC (or single transient step) solve: the full MNA solution
 /// with accessors by node.
 #[derive(Debug, Clone)]
@@ -287,6 +357,7 @@ impl DcSolver {
         let linear = !netlist.has_nonlinear();
         let node_unknowns = asm.layout().node_count - 1;
         for iter in 0..self.options.max_iter {
+            charge_newton_iteration()?;
             // Progressive damping: halve the step cap every 50 iterations
             // to break Newton limit cycles on stiff feedback loops.
             let step_cap = self.options.max_step / f64::from(1 << (iter / 50).min(6) as u32);
@@ -564,5 +635,75 @@ mod tests {
             "v(out) = {}",
             op.voltage(out)
         );
+    }
+
+    fn diode_clamp_netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let k = nl.node("k");
+        nl.vsource(a, Netlist::GND, 2.0);
+        nl.resistor(a, k, 100.0);
+        nl.diode(k, Netlist::GND, 1e-14, 1.0);
+        nl
+    }
+
+    #[test]
+    fn newton_budget_exhausts_deterministically() {
+        let nl = diode_clamp_netlist();
+        // A single iteration can never converge this nonlinear circuit.
+        let prev = set_thread_solve_budget(Some(SolveBudget {
+            deadline: None,
+            newton_iters: Some(1),
+        }));
+        let starved = DcSolver::new().solve(&nl);
+        set_thread_solve_budget(prev);
+        assert_eq!(
+            starved.unwrap_err(),
+            CircuitError::BudgetExhausted {
+                resource: "newton-iterations"
+            }
+        );
+        // With the budget cleared the same circuit solves fine.
+        assert!(DcSolver::new().solve(&nl).is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_fails_immediately() {
+        let nl = diode_clamp_netlist();
+        let prev = set_thread_solve_budget(Some(SolveBudget {
+            deadline: Some(std::time::Instant::now()),
+            newton_iters: None,
+        }));
+        let starved = DcSolver::new().solve(&nl);
+        set_thread_solve_budget(prev);
+        assert_eq!(
+            starved.unwrap_err(),
+            CircuitError::BudgetExhausted {
+                resource: "deadline"
+            }
+        );
+    }
+
+    #[test]
+    fn generous_budget_does_not_interfere() {
+        let nl = diode_clamp_netlist();
+        let prev = set_thread_solve_budget(Some(SolveBudget {
+            deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(60)),
+            newton_iters: Some(100_000),
+        }));
+        let op = DcSolver::new().solve(&nl);
+        let spent = set_thread_solve_budget(prev).unwrap();
+        assert!(op.is_ok());
+        // The returned budget reflects what was actually consumed.
+        assert!(spent.newton_iters.unwrap() < 100_000);
+    }
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let nl = diode_clamp_netlist();
+        let prev = set_thread_solve_budget(Some(SolveBudget::UNLIMITED));
+        let op = DcSolver::new().solve(&nl);
+        set_thread_solve_budget(prev);
+        assert!(op.is_ok());
     }
 }

@@ -24,6 +24,14 @@ pub enum CircuitError {
         /// Explanation of what was wrong.
         reason: String,
     },
+    /// A caller-imposed solve budget (see [`crate::dc::SolveBudget`]) ran
+    /// out mid-analysis. The partial solution is discarded; the caller —
+    /// typically a defect-campaign worker — records the task as unresolved
+    /// instead of letting one pathological circuit stall the whole run.
+    BudgetExhausted {
+        /// Which resource ran out: `"deadline"` or `"newton-iterations"`.
+        resource: &'static str,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -43,6 +51,9 @@ impl fmt::Display for CircuitError {
             }
             CircuitError::InvalidConfig { reason } => {
                 write!(f, "invalid analysis configuration: {reason}")
+            }
+            CircuitError::BudgetExhausted { resource } => {
+                write!(f, "solve budget exhausted ({resource})")
             }
         }
     }
@@ -67,6 +78,10 @@ mod tests {
             reason: "dt <= 0".into(),
         };
         assert!(e.to_string().contains("dt <= 0"));
+        let e = CircuitError::BudgetExhausted {
+            resource: "deadline",
+        };
+        assert!(e.to_string().contains("deadline"));
     }
 
     #[test]

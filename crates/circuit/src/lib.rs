@@ -66,7 +66,7 @@ pub mod transient;
 pub mod units;
 pub mod waveform;
 
-pub use dc::{DcOptions, DcSolver, EngineChoice, Operating};
+pub use dc::{set_thread_solve_budget, DcOptions, DcSolver, EngineChoice, Operating, SolveBudget};
 pub use error::CircuitError;
 pub use netlist::{Device, DeviceId, MosPolarity, Netlist, NodeId, SourceWave};
 pub use rng::Rng;

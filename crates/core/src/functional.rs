@@ -17,7 +17,8 @@
 use std::f64::consts::PI;
 
 use symbist_adc::SarAdc;
-use symbist_defects::TestOutcome;
+use symbist_circuit::error::CircuitError;
+use symbist_defects::{SimOutcome, TestOutcome};
 
 /// Configuration of the histogram test.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,7 +62,19 @@ pub struct HistogramResult {
 
 impl HistogramBist {
     /// Runs the test on a DUT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying analog simulation fails; campaign code
+    /// should use [`HistogramBist::try_run`].
     pub fn run(&self, adc: &SarAdc) -> HistogramResult {
+        self.try_run(adc)
+            .unwrap_or_else(|e| panic!("analog simulation failed: {e}"))
+    }
+
+    /// Fallible form of [`HistogramBist::run`]: surfaces solver failures
+    /// and budget expiry instead of panicking.
+    pub fn try_run(&self, adc: &SarAdc) -> Result<HistogramResult, CircuitError> {
         let fs = adc.config().diff_full_scale() / 2.0;
         let ampl = fs * self.amplitude;
         let codes = adc.config().code_count() as usize;
@@ -69,7 +82,7 @@ impl HistogramBist {
         for i in 0..self.samples {
             // Incoherent sampling (odd cycle count keeps phases spread).
             let phase = 2.0 * PI * 7.0 * i as f64 / self.samples as f64 + PI * i as f64 / 977.0;
-            let code = adc.convert(ampl * phase.sin()) as usize;
+            let code = adc.try_convert(ampl * phase.sin())? as usize;
             counts[code.min(codes - 1)] += 1;
         }
 
@@ -113,22 +126,25 @@ impl HistogramBist {
             }
         }
 
-        HistogramResult {
+        Ok(HistogramResult {
             pass: reasons.is_empty(),
             worst_dnl,
             frames: self.samples as u32,
             reasons,
-        }
+        })
     }
 
     /// Adapter for the defect campaign (detection = functional fail).
-    pub fn campaign_test(&self, adc: &SarAdc) -> TestOutcome {
-        let r = self.run(adc);
-        TestOutcome {
-            detected: !r.pass,
-            detection_cycle: (!r.pass).then_some(r.frames * 12),
-            cycles_run: r.frames * 12,
-        }
+    /// Simulation failures map into [`SimOutcome::Unresolved`] so the
+    /// campaign records them instead of crashing a worker.
+    pub fn campaign_test(&self, adc: &SarAdc) -> SimOutcome {
+        self.try_run(adc)
+            .map(|r| TestOutcome {
+                detected: !r.pass,
+                detection_cycle: (!r.pass).then_some(r.frames * 12),
+                cycles_run: r.frames * 12,
+            })
+            .into()
     }
 
     /// Test time in seconds at the configured clock (each sample is one
@@ -223,7 +239,10 @@ mod tests {
     #[test]
     fn campaign_adapter() {
         let adc = SarAdc::new(AdcConfig::default());
-        let out = quick().campaign_test(&adc);
+        let out = quick()
+            .campaign_test(&adc)
+            .completed()
+            .expect("healthy ADC run completes");
         assert!(!out.detected);
         assert_eq!(out.cycles_run, 512 * 12);
         let _ = BlockKind::ALL;

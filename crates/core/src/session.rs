@@ -13,7 +13,8 @@
 //! starts the test, and the decision is one pass/fail bit.
 
 use symbist_adc::SarAdc;
-use symbist_defects::TestOutcome;
+use symbist_circuit::error::CircuitError;
+use symbist_defects::{SimOutcome, TestOutcome};
 
 use crate::calibrate::Calibration;
 use crate::invariance::{deviation, InvarianceId};
@@ -128,11 +129,28 @@ impl SymBist {
     ///
     /// With `stop_on_detection` (paper §V) the run aborts at the first
     /// violation, which is what makes the defect campaign fast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying analog simulation fails (defective DUT
+    /// driven to singularity, or a solve budget running out). Campaign
+    /// code should use [`SymBist::try_run`].
     pub fn run(&self, adc: &SarAdc, stop_on_detection: bool) -> BistResult {
+        self.try_run(adc, stop_on_detection)
+            .unwrap_or_else(|e| panic!("analog simulation failed: {e}"))
+    }
+
+    /// Fallible form of [`SymBist::run`]: surfaces solver failures and
+    /// budget expiry instead of panicking.
+    pub fn try_run(
+        &self,
+        adc: &SarAdc,
+        stop_on_detection: bool,
+    ) -> Result<BistResult, CircuitError> {
         // Lazy stream: the analog simulation only advances as far as the
         // checks demand, so stop-on-detection shortens wall time the same
         // way it shortens the silicon test.
-        let mut stream = adc.observation_stream(self.stimulus.din);
+        let mut stream = adc.try_observation_stream(self.stimulus.din)?;
         let mut detections = Vec::new();
         let total = self.schedule.total_cycles();
 
@@ -148,7 +166,7 @@ impl SymBist {
 
         let mut cycles_run = total;
         for (cycle, id, code) in checks {
-            let obs = stream.observe(code);
+            let obs = stream.try_observe(code)?;
             let dev = deviation(id, obs, &self.calibration.wiring);
             let pass = if id.is_digital() {
                 dev < 0.5
@@ -171,18 +189,21 @@ impl SymBist {
             }
         }
 
-        BistResult {
+        Ok(BistResult {
             pass: detections.is_empty(),
             detections,
             cycles_run,
             schedule: self.schedule,
-        }
+        })
     }
 
     /// Convenience adapter for [`symbist_defects::run_campaign`]: runs with
-    /// stop-on-detection and returns the campaign outcome type.
-    pub fn campaign_test(&self, adc: &SarAdc) -> TestOutcome {
-        self.run(adc, true).to_test_outcome()
+    /// stop-on-detection and maps simulation failures into
+    /// [`SimOutcome::Unresolved`] (budget expiry → `Timeout`, solver
+    /// failure → `NoConvergence`) so a pathological defect is recorded
+    /// instead of crashing a campaign worker.
+    pub fn campaign_test(&self, adc: &SarAdc) -> SimOutcome {
+        self.try_run(adc, true).map(|r| r.to_test_outcome()).into()
     }
 }
 
@@ -296,9 +317,11 @@ mod tests {
     #[test]
     fn campaign_adapter_maps_outcome() {
         let adc = SarAdc::new(AdcConfig::default());
-        let out = engine(Schedule::Sequential).campaign_test(&adc);
+        let sim = engine(Schedule::Sequential).campaign_test(&adc);
+        let out = sim.completed().expect("healthy ADC run completes");
         assert!(!out.detected);
         assert_eq!(out.cycles_run, 192);
         assert!(out.detection_cycle.is_none());
+        assert!(!sim.detected());
     }
 }

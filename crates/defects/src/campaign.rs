@@ -4,21 +4,51 @@
 //! A campaign takes a defect-free DUT, a [`DefectUniverse`], and a test
 //! closure; for each (possibly LWRS-sampled) defect it clones the DUT,
 //! injects the defect, runs the test, and records detection plus wall
-//! time. Work is spread across std scoped threads — the paper ran its
-//! campaign on a 16-core server — with deterministic result ordering
-//! regardless of scheduling. Records identify their defect by index into
-//! the universe (plus the small `Copy` site and likelihood needed by the
-//! coverage estimator), so no per-record `Defect` clone is made.
+//! time. Records identify their defect by index into the universe (plus
+//! the small `Copy` site and likelihood needed by the coverage estimator),
+//! so no per-record `Defect` clone is made.
+//!
+//! # Fault tolerance
+//!
+//! The campaign is the longest-running workload in the repo, and a defect
+//! universe deliberately contains circuits at the edge of solvability —
+//! shorts that make networks singular, opens that float nodes, feedback
+//! loops that send Newton into deep continuation. The runner therefore
+//! treats every per-defect simulation as fallible:
+//!
+//! * each defect runs under [`std::panic::catch_unwind`] (DUT clones are
+//!   per-defect, so a panicking instance taints no shared state);
+//! * a per-defect budget — wall-clock deadline and/or Newton iteration
+//!   count — is installed as a thread [`SolveBudget`] so one pathological
+//!   circuit cannot stall a worker forever;
+//! * work is distributed by an atomic work-stealing cursor, so a slow
+//!   defect delays only itself, not a statically-assigned chunk;
+//! * defects that do not produce a verdict are recorded as
+//!   [`SimOutcome::Unresolved`] with a typed [`UnresolvedReason`], and
+//!   coverage is reported as a bound pair (unresolved counted as escapes
+//!   for the lower bound, as detections for the upper) — never silently;
+//! * completed records stream to an optional JSONL checkpoint file, and an
+//!   interrupted campaign resumes by skipping already-recorded defects.
 
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use symbist_adc::fault::{DefectSite, Faultable};
+use symbist_circuit::dc::{set_thread_solve_budget, SolveBudget};
+use symbist_circuit::error::CircuitError;
 use symbist_circuit::rng::Rng;
 
+use crate::checkpoint::{checkpoint_line, parse_checkpoint_line};
 use crate::coverage::{lw_coverage_exhaustive, lw_coverage_sampled, Coverage};
 use crate::universe::{Defect, DefectUniverse};
 
-/// Result of testing one defective DUT instance.
+/// Result of testing one defective DUT instance that ran to completion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TestOutcome {
     /// Whether any checker flagged the defect.
@@ -29,6 +59,163 @@ pub struct TestOutcome {
     /// stop-on-detection is active).
     pub cycles_run: u32,
 }
+
+/// Why a defect simulation failed to produce a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnresolvedReason {
+    /// The solver gave up (singular matrix or Newton non-convergence):
+    /// the defective circuit has no computable operating point.
+    NoConvergence,
+    /// The per-defect budget (wall-clock deadline or Newton iteration
+    /// count, see [`CampaignOptions::defect_deadline`]) ran out.
+    Timeout,
+    /// The test closure panicked; the worker caught the unwind and moved
+    /// on to the next defect.
+    Panic,
+}
+
+impl UnresolvedReason {
+    /// Stable label used in checkpoint files and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnresolvedReason::NoConvergence => "no-convergence",
+            UnresolvedReason::Timeout => "timeout",
+            UnresolvedReason::Panic => "panic",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(label: &str) -> Option<UnresolvedReason> {
+        match label {
+            "no-convergence" => Some(UnresolvedReason::NoConvergence),
+            "timeout" => Some(UnresolvedReason::Timeout),
+            "panic" => Some(UnresolvedReason::Panic),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for UnresolvedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Three-way outcome of one defect simulation: either the test ran to a
+/// verdict, or it is unresolved for a typed reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimOutcome {
+    /// The test produced a pass/fail verdict.
+    Completed(TestOutcome),
+    /// No verdict: the simulation crashed, diverged, or ran out of budget.
+    Unresolved(UnresolvedReason),
+}
+
+impl SimOutcome {
+    /// Whether the defect was positively detected (unresolved is `false`:
+    /// detection claims require a completed run).
+    pub fn detected(&self) -> bool {
+        matches!(self, SimOutcome::Completed(o) if o.detected)
+    }
+
+    /// Whether the simulation failed to produce a verdict.
+    pub fn is_unresolved(&self) -> bool {
+        matches!(self, SimOutcome::Unresolved(_))
+    }
+
+    /// The completed verdict, if any.
+    pub fn completed(&self) -> Option<TestOutcome> {
+        match self {
+            SimOutcome::Completed(o) => Some(*o),
+            SimOutcome::Unresolved(_) => None,
+        }
+    }
+
+    /// The unresolved reason, if any.
+    pub fn unresolved_reason(&self) -> Option<UnresolvedReason> {
+        match self {
+            SimOutcome::Completed(_) => None,
+            SimOutcome::Unresolved(r) => Some(*r),
+        }
+    }
+}
+
+impl From<TestOutcome> for SimOutcome {
+    fn from(outcome: TestOutcome) -> Self {
+        SimOutcome::Completed(outcome)
+    }
+}
+
+impl From<CircuitError> for UnresolvedReason {
+    fn from(e: CircuitError) -> Self {
+        match e {
+            CircuitError::BudgetExhausted { .. } => UnresolvedReason::Timeout,
+            _ => UnresolvedReason::NoConvergence,
+        }
+    }
+}
+
+impl From<Result<TestOutcome, CircuitError>> for SimOutcome {
+    fn from(r: Result<TestOutcome, CircuitError>) -> Self {
+        match r {
+            Ok(outcome) => SimOutcome::Completed(outcome),
+            Err(e) => SimOutcome::Unresolved(e.into()),
+        }
+    }
+}
+
+impl From<Result<SimOutcome, CircuitError>> for SimOutcome {
+    fn from(r: Result<SimOutcome, CircuitError>) -> Self {
+        match r {
+            Ok(outcome) => outcome,
+            Err(e) => SimOutcome::Unresolved(e.into()),
+        }
+    }
+}
+
+/// Errors produced by [`run_campaign`] before or during execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// The defect universe contains no defects.
+    EmptyUniverse,
+    /// `sample_size` was zero or exceeded the universe.
+    InvalidSampleSize {
+        /// The requested sample size.
+        requested: usize,
+        /// The universe size it must fit in.
+        universe: usize,
+    },
+    /// The checkpoint file could not be opened or written.
+    Checkpoint {
+        /// Path of the checkpoint file.
+        path: PathBuf,
+        /// Underlying I/O failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::EmptyUniverse => write!(f, "empty defect universe"),
+            CampaignError::InvalidSampleSize {
+                requested,
+                universe,
+            } => {
+                write!(
+                    f,
+                    "sample size {requested} invalid for a universe of {universe} defects"
+                )
+            }
+            CampaignError::Checkpoint { path, reason } => {
+                write!(f, "checkpoint {}: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -48,6 +235,27 @@ pub struct CampaignOptions {
     pub seed: u64,
     /// Worker threads (clamped to at least 1).
     pub threads: usize,
+    /// Per-defect wall-clock budget. A defect whose simulation exceeds it
+    /// is recorded as [`UnresolvedReason::Timeout`]. Enforced two ways:
+    /// the deadline is installed as a thread [`SolveBudget`] so in-flight
+    /// solves abort at the next Newton iteration, and the outcome of a
+    /// defect whose total wall time overran is demoted post-hoc (covering
+    /// test closures that never enter the solver). `None` = unlimited.
+    ///
+    /// Wall-clock enforcement is inherently load-dependent; for
+    /// bit-reproducible outcomes use [`newton_budget`](Self::newton_budget)
+    /// alone.
+    pub defect_deadline: Option<Duration>,
+    /// Per-defect Newton iteration budget across every solve the test
+    /// closure triggers. Deterministic: the same defect and budget always
+    /// exhaust at the same iteration. `None` = unlimited.
+    pub newton_budget: Option<u64>,
+    /// JSONL checkpoint file. Completed records are appended (one JSON
+    /// object per line, flushed per record); when the file already holds
+    /// records for this universe/sample, those defects are skipped and
+    /// their records reused — see [`CampaignResult::resumed`]. `None`
+    /// disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl Default for CampaignOptions {
@@ -58,6 +266,9 @@ impl Default for CampaignOptions {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            defect_deadline: None,
+            newton_budget: None,
+            checkpoint: None,
         }
     }
 }
@@ -69,7 +280,7 @@ impl Default for CampaignOptions {
 /// `component_name` string would otherwise be duplicated once per record);
 /// the `Copy`-sized site and likelihood are duplicated because the coverage
 /// estimator and escape analysis need them without the universe in hand.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DefectRecord {
     /// Index of the simulated defect in the originating universe.
     pub defect_index: usize,
@@ -77,8 +288,8 @@ pub struct DefectRecord {
     pub site: DefectSite,
     /// Relative likelihood copied from the universe entry.
     pub likelihood: f64,
-    /// Test outcome.
-    pub outcome: TestOutcome,
+    /// Test outcome (completed verdict or unresolved reason).
+    pub outcome: SimOutcome,
     /// Wall-clock simulation time for this defect.
     pub wall: Duration,
 }
@@ -105,76 +316,166 @@ pub struct CampaignResult {
     pub universe_likelihood: f64,
     /// Whether LWRS sampling was used.
     pub sampled: bool,
+    /// Records reloaded from the checkpoint file instead of re-simulated.
+    pub resumed: usize,
     /// Total campaign wall time.
     pub total_wall: Duration,
 }
 
 impl CampaignResult {
-    /// Number of defects simulated.
+    /// Number of defects simulated (including resumed records).
     pub fn simulated(&self) -> usize {
         self.records.len()
     }
 
-    /// Number detected.
+    /// Number positively detected (completed runs only).
     pub fn detected(&self) -> usize {
-        self.records.iter().filter(|r| r.outcome.detected).count()
+        self.records.iter().filter(|r| r.outcome.detected()).count()
     }
 
-    /// The L-W coverage (with CI when sampled).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the campaign simulated nothing.
-    pub fn coverage(&self) -> Coverage {
+    /// Number of unresolved defects (panic, timeout, no convergence).
+    pub fn unresolved(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome.is_unresolved())
+            .count()
+    }
+
+    fn coverage_with(&self, unresolved_detected: bool) -> Coverage {
         assert!(!self.records.is_empty(), "empty campaign");
+        let hit = |r: &DefectRecord| match r.outcome {
+            SimOutcome::Completed(o) => o.detected,
+            SimOutcome::Unresolved(_) => unresolved_detected,
+        };
         if self.sampled {
-            lw_coverage_sampled(self.detected(), self.simulated(), self.universe_size)
+            let hits = self.records.iter().filter(|r| hit(r)).count();
+            lw_coverage_sampled(hits, self.simulated(), self.universe_size)
         } else {
             let outcomes: Vec<(f64, bool)> = self
                 .records
                 .iter()
-                .map(|r| (r.likelihood, r.outcome.detected))
+                .map(|r| (r.likelihood, hit(r)))
                 .collect();
             lw_coverage_exhaustive(&outcomes)
         }
     }
 
-    /// Records of defects that escaped (not detected).
-    pub fn escapes(&self) -> impl Iterator<Item = &DefectRecord> {
-        self.records.iter().filter(|r| !r.outcome.detected)
+    /// The L-W coverage **lower bound** (with CI when sampled): unresolved
+    /// defects are counted as escapes. This is the conservative figure to
+    /// report — a defect whose simulation crashed has not been shown to be
+    /// detected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign simulated nothing.
+    pub fn coverage(&self) -> Coverage {
+        self.coverage_with(false)
     }
+
+    /// The L-W coverage **upper bound**: unresolved defects are counted as
+    /// detected. The true coverage lies in
+    /// `[coverage().value, coverage_upper().value]`; the bounds coincide
+    /// when every simulation completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign simulated nothing.
+    pub fn coverage_upper(&self) -> Coverage {
+        self.coverage_with(true)
+    }
+
+    /// Both coverage bounds, `(lower, upper)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign simulated nothing.
+    pub fn coverage_bounds(&self) -> (Coverage, Coverage) {
+        (self.coverage(), self.coverage_upper())
+    }
+
+    /// Records of defects that completed undetected (true escapes).
+    /// Unresolved records are *not* escapes — see [`unresolved`](Self::unresolved).
+    pub fn escapes(&self) -> impl Iterator<Item = &DefectRecord> {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, SimOutcome::Completed(o) if !o.detected))
+    }
+}
+
+/// Loads checkpoint records that belong to this campaign.
+///
+/// Tolerant by design: unparseable lines (including a torn final line from
+/// a killed process) are skipped, records are validated against the
+/// universe (index range, same site, bit-identical likelihood) so a stale
+/// file from a different universe is ignored, and for duplicated indices
+/// the last record wins. Returns `(position in selected, record)` pairs.
+fn load_checkpoint(
+    path: &std::path::Path,
+    universe: &DefectUniverse,
+    selected: &[usize],
+) -> Vec<(usize, DefectRecord)> {
+    let Ok(content) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut by_pos: HashMap<usize, DefectRecord> = HashMap::new();
+    for line in content.lines() {
+        let Some(rec) = parse_checkpoint_line(line) else {
+            continue;
+        };
+        if rec.defect_index >= universe.len() {
+            continue;
+        }
+        let d = &universe.defects()[rec.defect_index];
+        if d.site != rec.site || d.likelihood.to_bits() != rec.likelihood.to_bits() {
+            continue;
+        }
+        let Ok(pos) = selected.binary_search(&rec.defect_index) else {
+            continue;
+        };
+        by_pos.insert(pos, rec);
+    }
+    let mut loaded: Vec<(usize, DefectRecord)> = by_pos.into_iter().collect();
+    loaded.sort_unstable_by_key(|(pos, _)| *pos);
+    loaded
 }
 
 /// Runs a campaign.
 ///
-/// The test closure receives a DUT clone with the defect already injected;
-/// it must return the [`TestOutcome`]. It is invoked from multiple threads.
+/// The test closure receives a DUT clone with the defect already injected
+/// and is invoked from multiple threads. It may return anything convertible
+/// into a [`SimOutcome`]: a plain [`TestOutcome`] (always completed), a
+/// `Result<TestOutcome, CircuitError>`, a `Result<SimOutcome, CircuitError>`,
+/// or a [`SimOutcome`] directly — solver errors map to
+/// [`UnresolvedReason::NoConvergence`] and budget expiry to
+/// [`UnresolvedReason::Timeout`].
 ///
-/// # Panics
-///
-/// Panics if the universe is empty or `sample_size` is zero/too large.
-pub fn run_campaign<D, F>(
+/// A panic in the closure is caught and recorded as
+/// [`UnresolvedReason::Panic`]; it never crosses `run_campaign`.
+pub fn run_campaign<D, F, R>(
     dut: &D,
     universe: &DefectUniverse,
     options: &CampaignOptions,
     test: F,
-) -> CampaignResult
+) -> Result<CampaignResult, CampaignError>
 where
     D: Faultable + Clone + Send + Sync,
-    F: Fn(&D) -> TestOutcome + Sync,
+    F: Fn(&D) -> R + Sync,
+    R: Into<SimOutcome>,
 {
-    assert!(!universe.is_empty(), "empty defect universe");
+    if universe.is_empty() {
+        return Err(CampaignError::EmptyUniverse);
+    }
     let start = Instant::now();
 
-    // LWRS draw (or the full universe), as indices into the universe.
+    // LWRS draw (or the full universe), as sorted indices into the universe.
     let selected: Vec<usize> = match options.sample_size {
         Some(n) => {
-            assert!(n > 0, "sample size must be positive");
-            assert!(
-                n <= universe.len(),
-                "sample size {n} exceeds universe {}",
-                universe.len()
-            );
+            if n == 0 || n > universe.len() {
+                return Err(CampaignError::InvalidSampleSize {
+                    requested: n,
+                    universe: universe.len(),
+                });
+            }
             let weights: Vec<f64> = universe.iter().map(|d| d.likelihood).collect();
             let mut rng = Rng::seed_from_u64(options.seed);
             let mut idx = rng.weighted_sample_without_replacement(&weights, n);
@@ -184,51 +485,147 @@ where
         None => (0..universe.len()).collect(),
     };
 
-    let threads = options.threads.max(1).min(selected.len());
-    let mut slots: Vec<Option<DefectRecord>> = vec![None; selected.len()];
+    // Resume: reload completed records, then skip their positions.
+    let preloaded: Vec<(usize, DefectRecord)> = match &options.checkpoint {
+        Some(path) => load_checkpoint(path, universe, &selected),
+        None => Vec::new(),
+    };
+    let done: Vec<bool> = {
+        let mut done = vec![false; selected.len()];
+        for (pos, _) in &preloaded {
+            done[*pos] = true;
+        }
+        done
+    };
+    let resumed = preloaded.len();
 
-    std::thread::scope(|scope| {
-        let chunk = selected.len().div_ceil(threads);
-        let mut remaining: &mut [Option<DefectRecord>] = &mut slots;
-        for t in 0..threads {
-            let lo = t * chunk;
-            if lo >= selected.len() {
+    // Open the checkpoint writer up front so an unwritable path fails the
+    // campaign before any simulation is spent.
+    let writer: Option<Mutex<std::fs::File>> = match &options.checkpoint {
+        Some(path) => Some(Mutex::new(
+            std::fs::File::options()
+                .append(true)
+                .create(true)
+                .open(path)
+                .map_err(|e| CampaignError::Checkpoint {
+                    path: path.clone(),
+                    reason: e.to_string(),
+                })?,
+        )),
+        None => None,
+    };
+
+    let threads = options.threads.max(1).min(selected.len());
+    // Work stealing: each worker pulls the next untested position from a
+    // shared cursor, so one slow defect delays only its own slot.
+    let cursor = AtomicUsize::new(0);
+
+    let worker = || -> Result<Vec<(usize, DefectRecord)>, CampaignError> {
+        let mut local: Vec<(usize, DefectRecord)> = Vec::new();
+        loop {
+            let pos = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(&defect_index) = selected.get(pos) else {
                 break;
+            };
+            if done[pos] {
+                continue;
             }
-            let hi = ((t + 1) * chunk).min(selected.len());
-            let (head, tail) = remaining.split_at_mut(hi - lo);
-            remaining = tail;
-            let indices = &selected[lo..hi];
-            let test = &test;
-            scope.spawn(move || {
-                for (slot, &defect_index) in head.iter_mut().zip(indices) {
-                    let defect = &universe.defects()[defect_index];
-                    let mut instance = dut.clone();
-                    instance.inject(defect.site);
-                    let t0 = Instant::now();
-                    let outcome = test(&instance);
-                    *slot = Some(DefectRecord {
-                        defect_index,
-                        site: defect.site,
-                        likelihood: defect.likelihood,
+            let defect = &universe.defects()[defect_index];
+            let t0 = Instant::now();
+            let budget = SolveBudget {
+                deadline: options.defect_deadline.map(|d| t0 + d),
+                newton_iters: options.newton_budget,
+            };
+            let prev = if budget == SolveBudget::UNLIMITED {
+                None
+            } else {
+                set_thread_solve_budget(Some(budget))
+            };
+            let verdict = catch_unwind(AssertUnwindSafe(|| {
+                let mut instance = dut.clone();
+                instance.inject(defect.site);
+                test(&instance).into()
+            }));
+            set_thread_solve_budget(prev);
+            let wall = t0.elapsed();
+            let mut outcome = match verdict {
+                Ok(outcome) => outcome,
+                Err(_) => SimOutcome::Unresolved(UnresolvedReason::Panic),
+            };
+            // Post-hoc deadline demotion: a closure that overran the
+            // deadline without touching the solver (or whose budget abort
+            // surfaced as a panic through an infallible wrapper) is a
+            // timeout, not a verdict. A genuine NoConvergence is never
+            // demoted — the solver reached its own conclusion first.
+            if let Some(deadline) = options.defect_deadline {
+                if wall > deadline
+                    && !matches!(
                         outcome,
-                        wall: t0.elapsed(),
+                        SimOutcome::Unresolved(UnresolvedReason::NoConvergence)
+                    )
+                {
+                    outcome = SimOutcome::Unresolved(UnresolvedReason::Timeout);
+                }
+            }
+            let record = DefectRecord {
+                defect_index,
+                site: defect.site,
+                likelihood: defect.likelihood,
+                outcome,
+                wall,
+            };
+            if let Some(writer) = &writer {
+                let mut file = writer.lock().unwrap_or_else(|e| e.into_inner());
+                let line = checkpoint_line(&record);
+                let io = file
+                    .write_all(line.as_bytes())
+                    .and_then(|()| file.write_all(b"\n"))
+                    .and_then(|()| file.flush());
+                if let Err(e) = io {
+                    return Err(CampaignError::Checkpoint {
+                        path: options
+                            .checkpoint
+                            .clone()
+                            .expect("writer implies checkpoint path"),
+                        reason: e.to_string(),
                     });
                 }
-            });
+            }
+            local.push((pos, record));
         }
-    });
+        Ok(local)
+    };
 
-    CampaignResult {
-        records: slots
-            .into_iter()
-            .map(|s| s.expect("all slots filled"))
-            .collect(),
+    let results: Vec<Result<Vec<(usize, DefectRecord)>, CampaignError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign workers never panic"))
+                .collect()
+        });
+
+    // Deterministic assembly: merge preloaded and freshly-computed records
+    // by their position in the (sorted) selection. Every position is filled
+    // exactly once by construction — either preloaded or claimed once via
+    // the cursor — so no placeholder slots are needed.
+    let mut tagged = preloaded;
+    for result in results {
+        tagged.extend(result?);
+    }
+    tagged.sort_unstable_by_key(|(pos, _)| *pos);
+    debug_assert_eq!(tagged.len(), selected.len());
+    debug_assert!(tagged.iter().enumerate().all(|(i, (pos, _))| i == *pos));
+    let records: Vec<DefectRecord> = tagged.into_iter().map(|(_, record)| record).collect();
+
+    Ok(CampaignResult {
+        records,
         universe_size: universe.len(),
         universe_likelihood: universe.total_likelihood(),
         sampled: options.sample_size.is_some(),
+        resumed,
         total_wall: start.elapsed(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -290,9 +687,11 @@ mod tests {
     fn exhaustive_campaign_covers_all() {
         let dut = ToyDut::new(4);
         let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
-        let res = run_campaign(&dut, &uni, &CampaignOptions::default(), toy_test);
+        let res = run_campaign(&dut, &uni, &CampaignOptions::default(), toy_test).unwrap();
         assert_eq!(res.simulated(), uni.len());
         assert!(!res.sampled);
+        assert_eq!(res.resumed, 0);
+        assert_eq!(res.unresolved(), 0);
         // Shorts detected: weight 3 of (3+1+0.5) per component.
         let cov = res.coverage();
         assert!(
@@ -301,6 +700,9 @@ mod tests {
             cov.value
         );
         assert!(cov.ci_half_width.is_none());
+        // With every run completed the bounds coincide.
+        let (lo, hi) = res.coverage_bounds();
+        assert_eq!(lo.value, hi.value);
     }
 
     #[test]
@@ -311,9 +713,10 @@ mod tests {
             sample_size: Some(12),
             seed: 7,
             threads: 4,
+            ..Default::default()
         };
-        let a = run_campaign(&dut, &uni, &opts, toy_test);
-        let b = run_campaign(&dut, &uni, &opts, toy_test);
+        let a = run_campaign(&dut, &uni, &opts, toy_test).unwrap();
+        let b = run_campaign(&dut, &uni, &opts, toy_test).unwrap();
         assert_eq!(a.simulated(), 12);
         let names_a: Vec<&str> = a
             .records
@@ -337,6 +740,7 @@ mod tests {
         let dut = ToyDut::new(100);
         let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
         let exhaustive = run_campaign(&dut, &uni, &CampaignOptions::default(), toy_test)
+            .unwrap()
             .coverage()
             .value;
         let mut acc = 0.0;
@@ -349,9 +753,11 @@ mod tests {
                     sample_size: Some(40),
                     seed,
                     threads: 2,
+                    ..Default::default()
                 },
                 toy_test,
             )
+            .unwrap()
             .coverage();
             acc += sampled.value;
         }
@@ -366,12 +772,13 @@ mod tests {
     fn stop_on_detection_shortens_cycles() {
         let dut = ToyDut::new(5);
         let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
-        let res = run_campaign(&dut, &uni, &CampaignOptions::default(), toy_test);
+        let res = run_campaign(&dut, &uni, &CampaignOptions::default(), toy_test).unwrap();
         for r in &res.records {
-            if r.outcome.detected {
-                assert!(r.outcome.cycles_run < 192);
+            let o = r.outcome.completed().expect("toy test always completes");
+            if o.detected {
+                assert!(o.cycles_run < 192);
             } else {
-                assert_eq!(r.outcome.cycles_run, 192);
+                assert_eq!(o.cycles_run, 192);
             }
         }
         // Escapes iterator complements detections.
@@ -390,16 +797,16 @@ mod tests {
                 ..Default::default()
             },
             toy_test,
-        );
+        )
+        .unwrap();
         assert_eq!(res.simulated(), uni.len());
     }
 
     #[test]
-    #[should_panic]
-    fn oversized_sample_panics() {
+    fn oversized_sample_is_an_error() {
         let dut = ToyDut::new(2);
         let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
-        run_campaign(
+        let err = run_campaign(
             &dut,
             &uni,
             &CampaignOptions {
@@ -407,6 +814,79 @@ mod tests {
                 ..Default::default()
             },
             toy_test,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CampaignError::InvalidSampleSize {
+                    requested: 10_000,
+                    ..
+                }
+            ),
+            "got {err}"
         );
+        // Zero-size samples are equally invalid.
+        let err = run_campaign(
+            &dut,
+            &uni,
+            &CampaignOptions {
+                sample_size: Some(0),
+                ..Default::default()
+            },
+            toy_test,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CampaignError::InvalidSampleSize { requested: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn empty_universe_is_an_error() {
+        let dut = ToyDut::new(1);
+        let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        let empty = uni.filter_block(BlockKind::Bandgap);
+        let err = run_campaign(&dut, &empty, &CampaignOptions::default(), toy_test).unwrap_err();
+        assert!(matches!(err, CampaignError::EmptyUniverse));
+    }
+
+    #[test]
+    fn closure_may_return_fallible_outcomes() {
+        let dut = ToyDut::new(3);
+        let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        // A Result-returning closure converts through Into<SimOutcome>:
+        // NoConvergence for shorts, completed escape otherwise.
+        let res = run_campaign(
+            &dut,
+            &uni,
+            &CampaignOptions::default(),
+            |d: &ToyDut| -> Result<TestOutcome, CircuitError> {
+                if d.injected().map(|s| s.kind.is_short()).unwrap_or(false) {
+                    Err(CircuitError::NoConvergence {
+                        analysis: "dc",
+                        iterations: 200,
+                    })
+                } else {
+                    Ok(TestOutcome {
+                        detected: false,
+                        detection_cycle: None,
+                        cycles_run: 192,
+                    })
+                }
+            },
+        )
+        .unwrap();
+        let unresolved = res.unresolved();
+        assert_eq!(unresolved, 3, "one short per component");
+        assert!(res
+            .records
+            .iter()
+            .filter(|r| r.outcome.is_unresolved())
+            .all(|r| r.outcome.unresolved_reason() == Some(UnresolvedReason::NoConvergence)));
+        // Bounds bracket: lower counts them escaped, upper detected.
+        let (lo, hi) = res.coverage_bounds();
+        assert!(lo.value < hi.value);
     }
 }

@@ -1,0 +1,224 @@
+//! JSONL checkpoint serialization for campaign records.
+//!
+//! One [`DefectRecord`] per line, as a flat JSON object with a fixed key
+//! set — hand-rolled on purpose (no serde in the dependency tree). The
+//! format must round-trip *bit-identically*: a resumed campaign replays
+//! loaded records into the final result, and the acceptance test for
+//! resume compares records with `==` on `f64` fields. `f64` values are
+//! written with Rust's shortest-roundtrip `Display`, which guarantees
+//! `parse::<f64>()` recovers the exact bits for every finite value; wall
+//! time is written as integer nanoseconds.
+//!
+//! The parser is deliberately tolerant: any line that does not parse —
+//! including a torn final line left by a killed process — is skipped by
+//! the loader, and unknown keys are ignored, so the format can grow
+//! fields without invalidating old checkpoints.
+//!
+//! ## Line format
+//!
+//! ```json
+//! {"defect_index":12,"component":3,"kind":"short","likelihood":1.5,
+//!  "outcome":"completed","detected":true,"detection_cycle":3,
+//!  "cycles_run":3,"wall_ns":51234}
+//! {"defect_index":13,"component":3,"kind":"open","likelihood":0.5,
+//!  "outcome":"unresolved","reason":"timeout","wall_ns":2000051234}
+//! ```
+//! (shown wrapped; real lines are single-line)
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use symbist_adc::fault::{DefectKind, DefectSite};
+
+use crate::campaign::{DefectRecord, SimOutcome, TestOutcome, UnresolvedReason};
+
+/// Serializes one record as a single JSON line (no trailing newline).
+pub fn checkpoint_line(record: &DefectRecord) -> String {
+    let mut s = String::with_capacity(160);
+    let _ = write!(
+        s,
+        "{{\"defect_index\":{},\"component\":{},\"kind\":\"{}\",\"likelihood\":{}",
+        record.defect_index,
+        record.site.component,
+        record.site.kind.label(),
+        record.likelihood,
+    );
+    match record.outcome {
+        SimOutcome::Completed(o) => {
+            let _ = write!(s, ",\"outcome\":\"completed\",\"detected\":{}", o.detected);
+            match o.detection_cycle {
+                Some(c) => {
+                    let _ = write!(s, ",\"detection_cycle\":{c}");
+                }
+                None => s.push_str(",\"detection_cycle\":null"),
+            }
+            let _ = write!(s, ",\"cycles_run\":{}", o.cycles_run);
+        }
+        SimOutcome::Unresolved(reason) => {
+            let _ = write!(
+                s,
+                ",\"outcome\":\"unresolved\",\"reason\":\"{}\"",
+                reason.label()
+            );
+        }
+    }
+    let _ = write!(s, ",\"wall_ns\":{}}}", record.wall.as_nanos());
+    s
+}
+
+/// Extracts the raw value token following `"key":` in a flat JSON line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    // Values are numbers, booleans, null, or label strings without commas
+    // or braces, so scanning to the next delimiter is unambiguous.
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim())
+}
+
+fn string_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    field(line, key)?
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+}
+
+/// Parses one checkpoint line. Returns `None` on any malformed input
+/// (tolerant-parser contract: the loader skips such lines).
+pub fn parse_checkpoint_line(line: &str) -> Option<DefectRecord> {
+    let line = line.trim();
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return None;
+    }
+    let defect_index: usize = field(line, "defect_index")?.parse().ok()?;
+    let component: usize = field(line, "component")?.parse().ok()?;
+    let kind = DefectKind::from_label(string_field(line, "kind")?)?;
+    let likelihood: f64 = field(line, "likelihood")?.parse().ok()?;
+    let outcome = match string_field(line, "outcome")? {
+        "completed" => {
+            let detected: bool = field(line, "detected")?.parse().ok()?;
+            let detection_cycle = match field(line, "detection_cycle")? {
+                "null" => None,
+                v => Some(v.parse::<u32>().ok()?),
+            };
+            let cycles_run: u32 = field(line, "cycles_run")?.parse().ok()?;
+            SimOutcome::Completed(TestOutcome {
+                detected,
+                detection_cycle,
+                cycles_run,
+            })
+        }
+        "unresolved" => {
+            SimOutcome::Unresolved(UnresolvedReason::from_label(string_field(line, "reason")?)?)
+        }
+        _ => return None,
+    };
+    let wall_ns: u128 = field(line, "wall_ns")?.parse().ok()?;
+    let wall = Duration::new(
+        (wall_ns / 1_000_000_000) as u64,
+        (wall_ns % 1_000_000_000) as u32,
+    );
+    Some(DefectRecord {
+        defect_index,
+        site: DefectSite { component, kind },
+        likelihood,
+        outcome,
+        wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completed(detected: bool) -> SimOutcome {
+        SimOutcome::Completed(TestOutcome {
+            detected,
+            detection_cycle: detected.then_some(7),
+            cycles_run: if detected { 7 } else { 192 },
+        })
+    }
+
+    fn record(outcome: SimOutcome) -> DefectRecord {
+        DefectRecord {
+            defect_index: 42,
+            site: DefectSite {
+                component: 9,
+                kind: DefectKind::ShortGd,
+            },
+            // Deliberately not exactly representable in short decimal form.
+            likelihood: 0.1 + 0.2,
+            outcome,
+            wall: Duration::new(3, 141_592_653),
+        }
+    }
+
+    #[test]
+    fn roundtrip_completed() {
+        for detected in [true, false] {
+            let r = record(completed(detected));
+            let line = checkpoint_line(&r);
+            let back = parse_checkpoint_line(&line).expect("parses");
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn roundtrip_unresolved_reasons() {
+        for reason in [
+            UnresolvedReason::NoConvergence,
+            UnresolvedReason::Timeout,
+            UnresolvedReason::Panic,
+        ] {
+            let r = record(SimOutcome::Unresolved(reason));
+            let back = parse_checkpoint_line(&checkpoint_line(&r)).expect("parses");
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn f64_roundtrip_is_bit_identical() {
+        // Shortest-roundtrip Display must recover the exact bits, even for
+        // likelihoods whose decimal expansion is ugly.
+        for bits_seed in [0.1 + 0.2, 1.0 / 3.0, 2.5e-17, 123456.789_012_345_6] {
+            let mut r = record(completed(true));
+            r.likelihood = bits_seed;
+            let back = parse_checkpoint_line(&checkpoint_line(&r)).unwrap();
+            assert_eq!(back.likelihood.to_bits(), r.likelihood.to_bits());
+        }
+    }
+
+    #[test]
+    fn wall_roundtrips_to_the_nanosecond() {
+        let mut r = record(completed(false));
+        r.wall = Duration::new(86_400, 999_999_999);
+        let back = parse_checkpoint_line(&checkpoint_line(&r)).unwrap();
+        assert_eq!(back.wall, r.wall);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_not_panicked() {
+        let good = checkpoint_line(&record(completed(true)));
+        for bad in [
+            "",
+            "not json",
+            "{\"defect_index\":1}",
+            "{\"defect_index\":\"x\",\"component\":0}",
+            &good[..good.len() / 2], // torn line from a killed process
+            "{\"defect_index\":1,\"component\":0,\"kind\":\"bogus\",\"likelihood\":1,\"outcome\":\"completed\",\"detected\":true,\"detection_cycle\":null,\"cycles_run\":1,\"wall_ns\":0}",
+            "{\"defect_index\":1,\"component\":0,\"kind\":\"short\",\"likelihood\":1,\"outcome\":\"weird\",\"wall_ns\":0}",
+        ] {
+            assert!(parse_checkpoint_line(bad).is_none(), "accepted: {bad}");
+        }
+        // The reference line itself still parses.
+        assert!(parse_checkpoint_line(&good).is_some());
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let r = record(completed(true));
+        let line = checkpoint_line(&r);
+        let extended = format!("{},\"future_field\":\"abc\"}}", &line[..line.len() - 1]);
+        assert_eq!(parse_checkpoint_line(&extended), Some(r));
+    }
+}

@@ -9,6 +9,28 @@
 //!   likelihood *without replacement*; the plain detection fraction of the
 //!   sample is then an estimator of the L-W coverage, and a 95 % normal
 //!   interval with finite-population correction is attached.
+//!
+//! ## Unresolved defects and coverage bounds
+//!
+//! Both estimators consume boolean detection outcomes, but a fault-tolerant
+//! campaign also produces *unresolved* records — simulations that panicked,
+//! timed out, or failed to converge, and therefore proved nothing about
+//! detection either way. The campaign layer resolves the ambiguity by
+//! evaluating the estimator twice (see
+//! [`CampaignResult::coverage_bounds`](crate::campaign::CampaignResult::coverage_bounds)):
+//!
+//! * **Lower bound** (`coverage()`): unresolved counted as **escapes**.
+//!   This is the defensible figure to publish — coverage is a claim about
+//!   demonstrated detection, and an unresolved run demonstrated nothing.
+//! * **Upper bound** (`coverage_upper()`): unresolved counted as
+//!   **detected**. Useful as a diagnostic: a wide `[lower, upper]` gap
+//!   means the unresolved population is large enough to matter, and the
+//!   fix is raising budgets or repairing the solver path, not re-sampling.
+//!
+//! The true coverage lies within the closed interval; the bounds coincide
+//! exactly when every simulation completed. For sampled campaigns each
+//! bound carries its own CI, which quantifies sampling error only — the
+//! unresolved-attribution uncertainty is exactly the bound gap.
 
 use symbist_analysis::stats::normal_quantile;
 

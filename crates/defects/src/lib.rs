@@ -27,12 +27,16 @@
 #![warn(rust_2018_idioms)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod coverage;
 pub mod likelihood;
 pub mod report;
 pub mod universe;
 
-pub use campaign::{run_campaign, CampaignOptions, CampaignResult, TestOutcome};
+pub use campaign::{
+    run_campaign, CampaignError, CampaignOptions, CampaignResult, SimOutcome, TestOutcome,
+    UnresolvedReason,
+};
 pub use coverage::Coverage;
 pub use likelihood::LikelihoodModel;
 pub use report::CoverageTable;

@@ -17,9 +17,13 @@ pub struct BlockRow {
     pub total_defects: usize,
     /// Defects simulated.
     pub simulated: usize,
+    /// Simulated defects that produced no verdict (panic, timeout, or
+    /// non-convergence); they count as escapes in `coverage`.
+    pub unresolved: usize,
     /// Defect simulation time.
     pub sim_time: Duration,
-    /// L-W coverage (with CI when sampled).
+    /// L-W coverage **lower bound** (with CI when sampled): unresolved
+    /// defects counted as escapes.
     pub coverage: Coverage,
 }
 
@@ -41,6 +45,7 @@ impl CoverageTable {
             label: block.label().to_string(),
             total_defects: result.universe_size,
             simulated: result.simulated(),
+            unresolved: result.unresolved(),
             sim_time: result.total_wall,
             coverage: result.coverage(),
         });
@@ -52,6 +57,7 @@ impl CoverageTable {
             label: label.to_string(),
             total_defects: result.universe_size,
             simulated: result.simulated(),
+            unresolved: result.unresolved(),
             sim_time: result.total_wall,
             coverage: result.coverage(),
         });
@@ -68,17 +74,18 @@ impl CoverageTable {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<38} {:>9} {:>11} {:>12} {:>18}",
-            "A/M-S blocks", "#Defects", "#Simulated", "Sim time (s)", "L-W coverage"
+            "{:<38} {:>9} {:>11} {:>11} {:>12} {:>18}",
+            "A/M-S blocks", "#Defects", "#Simulated", "#Unresolved", "Sim time (s)", "L-W coverage"
         );
-        let _ = writeln!(out, "{}", "-".repeat(93));
+        let _ = writeln!(out, "{}", "-".repeat(105));
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{:<38} {:>9} {:>11} {:>12.2} {:>18}",
+                "{:<38} {:>9} {:>11} {:>11} {:>12.2} {:>18}",
                 r.label,
                 r.total_defects,
                 r.simulated,
+                r.unresolved,
                 r.sim_time.as_secs_f64(),
                 r.coverage.to_percent_string()
             );
@@ -88,14 +95,16 @@ impl CoverageTable {
 
     /// Renders CSV (for EXPERIMENTS.md and plotting).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("block,defects,simulated,sim_time_s,coverage,ci_half_width\n");
+        let mut out =
+            String::from("block,defects,simulated,unresolved,sim_time_s,coverage,ci_half_width\n");
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{},{},{},{:.4},{:.6},{}",
+                "{},{},{},{},{:.4},{:.6},{}",
                 r.label,
                 r.total_defects,
                 r.simulated,
+                r.unresolved,
                 r.sim_time.as_secs_f64(),
                 r.coverage.value,
                 r.coverage
@@ -111,35 +120,46 @@ impl CoverageTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::{DefectRecord, TestOutcome};
+    use crate::campaign::{DefectRecord, SimOutcome, TestOutcome, UnresolvedReason};
     use symbist_adc::fault::{DefectKind, DefectSite};
 
-    fn fake_result(detected: &[bool]) -> CampaignResult {
-        let records = detected
+    fn fake_result_with(outcomes: &[SimOutcome]) -> CampaignResult {
+        let records = outcomes
             .iter()
             .enumerate()
-            .map(|(i, d)| DefectRecord {
+            .map(|(i, outcome)| DefectRecord {
                 defect_index: i,
                 site: DefectSite {
                     component: i,
                     kind: DefectKind::Short,
                 },
                 likelihood: 1.0,
-                outcome: TestOutcome {
-                    detected: *d,
-                    detection_cycle: d.then_some(1),
-                    cycles_run: 10,
-                },
+                outcome: *outcome,
                 wall: Duration::from_millis(5),
             })
             .collect();
         CampaignResult {
             records,
-            universe_size: detected.len(),
-            universe_likelihood: detected.len() as f64,
+            universe_size: outcomes.len(),
+            universe_likelihood: outcomes.len() as f64,
             sampled: false,
+            resumed: 0,
             total_wall: Duration::from_millis(50),
         }
+    }
+
+    fn fake_result(detected: &[bool]) -> CampaignResult {
+        let outcomes: Vec<SimOutcome> = detected
+            .iter()
+            .map(|d| {
+                SimOutcome::Completed(TestOutcome {
+                    detected: *d,
+                    detection_cycle: d.then_some(1),
+                    cycles_run: 10,
+                })
+            })
+            .collect();
+        fake_result_with(&outcomes)
     }
 
     #[test]
@@ -163,6 +183,28 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("block,"));
-        assert!(lines[1].starts_with("SC Array,1,1,"));
+        assert!(lines[0].contains(",unresolved,"));
+        assert!(lines[1].starts_with("SC Array,1,1,0,"));
+    }
+
+    #[test]
+    fn unresolved_counts_surface_in_both_renderings() {
+        let detected = SimOutcome::Completed(TestOutcome {
+            detected: true,
+            detection_cycle: Some(1),
+            cycles_run: 1,
+        });
+        let result = fake_result_with(&[
+            detected,
+            SimOutcome::Unresolved(UnresolvedReason::Panic),
+            SimOutcome::Unresolved(UnresolvedReason::Timeout),
+        ]);
+        let mut t = CoverageTable::new();
+        t.push_block(BlockKind::ScArray, &result);
+        assert_eq!(t.rows()[0].unresolved, 2);
+        assert!(t.to_text().contains("#Unresolved"));
+        // Lower-bound coverage: 1 of 3 (unresolved count as escapes).
+        assert!(t.to_text().contains("33.33%"));
+        assert!(t.to_csv().lines().nth(1).unwrap().contains(",3,2,"));
     }
 }

@@ -29,19 +29,29 @@ fn main() {
     // Exhaustive campaign (the block is small, like the paper's 44/44).
     let result = run_campaign(&adc, &universe, &CampaignOptions::default(), |dut| {
         engine.campaign_test(dut)
-    });
+    })
+    .expect("SC-array campaign is well-formed");
 
     println!(
         "\n{:<38} {:>10} {:>10} {:>12}",
-        "defect", "detected", "cycle", "sim ms"
+        "defect", "verdict", "cycle", "sim ms"
     );
     for r in &result.records {
+        let verdict = match r.outcome.completed() {
+            Some(o) if o.detected => "detected".to_string(),
+            Some(_) => "escape".to_string(),
+            None => format!(
+                "unresolved:{}",
+                r.outcome.unresolved_reason().expect("unresolved")
+            ),
+        };
         println!(
             "{:<38} {:>10} {:>10} {:>12.2}",
             format!("{}:{}", r.defect(&universe).component_name, r.site.kind),
-            r.outcome.detected,
+            verdict,
             r.outcome
-                .detection_cycle
+                .completed()
+                .and_then(|o| o.detection_cycle)
                 .map(|c| c.to_string())
                 .unwrap_or_else(|| "-".into()),
             r.wall.as_secs_f64() * 1e3

@@ -81,7 +81,8 @@ fn campaign_pipeline_smoke() {
             ..Default::default()
         },
         |dut| bist.campaign_test(dut),
-    );
+    )
+    .expect("smoke campaign is well-formed");
     assert_eq!(res.simulated(), universe.len());
     let cov = res.coverage();
     assert!(
@@ -89,13 +90,16 @@ fn campaign_pipeline_smoke() {
         "vcm coverage {}",
         cov.value
     );
-    // Detected defects stopped early; escapes ran the full test.
+    // Detected defects stopped early; escapes ran the full test. Every
+    // Vcm-block simulation must produce a verdict (no unresolved records).
+    assert_eq!(res.unresolved(), 0);
     for r in &res.records {
-        if r.outcome.detected {
-            assert!(r.outcome.cycles_run <= 192);
-            assert!(r.outcome.detection_cycle.is_some());
+        let o = r.outcome.completed().expect("no unresolved records");
+        if o.detected {
+            assert!(o.cycles_run <= 192);
+            assert!(o.detection_cycle.is_some());
         } else {
-            assert_eq!(r.outcome.cycles_run, 192);
+            assert_eq!(o.cycles_run, 192);
         }
     }
 }
