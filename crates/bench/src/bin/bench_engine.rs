@@ -1,12 +1,13 @@
-//! Runs the engine benchmark suite and writes `BENCH_engine.json` — the
-//! machine-readable perf record (dense vs sparse timings and derived
-//! speedup ratios) tracked across commits.
+//! Runs the engine and service benchmark suites and writes
+//! `BENCH_engine.json` — the machine-readable perf record (dense vs
+//! sparse timings, derived speedup ratios, and job-service throughput)
+//! tracked across commits.
 //!
 //! ```text
 //! cargo run --release -p symbist-bench --bin bench_engine [-- --quick] [out.json]
 //! ```
 
-use symbist_bench::{engine_suite, harness::Harness};
+use symbist_bench::{engine_suite, harness::Harness, service_suite};
 
 fn main() {
     let mut quick = false;
@@ -24,10 +25,12 @@ fn main() {
         Harness::new()
     };
     engine_suite::run(&mut h);
-    let derived = engine_suite::derived(&h);
+    service_suite::run(&mut h);
+    let mut derived = engine_suite::derived(&h);
+    derived.extend(service_suite::derived(&h));
     print!("{}", h.report());
-    for (name, ratio) in &derived {
-        println!("{name}: {ratio:.2}x");
+    for (name, value) in &derived {
+        println!("{name}: {value:.2}");
     }
     let json = h.to_json("engine", &derived);
     if let Err(e) = std::fs::write(&out_path, &json) {

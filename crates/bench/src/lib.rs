@@ -20,14 +20,16 @@
 //!   in-repo [`harness`]): micro/meso performance of the simulation
 //!   substrate (`engine`) and throughput of the experiment pipeline
 //!   stages (`experiments`) — run with `cargo bench`. The `bench_engine`
-//!   binary runs the same [`engine_suite`] and writes the results to
-//!   `BENCH_engine.json` for machine consumption.
+//!   binary runs the same [`engine_suite`] plus the [`service_suite`]
+//!   (job-service throughput and backpressure latency) and writes the
+//!   results to `BENCH_engine.json` for machine consumption.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod engine_suite;
 pub mod harness;
+pub mod service_suite;
 
 use symbist::experiments::ExperimentConfig;
 

@@ -1,0 +1,115 @@
+//! Service throughput benchmarks: end-to-end job round-trips and
+//! backpressure latency through the real TCP/HTTP stack of
+//! `symbist-service`, on the deterministic synthetic backend (so the
+//! numbers track the service machinery, not simulation cost).
+//!
+//! Shares `BENCH_engine.json` with the engine suite via the `bench_engine`
+//! binary; derived entries report jobs/sec and the cost of bouncing off a
+//! saturated queue.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use symbist_service::backend::{Gate, SyntheticBackend};
+use symbist_service::client::{Client, ClientError};
+use symbist_service::http::{Server, ServiceConfig};
+use symbist_service::spec::JobSpec;
+
+use crate::harness::Harness;
+
+/// Runs the service suite into `h`.
+pub fn run(h: &mut Harness) {
+    // --- end-to-end job round-trip ------------------------------------
+    // submit over HTTP → campaign runs → NDJSON stream drains to the
+    // terminal state. Streaming (not polling) ends the iteration at the
+    // exact completion instant, so the measurement is pure service+
+    // campaign latency.
+    {
+        let server = Server::start(
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+            Arc::new(SyntheticBackend::new(4)),
+        )
+        .expect("bench server");
+        let client = Client::new(server.addr().to_string());
+        h.bench("service/job_roundtrip", || {
+            let id = client.submit(&JobSpec::default()).expect("submit");
+            let mut records = 0usize;
+            for record in client.stream_results(id).expect("stream") {
+                record.expect("record");
+                records += 1;
+            }
+            records
+        });
+        h.bench("service/healthz_roundtrip", || {
+            client.health().expect("healthz")
+        });
+        h.bench("service/status_roundtrip", || {
+            client.status(1).expect("status")
+        });
+        server.request_shutdown();
+        server.wait();
+    }
+
+    // --- queue-saturation latency -------------------------------------
+    // A wedged worker plus a full queue: every submit bounces with 503.
+    // The measured time is the full refusal round-trip — what a client
+    // pays to discover backpressure.
+    {
+        let gate = Gate::new();
+        gate.hold();
+        let server = Server::start(
+            ServiceConfig {
+                queue_capacity: 1,
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            Arc::new(SyntheticBackend::new(2).with_gate(Arc::clone(&gate))),
+        )
+        .expect("bench server");
+        let client = Client::new(server.addr().to_string());
+        let first = client.submit(&JobSpec::default()).expect("first job");
+        // Wait for the worker to claim it, then fill the single queue slot
+        // so the saturated state is stable for the whole measurement.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let running = client
+                .stats()
+                .ok()
+                .and_then(|s| s.get("running").and_then(|v| v.as_u64()))
+                .unwrap_or(0);
+            if running >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker never claimed job {first}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        client.submit(&JobSpec::default()).expect("fills the queue");
+        h.bench("service/queue_saturated_503", || {
+            match client.submit(&JobSpec::default()) {
+                Err(ClientError::Http { status: 503, .. }) => {}
+                other => panic!("expected 503 under saturation, got {other:?}"),
+            }
+        });
+        gate.release();
+        server.request_shutdown();
+        server.wait();
+    }
+}
+
+/// Derived service-throughput entries for the JSON report.
+pub fn derived(h: &Harness) -> Vec<(&'static str, f64)> {
+    let mut out = Vec::new();
+    if let Some(r) = h.result("service/job_roundtrip") {
+        out.push(("service_jobs_per_sec", 1e9 / r.median_ns));
+    }
+    if let Some(r) = h.result("service/queue_saturated_503") {
+        out.push(("service_queue_saturation_latency_us", r.median_ns / 1e3));
+    }
+    out
+}

@@ -33,6 +33,9 @@ pub struct ExperimentConfig {
     pub threads: usize,
     /// Stimulus.
     pub stimulus: StimulusSpec,
+    /// Comparator schedule for the built engine (paper experiments use
+    /// the sequential, minimal-area schedule).
+    pub schedule: Schedule,
 }
 
 impl Default for ExperimentConfig {
@@ -46,12 +49,13 @@ impl Default for ExperimentConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             stimulus: StimulusSpec::default(),
+            schedule: Schedule::Sequential,
         }
     }
 }
 
 impl ExperimentConfig {
-    /// Builds the calibrated SymBIST engine (sequential schedule).
+    /// Builds the calibrated SymBIST engine on the configured schedule.
     pub fn build_engine(&self) -> SymBist {
         let cal = Calibration::run(
             &self.adc,
@@ -60,7 +64,7 @@ impl ExperimentConfig {
             self.k,
             self.seed,
         );
-        SymBist::new(cal, self.stimulus, Schedule::Sequential)
+        SymBist::new(cal, self.stimulus, self.schedule)
     }
 }
 

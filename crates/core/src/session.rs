@@ -32,6 +32,23 @@ pub enum Schedule {
 }
 
 impl Schedule {
+    /// Stable wire label, used by job specs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Schedule::Sequential => "sequential",
+            Schedule::Parallel => "parallel",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(label: &str) -> Option<Schedule> {
+        match label {
+            "sequential" => Some(Schedule::Sequential),
+            "parallel" => Some(Schedule::Parallel),
+            _ => None,
+        }
+    }
+
     /// Total BIST cycles for the full (non-aborted) test.
     pub fn total_cycles(self) -> u32 {
         match self {

@@ -193,6 +193,16 @@ pub enum CampaignError {
         /// Underlying I/O failure.
         reason: String,
     },
+    /// The campaign's [`CampaignMonitor`] requested cancellation before
+    /// every selected defect was simulated. Records completed so far are
+    /// already flushed to the checkpoint (when one is configured), so a
+    /// later run with the same options resumes where this one stopped.
+    Cancelled {
+        /// Records completed (resumed + freshly simulated) before the stop.
+        completed: usize,
+        /// Defects that were selected for simulation in total.
+        selected: usize,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -210,6 +220,12 @@ impl fmt::Display for CampaignError {
             }
             CampaignError::Checkpoint { path, reason } => {
                 write!(f, "checkpoint {}: {reason}", path.display())
+            }
+            CampaignError::Cancelled {
+                completed,
+                selected,
+            } => {
+                write!(f, "campaign cancelled after {completed}/{selected} defects")
             }
         }
     }
@@ -305,6 +321,24 @@ impl DefectRecord {
     }
 }
 
+/// Unresolved-record counts split by [`UnresolvedReason`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UnresolvedCounts {
+    /// Solver gave up: no computable operating point.
+    pub no_convergence: usize,
+    /// Per-defect budget (wall deadline or Newton iterations) ran out.
+    pub timeout: usize,
+    /// The test closure panicked.
+    pub panic: usize,
+}
+
+impl UnresolvedCounts {
+    /// Sum over all reasons.
+    pub fn total(&self) -> usize {
+        self.no_convergence + self.timeout + self.panic
+    }
+}
+
 /// Full campaign result.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
@@ -339,6 +373,21 @@ impl CampaignResult {
             .iter()
             .filter(|r| r.outcome.is_unresolved())
             .count()
+    }
+
+    /// Unresolved defects broken down by [`UnresolvedReason`], so budget
+    /// expiry is never conflated with genuine non-convergence.
+    pub fn unresolved_by_reason(&self) -> UnresolvedCounts {
+        let mut counts = UnresolvedCounts::default();
+        for r in &self.records {
+            match r.outcome.unresolved_reason() {
+                Some(UnresolvedReason::NoConvergence) => counts.no_convergence += 1,
+                Some(UnresolvedReason::Timeout) => counts.timeout += 1,
+                Some(UnresolvedReason::Panic) => counts.panic += 1,
+                None => {}
+            }
+        }
+        counts
     }
 
     fn coverage_with(&self, unresolved_detected: bool) -> Coverage {
@@ -402,13 +451,54 @@ impl CampaignResult {
     }
 }
 
+/// Observation and control hooks for a running campaign.
+///
+/// A monitor lets long-lived callers (the job service, progress bars,
+/// result streams) watch records as they complete and stop a campaign
+/// early without losing work. All hooks are called from campaign worker
+/// threads, so implementations must be `Sync`; they should also be cheap —
+/// a slow `on_record` serializes the workers.
+///
+/// Every method has a no-op default, and `()` implements the trait, so
+/// `run_campaign` is just `run_campaign_monitored(.., &())`.
+pub trait CampaignMonitor: Sync {
+    /// Called once before any simulation, after sampling and checkpoint
+    /// reload, with the number of selected defects and how many of them
+    /// were resumed from the checkpoint.
+    fn on_start(&self, _selected: usize, _resumed: usize) {}
+
+    /// Called for every record in completion order: first the resumed
+    /// checkpoint records (`resumed == true`, in selection order), then
+    /// each freshly simulated record as its worker finishes it (order is
+    /// nondeterministic under work stealing; `record.defect_index`
+    /// identifies the defect).
+    fn on_record(&self, _record: &DefectRecord, _resumed: bool) {}
+
+    /// Polled by every worker between defects. Returning `true` stops the
+    /// campaign: workers finish their in-flight defect (flushing its
+    /// checkpoint record) and [`run_campaign_monitored`] returns
+    /// [`CampaignError::Cancelled`].
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
+
+/// The no-op monitor: [`run_campaign`] behavior.
+impl CampaignMonitor for () {}
+
 /// Loads checkpoint records that belong to this campaign.
 ///
 /// Tolerant by design: unparseable lines (including a torn final line from
 /// a killed process) are skipped, records are validated against the
 /// universe (index range, same site, bit-identical likelihood) so a stale
 /// file from a different universe is ignored, and for duplicated indices
-/// the last record wins. Returns `(position in selected, record)` pairs.
+/// the last record wins. One hard limit bounds the tolerance: when more
+/// *validated* records are found than defects were selected, the file
+/// cannot be an honest journal of this campaign (something duplicated or
+/// concatenated records wholesale), and silently deduplicating would mask
+/// the corruption — the whole checkpoint is rejected instead and the
+/// campaign re-simulates from scratch. Returns `(position in selected,
+/// record)` pairs.
 fn load_checkpoint(
     path: &std::path::Path,
     universe: &DefectUniverse,
@@ -418,6 +508,7 @@ fn load_checkpoint(
         return Vec::new();
     };
     let mut by_pos: HashMap<usize, DefectRecord> = HashMap::new();
+    let mut validated = 0usize;
     for line in content.lines() {
         let Some(rec) = parse_checkpoint_line(line) else {
             continue;
@@ -432,6 +523,10 @@ fn load_checkpoint(
         let Ok(pos) = selected.binary_search(&rec.defect_index) else {
             continue;
         };
+        validated += 1;
+        if validated > selected.len() {
+            return Vec::new();
+        }
         by_pos.insert(pos, rec);
     }
     let mut loaded: Vec<(usize, DefectRecord)> = by_pos.into_iter().collect();
@@ -461,6 +556,31 @@ where
     D: Faultable + Clone + Send + Sync,
     F: Fn(&D) -> R + Sync,
     R: Into<SimOutcome>,
+{
+    run_campaign_monitored(dut, universe, options, test, &())
+}
+
+/// [`run_campaign`] with a [`CampaignMonitor`] attached: the monitor sees
+/// every record as it completes and may cancel the campaign between
+/// defects.
+///
+/// Cancellation is cooperative and loses no work: in-flight defects finish
+/// and flush their checkpoint records, then the function returns
+/// [`CampaignError::Cancelled`]; a subsequent run with the same options
+/// resumes from the checkpoint and its final records are bit-identical to
+/// an uninterrupted run's (the service's drain-and-restart contract).
+pub fn run_campaign_monitored<D, F, R, M>(
+    dut: &D,
+    universe: &DefectUniverse,
+    options: &CampaignOptions,
+    test: F,
+    monitor: &M,
+) -> Result<CampaignResult, CampaignError>
+where
+    D: Faultable + Clone + Send + Sync,
+    F: Fn(&D) -> R + Sync,
+    R: Into<SimOutcome>,
+    M: CampaignMonitor + ?Sized,
 {
     if universe.is_empty() {
         return Err(CampaignError::EmptyUniverse);
@@ -498,6 +618,10 @@ where
         done
     };
     let resumed = preloaded.len();
+    monitor.on_start(selected.len(), resumed);
+    for (_, rec) in &preloaded {
+        monitor.on_record(rec, true);
+    }
 
     // Open the checkpoint writer up front so an unwritable path fails the
     // campaign before any simulation is spent.
@@ -519,10 +643,15 @@ where
     // Work stealing: each worker pulls the next untested position from a
     // shared cursor, so one slow defect delays only its own slot.
     let cursor = AtomicUsize::new(0);
+    let cancelled = std::sync::atomic::AtomicBool::new(false);
 
     let worker = || -> Result<Vec<(usize, DefectRecord)>, CampaignError> {
         let mut local: Vec<(usize, DefectRecord)> = Vec::new();
         loop {
+            if cancelled.load(Ordering::Relaxed) || monitor.cancelled() {
+                cancelled.store(true, Ordering::Relaxed);
+                break;
+            }
             let pos = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(&defect_index) = selected.get(pos) else {
                 break;
@@ -591,6 +720,7 @@ where
                     });
                 }
             }
+            monitor.on_record(&record, false);
             local.push((pos, record));
         }
         Ok(local)
@@ -612,6 +742,12 @@ where
     let mut tagged = preloaded;
     for result in results {
         tagged.extend(result?);
+    }
+    if cancelled.load(Ordering::Relaxed) {
+        return Err(CampaignError::Cancelled {
+            completed: tagged.len(),
+            selected: selected.len(),
+        });
     }
     tagged.sort_unstable_by_key(|(pos, _)| *pos);
     debug_assert_eq!(tagged.len(), selected.len());

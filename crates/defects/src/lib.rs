@@ -34,8 +34,8 @@ pub mod report;
 pub mod universe;
 
 pub use campaign::{
-    run_campaign, CampaignError, CampaignOptions, CampaignResult, SimOutcome, TestOutcome,
-    UnresolvedReason,
+    run_campaign, run_campaign_monitored, CampaignError, CampaignMonitor, CampaignOptions,
+    CampaignResult, DefectRecord, SimOutcome, TestOutcome, UnresolvedCounts, UnresolvedReason,
 };
 pub use coverage::Coverage;
 pub use likelihood::LikelihoodModel;

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use symbist_adc::fault::BlockKind;
 
-use crate::campaign::CampaignResult;
+use crate::campaign::{CampaignResult, UnresolvedCounts};
 use crate::coverage::Coverage;
 
 /// One row of a Table-I-style report.
@@ -17,9 +17,10 @@ pub struct BlockRow {
     pub total_defects: usize,
     /// Defects simulated.
     pub simulated: usize,
-    /// Simulated defects that produced no verdict (panic, timeout, or
-    /// non-convergence); they count as escapes in `coverage`.
-    pub unresolved: usize,
+    /// Simulated defects that produced no verdict, broken down by reason
+    /// (non-convergence vs budget expiry vs panic); they count as escapes
+    /// in `coverage`.
+    pub unresolved: UnresolvedCounts,
     /// Defect simulation time.
     pub sim_time: Duration,
     /// L-W coverage **lower bound** (with CI when sampled): unresolved
@@ -41,14 +42,7 @@ impl CoverageTable {
 
     /// Appends a row built from a block campaign.
     pub fn push_block(&mut self, block: BlockKind, result: &CampaignResult) {
-        self.rows.push(BlockRow {
-            label: block.label().to_string(),
-            total_defects: result.universe_size,
-            simulated: result.simulated(),
-            unresolved: result.unresolved(),
-            sim_time: result.total_wall,
-            coverage: result.coverage(),
-        });
+        self.push_aggregate(block.label(), result);
     }
 
     /// Appends an aggregate row (e.g. "Complete A/M-S part of SAR ADC IP").
@@ -57,7 +51,7 @@ impl CoverageTable {
             label: label.to_string(),
             total_defects: result.universe_size,
             simulated: result.simulated(),
-            unresolved: result.unresolved(),
+            unresolved: result.unresolved_by_reason(),
             sim_time: result.total_wall,
             coverage: result.coverage(),
         });
@@ -68,24 +62,35 @@ impl CoverageTable {
         &self.rows
     }
 
-    /// Renders a fixed-width text table matching the paper's columns:
-    /// block, #defects, #simulated, simulation time, L-W coverage.
+    /// Renders a fixed-width text table matching the paper's columns —
+    /// block, #defects, #simulated, simulation time, L-W coverage — plus
+    /// the unresolved breakdown (#NoConv / #Timeout / #Panic), so budget
+    /// expiry is never conflated with genuine non-convergence.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<38} {:>9} {:>11} {:>11} {:>12} {:>18}",
-            "A/M-S blocks", "#Defects", "#Simulated", "#Unresolved", "Sim time (s)", "L-W coverage"
+            "{:<38} {:>9} {:>11} {:>8} {:>9} {:>7} {:>12} {:>18}",
+            "A/M-S blocks",
+            "#Defects",
+            "#Simulated",
+            "#NoConv",
+            "#Timeout",
+            "#Panic",
+            "Sim time (s)",
+            "L-W coverage"
         );
-        let _ = writeln!(out, "{}", "-".repeat(105));
+        let _ = writeln!(out, "{}", "-".repeat(120));
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{:<38} {:>9} {:>11} {:>11} {:>12.2} {:>18}",
+                "{:<38} {:>9} {:>11} {:>8} {:>9} {:>7} {:>12.2} {:>18}",
                 r.label,
                 r.total_defects,
                 r.simulated,
-                r.unresolved,
+                r.unresolved.no_convergence,
+                r.unresolved.timeout,
+                r.unresolved.panic,
                 r.sim_time.as_secs_f64(),
                 r.coverage.to_percent_string()
             );
@@ -93,18 +98,25 @@ impl CoverageTable {
         out
     }
 
-    /// Renders CSV (for EXPERIMENTS.md and plotting).
+    /// Renders CSV (for EXPERIMENTS.md and plotting). `unresolved` keeps
+    /// the total for backward compatibility; the three reason columns sum
+    /// to it.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("block,defects,simulated,unresolved,sim_time_s,coverage,ci_half_width\n");
+        let mut out = String::from(
+            "block,defects,simulated,unresolved,no_convergence,timeout,panic,\
+             sim_time_s,coverage,ci_half_width\n",
+        );
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{:.4},{:.6},{}",
+                "{},{},{},{},{},{},{},{:.4},{:.6},{}",
                 r.label,
                 r.total_defects,
                 r.simulated,
-                r.unresolved,
+                r.unresolved.total(),
+                r.unresolved.no_convergence,
+                r.unresolved.timeout,
+                r.unresolved.panic,
                 r.sim_time.as_secs_f64(),
                 r.coverage.value,
                 r.coverage
@@ -183,8 +195,8 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("block,"));
-        assert!(lines[0].contains(",unresolved,"));
-        assert!(lines[1].starts_with("SC Array,1,1,0,"));
+        assert!(lines[0].contains(",unresolved,no_convergence,timeout,panic,"));
+        assert!(lines[1].starts_with("SC Array,1,1,0,0,0,0,"));
     }
 
     #[test]
@@ -201,10 +213,17 @@ mod tests {
         ]);
         let mut t = CoverageTable::new();
         t.push_block(BlockKind::ScArray, &result);
-        assert_eq!(t.rows()[0].unresolved, 2);
-        assert!(t.to_text().contains("#Unresolved"));
+        assert_eq!(t.rows()[0].unresolved.total(), 2);
+        assert_eq!(t.rows()[0].unresolved.timeout, 1);
+        assert_eq!(t.rows()[0].unresolved.panic, 1);
+        assert_eq!(t.rows()[0].unresolved.no_convergence, 0);
+        let text = t.to_text();
+        assert!(text.contains("#NoConv"));
+        assert!(text.contains("#Timeout"));
+        assert!(text.contains("#Panic"));
         // Lower-bound coverage: 1 of 3 (unresolved count as escapes).
-        assert!(t.to_text().contains("33.33%"));
-        assert!(t.to_csv().lines().nth(1).unwrap().contains(",3,2,"));
+        assert!(text.contains("33.33%"));
+        // CSV row: total 2 = 0 no-convergence + 1 timeout + 1 panic.
+        assert!(t.to_csv().lines().nth(1).unwrap().contains(",3,2,0,1,1,"));
     }
 }

@@ -1,0 +1,309 @@
+//! Checkpoint-loader edge cases and campaign-monitor semantics: empty
+//! files, torn-only files, over-count (corrupt) checkpoints, progress
+//! callbacks, and cooperative cancellation.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use symbist_adc::fault::{
+    check_site, BlockKind, ComponentInfo, ComponentKind, DefectSite, Faultable,
+};
+use symbist_defects::checkpoint::checkpoint_line;
+use symbist_defects::likelihood::LikelihoodModel;
+use symbist_defects::{
+    run_campaign, run_campaign_monitored, CampaignError, CampaignMonitor, CampaignOptions,
+    DefectRecord, DefectUniverse, TestOutcome,
+};
+
+#[derive(Clone)]
+struct ToyDut {
+    catalog: Vec<ComponentInfo>,
+    injected: Option<DefectSite>,
+}
+
+impl ToyDut {
+    fn new(n: usize) -> Self {
+        let catalog = (0..n)
+            .map(|i| ComponentInfo {
+                block: BlockKind::ScArray,
+                name: format!("toy/c{i}"),
+                kind: ComponentKind::Resistor,
+                area: 1.0 + i as f64,
+            })
+            .collect();
+        Self {
+            catalog,
+            injected: None,
+        }
+    }
+}
+
+impl Faultable for ToyDut {
+    fn components(&self) -> &[ComponentInfo] {
+        &self.catalog
+    }
+    fn inject(&mut self, site: DefectSite) {
+        check_site(&self.catalog, site);
+        self.injected = Some(site);
+    }
+    fn clear_defects(&mut self) {
+        self.injected = None;
+    }
+    fn injected(&self) -> Option<DefectSite> {
+        self.injected
+    }
+}
+
+fn universe(n: usize) -> (ToyDut, DefectUniverse) {
+    let dut = ToyDut::new(n);
+    let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+    (dut, uni)
+}
+
+fn toy_test(dut: &ToyDut) -> TestOutcome {
+    let detected = dut.injected().map(|s| s.kind.is_short()).unwrap_or(false);
+    TestOutcome {
+        detected,
+        detection_cycle: detected.then_some(3),
+        cycles_run: if detected { 3 } else { 192 },
+    }
+}
+
+fn temp_checkpoint(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!(
+        "symbist-ckpt-edge-{}-{tag}-{n}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn opts_with(path: &Path) -> CampaignOptions {
+    CampaignOptions {
+        checkpoint: Some(path.to_path_buf()),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn empty_checkpoint_file_resumes_nothing() {
+    let (dut, uni) = universe(3);
+    let path = temp_checkpoint("empty");
+    std::fs::write(&path, "").unwrap();
+    let res = run_campaign(&dut, &uni, &opts_with(&path), toy_test).unwrap();
+    assert_eq!(res.resumed, 0);
+    assert_eq!(res.simulated(), uni.len());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_of_only_torn_lines_resumes_nothing() {
+    let (dut, uni) = universe(3);
+    let path = temp_checkpoint("torn");
+    // Build a file in which *every* line is torn mid-record, as repeated
+    // kills at the worst moment would leave.
+    let reference = run_campaign(&dut, &uni, &CampaignOptions::default(), toy_test).unwrap();
+    let torn: String = reference
+        .records
+        .iter()
+        .map(|r| {
+            let line = checkpoint_line(r);
+            format!("{}\n", &line[..line.len() / 2])
+        })
+        .collect();
+    std::fs::write(&path, torn).unwrap();
+    let res = run_campaign(&dut, &uni, &opts_with(&path), toy_test).unwrap();
+    assert_eq!(res.resumed, 0, "no torn line may count as a record");
+    assert_eq!(res.simulated(), uni.len());
+    assert_eq!(res.records, {
+        let mut r = reference.records.clone();
+        // Wall times legitimately differ between runs.
+        for (a, b) in r.iter_mut().zip(&res.records) {
+            a.wall = b.wall;
+        }
+        r
+    });
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn overfull_checkpoint_is_rejected_wholesale() {
+    let (dut, uni) = universe(3);
+    let path = temp_checkpoint("overfull");
+    // Every record genuinely matches the universe (index, site, and
+    // likelihood bits all validate), but the file holds the full journal
+    // twice — more records than the universe has defects. That cannot be
+    // an honest journal of this campaign; accepting a deduplicated subset
+    // would silently truncate the corruption, so the loader must reject
+    // the whole file and the campaign must re-simulate everything.
+    let reference = run_campaign(&dut, &uni, &opts_with(&path), toy_test).unwrap();
+    let journal = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, format!("{journal}{journal}")).unwrap();
+    let doubled = std::fs::read_to_string(&path).unwrap();
+    assert!(doubled.lines().count() > uni.len());
+
+    let res = run_campaign(&dut, &uni, &opts_with(&path), toy_test).unwrap();
+    assert_eq!(res.resumed, 0, "overfull checkpoint must be rejected");
+    assert_eq!(res.simulated(), uni.len());
+    for (r, u) in res.records.iter().zip(&reference.records) {
+        assert_eq!(r.defect_index, u.defect_index);
+        assert_eq!(r.outcome, u.outcome);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn duplicates_within_budget_still_tolerated() {
+    // The documented last-record-wins tolerance survives as long as the
+    // validated record count stays within the selection size.
+    let (dut, uni) = universe(3);
+    let path = temp_checkpoint("dup-ok");
+    let opts = opts_with(&path);
+    run_campaign(&dut, &uni, &opts, toy_test).unwrap();
+    let journal = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = journal.lines().collect();
+    // Keep one real record, duplicated once: 2 validated records ≤ uni.len().
+    std::fs::write(&path, format!("{}\n{}\n", lines[0], lines[0])).unwrap();
+    let res = run_campaign(&dut, &uni, &opts, toy_test).unwrap();
+    assert_eq!(res.resumed, 1, "deduplicated to one resumed record");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Collects monitor callbacks for assertions.
+#[derive(Default)]
+struct Recorder {
+    started: Mutex<Option<(usize, usize)>>,
+    records: Mutex<Vec<(usize, bool)>>,
+    cancel_after: Option<usize>,
+    seen: AtomicUsize,
+}
+
+impl CampaignMonitor for Recorder {
+    fn on_start(&self, selected: usize, resumed: usize) {
+        *self.started.lock().unwrap() = Some((selected, resumed));
+    }
+    fn on_record(&self, record: &DefectRecord, resumed: bool) {
+        self.seen.fetch_add(1, Ordering::SeqCst);
+        self.records
+            .lock()
+            .unwrap()
+            .push((record.defect_index, resumed));
+    }
+    fn cancelled(&self) -> bool {
+        self.cancel_after
+            .map(|n| self.seen.load(Ordering::SeqCst) >= n)
+            .unwrap_or(false)
+    }
+}
+
+#[test]
+fn monitor_sees_every_record_once() {
+    let (dut, uni) = universe(4);
+    let mon = Recorder::default();
+    let res =
+        run_campaign_monitored(&dut, &uni, &CampaignOptions::default(), toy_test, &mon).unwrap();
+    assert_eq!(*mon.started.lock().unwrap(), Some((uni.len(), 0)));
+    let mut seen: Vec<usize> = mon
+        .records
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(idx, resumed)| {
+            assert!(!resumed);
+            *idx
+        })
+        .collect();
+    seen.sort_unstable();
+    let expect: Vec<usize> = (0..uni.len()).collect();
+    assert_eq!(seen, expect);
+    assert_eq!(res.simulated(), uni.len());
+}
+
+#[test]
+fn monitor_sees_resumed_records_first() {
+    let (dut, uni) = universe(4);
+    let path = temp_checkpoint("monitor-resume");
+    let opts = opts_with(&path);
+    run_campaign(&dut, &uni, &opts, toy_test).unwrap();
+    // Keep half the journal, then resume under a monitor.
+    let journal = std::fs::read_to_string(&path).unwrap();
+    let keep = uni.len() / 2;
+    let kept: String = journal
+        .lines()
+        .take(keep)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    std::fs::write(&path, kept).unwrap();
+
+    let mon = Recorder::default();
+    let res = run_campaign_monitored(&dut, &uni, &opts, toy_test, &mon).unwrap();
+    assert_eq!(res.resumed, keep);
+    assert_eq!(*mon.started.lock().unwrap(), Some((uni.len(), keep)));
+    let records = mon.records.lock().unwrap();
+    assert_eq!(records.len(), uni.len());
+    assert!(records[..keep].iter().all(|(_, resumed)| *resumed));
+    assert!(records[keep..].iter().all(|(_, resumed)| !resumed));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn cancellation_stops_early_and_resume_completes_bit_identically() {
+    let (dut, uni) = universe(6);
+    let path = temp_checkpoint("cancel");
+    let opts = CampaignOptions {
+        threads: 1, // deterministic single-worker cancellation point
+        checkpoint: Some(path.clone()),
+        ..Default::default()
+    };
+    let uninterrupted = {
+        let clean = temp_checkpoint("cancel-ref");
+        let res = run_campaign(
+            &dut,
+            &uni,
+            &CampaignOptions {
+                threads: 1,
+                checkpoint: Some(clean.clone()),
+                ..Default::default()
+            },
+            toy_test,
+        )
+        .unwrap();
+        let _ = std::fs::remove_file(&clean);
+        res
+    };
+
+    let mon = Recorder {
+        cancel_after: Some(4),
+        ..Default::default()
+    };
+    let err = run_campaign_monitored(&dut, &uni, &opts, toy_test, &mon).unwrap_err();
+    match err {
+        CampaignError::Cancelled {
+            completed,
+            selected,
+        } => {
+            assert!(
+                completed >= 4 && completed < selected,
+                "completed {completed}"
+            );
+            assert_eq!(selected, uni.len());
+        }
+        other => panic!("expected Cancelled, got {other}"),
+    }
+
+    // The drained checkpoint resumes to a result bit-identical to the
+    // uninterrupted run (modulo wall times of re-simulated defects).
+    let resumed = run_campaign(&dut, &uni, &opts, toy_test).unwrap();
+    assert!(resumed.resumed >= 4);
+    assert_eq!(resumed.records.len(), uninterrupted.records.len());
+    for (r, u) in resumed.records.iter().zip(&uninterrupted.records) {
+        assert_eq!(r.defect_index, u.defect_index);
+        assert_eq!(r.site, u.site);
+        assert_eq!(r.likelihood.to_bits(), u.likelihood.to_bits());
+        assert_eq!(r.outcome, u.outcome);
+    }
+    let _ = std::fs::remove_file(&path);
+}

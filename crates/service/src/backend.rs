@@ -1,0 +1,385 @@
+//! Campaign backends: how a [`JobSpec`](crate::spec::JobSpec) turns into
+//! an actual defect campaign.
+//!
+//! The service core (registry, workers, HTTP front-end) is backend
+//! agnostic. The production backend is [`AdcBackend`] — the paper's SAR
+//! ADC IP under the calibrated SymBIST engine. [`SyntheticBackend`] is a
+//! fast, deterministic stand-in for integration tests and throughput
+//! benchmarks: its defects are scripted (shorts detected, everything else
+//! not) and its per-defect cost is a configurable delay plus an optional
+//! [`Gate`] tests can hold to freeze a campaign mid-flight.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use symbist::experiments::ExperimentConfig;
+use symbist::session::{Schedule, SymBist};
+use symbist_adc::fault::{check_site, ComponentInfo, ComponentKind, DefectSite, Faultable};
+use symbist_adc::{BlockKind, SarAdc};
+use symbist_defects::likelihood::LikelihoodModel;
+use symbist_defects::{
+    run_campaign_monitored, CampaignError, CampaignMonitor, CampaignResult, DefectUniverse,
+    SimOutcome, TestOutcome,
+};
+
+use crate::spec::{JobSpec, SpecError};
+
+/// Turns validated job specs into campaigns. Implementations are shared
+/// across worker threads, so `run` must be re-entrant.
+pub trait CampaignBackend: Send + Sync {
+    /// Checks a spec against this backend's universe so a bad spec is
+    /// rejected at submit time (`400`) instead of failing the job later.
+    fn validate(&self, spec: &JobSpec) -> Result<(), SpecError>;
+
+    /// Runs the campaign described by `spec`, checkpointing to
+    /// `checkpoint` and publishing every record through `monitor` (which
+    /// may also cancel the campaign between defects).
+    fn run(
+        &self,
+        spec: &JobSpec,
+        checkpoint: Option<PathBuf>,
+        monitor: &dyn CampaignMonitor,
+    ) -> Result<CampaignResult, CampaignError>;
+}
+
+/// Resolves a spec's block label against the backend's catalog.
+fn resolve_block(spec: &JobSpec) -> Result<Option<BlockKind>, SpecError> {
+    match &spec.block {
+        None => Ok(None),
+        Some(label) => BlockKind::ALL
+            .into_iter()
+            .find(|b| b.label() == label)
+            .map(Some)
+            .ok_or_else(|| {
+                SpecError(format!(
+                    "unknown block \"{label}\" (expected one of: {})",
+                    BlockKind::ALL.map(BlockKind::label).join(", ")
+                ))
+            }),
+    }
+}
+
+/// Checks the sampled/exhaustive choice against a universe size.
+fn check_sample(spec: &JobSpec, universe_len: usize) -> Result<(), SpecError> {
+    if let Some(n) = spec.sample_size {
+        if n > universe_len {
+            return Err(SpecError(format!(
+                "sample_size {n} exceeds the {universe_len}-defect universe"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Parses a spec's schedule label, defaulting to sequential.
+fn resolve_schedule(spec: &JobSpec) -> Result<Schedule, SpecError> {
+    match &spec.schedule {
+        None => Ok(Schedule::Sequential),
+        Some(label) => Schedule::from_label(label).ok_or_else(|| {
+            SpecError(format!(
+                "unknown schedule \"{label}\" (expected \"sequential\" or \"parallel\")"
+            ))
+        }),
+    }
+}
+
+/// The production backend: the paper's SAR ADC IP with both SymBIST
+/// comparator schedules calibrated once at startup.
+pub struct AdcBackend {
+    adc: SarAdc,
+    universe: DefectUniverse,
+    sequential: SymBist,
+    parallel: SymBist,
+}
+
+impl AdcBackend {
+    /// Builds the ADC, enumerates its defect universe, and calibrates a
+    /// SymBIST engine per schedule (the expensive part — done once, not
+    /// per job).
+    pub fn new(xc: &ExperimentConfig) -> AdcBackend {
+        let adc = SarAdc::new(xc.adc.clone());
+        let universe = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
+        let engine = |schedule| {
+            let mut xc = xc.clone();
+            xc.schedule = schedule;
+            xc.build_engine()
+        };
+        AdcBackend {
+            adc,
+            universe,
+            sequential: engine(Schedule::Sequential),
+            parallel: engine(Schedule::Parallel),
+        }
+    }
+
+    /// Size of the full defect universe.
+    pub fn universe_len(&self) -> usize {
+        self.universe.len()
+    }
+
+    fn select(&self, block: Option<BlockKind>) -> DefectUniverse {
+        match block {
+            None => DefectUniverse::from_defects(self.universe.defects().to_vec()),
+            Some(block) => self.universe.filter_block(block),
+        }
+    }
+}
+
+impl CampaignBackend for AdcBackend {
+    fn validate(&self, spec: &JobSpec) -> Result<(), SpecError> {
+        let block = resolve_block(spec)?;
+        resolve_schedule(spec)?;
+        let universe = self.select(block);
+        if universe.is_empty() {
+            return Err(SpecError(format!(
+                "block \"{}\" has no defects",
+                spec.block.as_deref().unwrap_or("?")
+            )));
+        }
+        check_sample(spec, universe.len())
+    }
+
+    fn run(
+        &self,
+        spec: &JobSpec,
+        checkpoint: Option<PathBuf>,
+        monitor: &dyn CampaignMonitor,
+    ) -> Result<CampaignResult, CampaignError> {
+        let universe = self.select(resolve_block(spec).map_err(|_| CampaignError::EmptyUniverse)?);
+        let engine = match resolve_schedule(spec).unwrap_or(Schedule::Sequential) {
+            Schedule::Sequential => &self.sequential,
+            Schedule::Parallel => &self.parallel,
+        };
+        run_campaign_monitored(
+            &self.adc,
+            &universe,
+            &spec.campaign_options(checkpoint),
+            |dut| engine.campaign_test(dut),
+            monitor,
+        )
+    }
+}
+
+/// A barrier tests hold to freeze a synthetic campaign mid-defect: while
+/// held, every in-flight defect simulation blocks in [`Gate::pass`] until
+/// [`Gate::release`]. Lets tests deterministically observe a `running`
+/// job with a known record count.
+#[derive(Debug, Default)]
+pub struct Gate {
+    held: Mutex<bool>,
+    released: Condvar,
+}
+
+impl Gate {
+    /// Creates an open gate.
+    pub fn new() -> Arc<Gate> {
+        Arc::new(Gate::default())
+    }
+
+    /// Closes the gate: subsequent [`pass`](Self::pass) calls block.
+    pub fn hold(&self) {
+        *self.held.lock().unwrap_or_else(|e| e.into_inner()) = true;
+    }
+
+    /// Opens the gate, waking every blocked simulation.
+    pub fn release(&self) {
+        *self.held.lock().unwrap_or_else(|e| e.into_inner()) = false;
+        self.released.notify_all();
+    }
+
+    fn pass(&self) {
+        let mut held = self.held.lock().unwrap_or_else(|e| e.into_inner());
+        while *held {
+            held = self.released.wait(held).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// The synthetic DUT behind [`SyntheticBackend`]: `n` resistors in the SC
+/// Array block, scripted detection (short-class defects detected,
+/// everything else an escape).
+#[derive(Clone)]
+pub struct SyntheticDut {
+    catalog: Arc<Vec<ComponentInfo>>,
+    injected: Option<DefectSite>,
+}
+
+impl SyntheticDut {
+    fn new(components: usize) -> SyntheticDut {
+        let catalog = (0..components)
+            .map(|i| ComponentInfo {
+                block: BlockKind::ScArray,
+                name: format!("synthetic/r{i}"),
+                kind: ComponentKind::Resistor,
+                area: 1.0 + i as f64,
+            })
+            .collect();
+        SyntheticDut {
+            catalog: Arc::new(catalog),
+            injected: None,
+        }
+    }
+}
+
+impl Faultable for SyntheticDut {
+    fn components(&self) -> &[ComponentInfo] {
+        &self.catalog
+    }
+    fn inject(&mut self, site: DefectSite) {
+        check_site(&self.catalog, site);
+        self.injected = Some(site);
+    }
+    fn clear_defects(&mut self) {
+        self.injected = None;
+    }
+    fn injected(&self) -> Option<DefectSite> {
+        self.injected
+    }
+}
+
+/// Deterministic test/bench backend: a scripted universe with tunable
+/// per-defect cost and an optional hold [`Gate`].
+pub struct SyntheticBackend {
+    dut: SyntheticDut,
+    universe: DefectUniverse,
+    defect_delay: Duration,
+    gate: Option<Arc<Gate>>,
+}
+
+impl SyntheticBackend {
+    /// Builds a backend over `components` resistors (each expands to its
+    /// applicable defect kinds). Zero-delay, no gate.
+    pub fn new(components: usize) -> SyntheticBackend {
+        let dut = SyntheticDut::new(components);
+        let universe = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        SyntheticBackend {
+            dut,
+            universe,
+            defect_delay: Duration::ZERO,
+            gate: None,
+        }
+    }
+
+    /// Adds a fixed per-defect simulated cost.
+    pub fn with_delay(mut self, delay: Duration) -> SyntheticBackend {
+        self.defect_delay = delay;
+        self
+    }
+
+    /// Attaches a hold gate every defect simulation must pass.
+    pub fn with_gate(mut self, gate: Arc<Gate>) -> SyntheticBackend {
+        self.gate = Some(gate);
+        self
+    }
+
+    /// Size of the synthetic defect universe.
+    pub fn universe_len(&self) -> usize {
+        self.universe.len()
+    }
+}
+
+impl CampaignBackend for SyntheticBackend {
+    fn validate(&self, spec: &JobSpec) -> Result<(), SpecError> {
+        if let Some(block) = &spec.block {
+            if block != BlockKind::ScArray.label() {
+                return Err(SpecError(format!(
+                    "unknown block \"{block}\" (synthetic backend has only \"{}\")",
+                    BlockKind::ScArray.label()
+                )));
+            }
+        }
+        resolve_schedule(spec)?;
+        check_sample(spec, self.universe.len())
+    }
+
+    fn run(
+        &self,
+        spec: &JobSpec,
+        checkpoint: Option<PathBuf>,
+        monitor: &dyn CampaignMonitor,
+    ) -> Result<CampaignResult, CampaignError> {
+        let delay = self.defect_delay;
+        let gate = self.gate.clone();
+        run_campaign_monitored(
+            &self.dut,
+            &self.universe,
+            &spec.campaign_options(checkpoint),
+            move |dut: &SyntheticDut| {
+                if let Some(gate) = &gate {
+                    gate.pass();
+                }
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                let detected = dut.injected().is_some_and(|site| site.kind.is_short());
+                SimOutcome::Completed(TestOutcome {
+                    detected,
+                    detection_cycle: detected.then_some(3),
+                    cycles_run: if detected { 3 } else { 192 },
+                })
+            },
+            monitor,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_backend_runs_exhaustively() {
+        let backend = SyntheticBackend::new(4);
+        let spec = JobSpec::default();
+        backend.validate(&spec).unwrap();
+        let result = backend.run(&spec, None, &()).unwrap();
+        assert_eq!(result.simulated(), backend.universe_len());
+        // Resistors expand to short/open/±50%: exactly one in four is a
+        // short, and only shorts are detected.
+        assert_eq!(result.detected() * 4, result.simulated());
+    }
+
+    #[test]
+    fn synthetic_backend_validates_specs() {
+        let backend = SyntheticBackend::new(4);
+        let huge = JobSpec {
+            sample_size: Some(10_000),
+            ..Default::default()
+        };
+        assert!(backend.validate(&huge).is_err());
+        let bad_block = JobSpec {
+            block: Some("BandGap".into()),
+            ..Default::default()
+        };
+        assert!(backend.validate(&bad_block).is_err());
+        let bad_schedule = JobSpec {
+            schedule: Some("zigzag".into()),
+            ..Default::default()
+        };
+        assert!(backend.validate(&bad_schedule).is_err());
+        let good = JobSpec {
+            block: Some("SC Array".into()),
+            sample_size: Some(4),
+            schedule: Some("parallel".into()),
+            ..Default::default()
+        };
+        backend.validate(&good).unwrap();
+    }
+
+    #[test]
+    fn gate_freezes_and_releases() {
+        let gate = Gate::new();
+        gate.hold();
+        let backend = SyntheticBackend::new(2).with_gate(Arc::clone(&gate));
+        let handle = {
+            let spec = JobSpec::default();
+            std::thread::spawn(move || backend.run(&spec, None, &()).unwrap())
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!handle.is_finished(), "campaign must block on the gate");
+        gate.release();
+        let result = handle.join().unwrap();
+        assert!(result.simulated() > 0);
+    }
+}

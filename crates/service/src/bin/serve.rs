@@ -1,0 +1,125 @@
+//! The SymBIST campaign service daemon.
+//!
+//! ```sh
+//! cargo run --release -p symbist-service --bin serve -- \
+//!     --addr 127.0.0.1:7171 --workers 2 --queue 16 --data-dir ./jobs
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--addr HOST:PORT` — bind address (default `127.0.0.1:7171`)
+//! * `--workers N` — campaign worker threads (default 2)
+//! * `--handlers N` — HTTP handler threads (default 4)
+//! * `--queue N` — job-queue capacity, the 503 threshold (default 16)
+//! * `--data-dir PATH` — persist jobs + checkpoints for drain/resume
+//! * `--calibration-samples N` — Monte-Carlo samples for the window
+//!   calibration at startup (default 10, as in the paper experiments)
+//! * `--synthetic N` — serve the scripted N-component synthetic backend
+//!   instead of the SAR ADC (fast; for demos and smoke tests)
+//!
+//! The process exits after `POST /shutdown` finishes draining: running
+//! campaigns stop at the next defect boundary with every completed record
+//! checkpointed, and restarting with the same `--data-dir` resumes them.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use symbist::experiments::ExperimentConfig;
+use symbist_service::backend::{AdcBackend, CampaignBackend, SyntheticBackend};
+use symbist_service::http::{Server, ServiceConfig};
+
+struct Args {
+    config: ServiceConfig,
+    calibration_samples: usize,
+    synthetic: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config: ServiceConfig {
+            addr: "127.0.0.1:7171".into(),
+            ..ServiceConfig::default()
+        },
+        calibration_samples: 10,
+        synthetic: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.config.addr = value("--addr")?,
+            "--workers" => args.config.workers = parse_num(&value("--workers")?)?,
+            "--handlers" => args.config.handlers = parse_num(&value("--handlers")?)?,
+            "--queue" => args.config.queue_capacity = parse_num(&value("--queue")?)?,
+            "--data-dir" => args.config.data_dir = Some(PathBuf::from(value("--data-dir")?)),
+            "--calibration-samples" => {
+                args.calibration_samples = parse_num(&value("--calibration-samples")?)?
+            }
+            "--synthetic" => args.synthetic = Some(parse_num(&value("--synthetic")?)?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: serve [--addr HOST:PORT] [--workers N] [--handlers N] \
+                            [--queue N] [--data-dir PATH] [--calibration-samples N] \
+                            [--synthetic N]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("not a number: {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let backend: Arc<dyn CampaignBackend> = match args.synthetic {
+        Some(components) => {
+            eprintln!("serve: synthetic backend with {components} components");
+            Arc::new(SyntheticBackend::new(components))
+        }
+        None => {
+            eprintln!(
+                "serve: calibrating SymBIST on the SAR ADC IP \
+                 ({} Monte-Carlo samples)...",
+                args.calibration_samples
+            );
+            let xc = ExperimentConfig {
+                calibration_samples: args.calibration_samples,
+                ..ExperimentConfig::default()
+            };
+            let backend = AdcBackend::new(&xc);
+            eprintln!(
+                "serve: ready; defect universe has {} defects",
+                backend.universe_len()
+            );
+            Arc::new(backend)
+        }
+    };
+
+    let server = match Server::start(args.config, backend) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "serve: listening on http://{} (POST /shutdown to drain and exit)",
+        server.addr()
+    );
+    server.wait();
+    eprintln!("serve: drained; bye");
+    ExitCode::SUCCESS
+}

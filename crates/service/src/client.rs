@@ -1,0 +1,264 @@
+//! A small blocking client for the service API — used by the example,
+//! the integration tests, and the throughput benchmarks. One TCP
+//! connection per request, mirroring the server's one-request-per-
+//! connection model.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use symbist_defects::checkpoint::parse_checkpoint_line;
+use symbist_defects::DefectRecord;
+
+use crate::job::JobId;
+use crate::json::Json;
+use crate::spec::JobSpec;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server answered with a non-2xx status.
+    Http {
+        /// HTTP status code.
+        status: u16,
+        /// The server's `error` message, when parseable.
+        message: String,
+    },
+    /// The response violated the wire contract.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Http { status, message } => write!(f, "HTTP {status}: {message}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A parsed (non-streaming) response.
+struct Response {
+    status: u16,
+    body: String,
+}
+
+impl Response {
+    fn json(&self) -> Result<Json, ClientError> {
+        Json::parse(&self.body).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    fn check(self) -> Result<Response, ClientError> {
+        if (200..300).contains(&self.status) {
+            return Ok(self);
+        }
+        let message = self
+            .json()
+            .ok()
+            .and_then(|j| j.get("error").and_then(Json::as_str).map(str::to_string))
+            .unwrap_or_else(|| self.body.trim().to_string());
+        Err(ClientError::Http {
+            status: self.status,
+            message,
+        })
+    }
+}
+
+/// Blocking HTTP client bound to one service address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Creates a client for `addr` (e.g. `"127.0.0.1:7171"`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the per-request read timeout (default 30 s). Streaming
+    /// reads use it per line, not per stream.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connect(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<TcpStream, ClientError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        );
+        stream.write_all(request.as_bytes())?;
+        stream.flush()?;
+        Ok(stream)
+    }
+
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, ClientError> {
+        let stream = self.connect(method, path, body)?;
+        let mut reader = BufReader::new(stream);
+        let status = read_status(&mut reader)?;
+        skip_headers(&mut reader)?;
+        let mut body = String::new();
+        reader.read_to_string(&mut body)?; // EOF-delimited: Connection: close
+        Ok(Response { status, body })
+    }
+
+    /// `GET /healthz`.
+    pub fn health(&self) -> Result<(), ClientError> {
+        self.request("GET", "/healthz", None)?.check().map(|_| ())
+    }
+
+    /// `GET /stats`.
+    pub fn stats(&self) -> Result<Json, ClientError> {
+        self.request("GET", "/stats", None)?.check()?.json()
+    }
+
+    /// `POST /jobs`: submits a spec, returning the new job id. Queue-full
+    /// backpressure surfaces as `ClientError::Http { status: 503, .. }`.
+    pub fn submit(&self, spec: &JobSpec) -> Result<JobId, ClientError> {
+        let body = spec.to_json().to_string();
+        let response = self.request("POST", "/jobs", Some(&body))?.check()?;
+        response
+            .json()?
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("submit response missing id".into()))
+    }
+
+    /// `GET /jobs/{id}`: the raw status document.
+    pub fn status(&self, id: JobId) -> Result<Json, ClientError> {
+        self.request("GET", &format!("/jobs/{id}"), None)?
+            .check()?
+            .json()
+    }
+
+    /// `DELETE /jobs/{id}`.
+    pub fn cancel(&self, id: JobId) -> Result<(), ClientError> {
+        self.request("DELETE", &format!("/jobs/{id}"), None)?
+            .check()
+            .map(|_| ())
+    }
+
+    /// `GET /report/{id}`: the final coverage report (completed jobs).
+    pub fn report(&self, id: JobId) -> Result<Json, ClientError> {
+        self.request("GET", &format!("/report/{id}"), None)?
+            .check()?
+            .json()
+    }
+
+    /// `POST /shutdown`: asks the server to drain and exit.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        self.request("POST", "/shutdown", None)?.check().map(|_| ())
+    }
+
+    /// `GET /jobs/{id}/results`: opens the NDJSON record stream. The
+    /// iterator follows a live job and ends when the job reaches a
+    /// terminal state.
+    pub fn stream_results(&self, id: JobId) -> Result<ResultStream, ClientError> {
+        let stream = self.connect("GET", &format!("/jobs/{id}/results"), None)?;
+        let mut reader = BufReader::new(stream);
+        let status = read_status(&mut reader)?;
+        if status != 200 {
+            let mut body = String::new();
+            skip_headers(&mut reader)?;
+            reader.read_to_string(&mut body)?;
+            return Response { status, body }.check().map(|_| unreachable!());
+        }
+        skip_headers(&mut reader)?;
+        Ok(ResultStream { reader })
+    }
+
+    /// Polls `GET /jobs/{id}` until the job reaches a terminal state,
+    /// returning the final state label and status document.
+    pub fn wait_terminal(&self, id: JobId, poll: Duration) -> Result<(String, Json), ClientError> {
+        loop {
+            let status = self.status(id)?;
+            let state = status
+                .get("state")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ClientError::Protocol("status missing state".into()))?
+                .to_string();
+            if matches!(state.as_str(), "completed" | "failed" | "cancelled") {
+                return Ok((state, status));
+            }
+            std::thread::sleep(poll);
+        }
+    }
+}
+
+fn read_status(reader: &mut BufReader<TcpStream>) -> Result<u16, ClientError> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    // "HTTP/1.1 200 OK"
+    line.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("bad status line {line:?}")))
+}
+
+fn skip_headers(reader: &mut BufReader<TcpStream>) -> Result<(), ClientError> {
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
+            return Ok(());
+        }
+    }
+}
+
+/// Iterator over a live NDJSON result stream; each item is one campaign
+/// record, parsed with the checkpoint-line parser (the wire format *is*
+/// the checkpoint format).
+pub struct ResultStream {
+    reader: BufReader<TcpStream>,
+}
+
+impl Iterator for ResultStream {
+    type Item = Result<DefectRecord, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let mut line = String::new();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return None, // clean end of stream
+                Ok(_) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    return Some(parse_checkpoint_line(&line).ok_or_else(|| {
+                        ClientError::Protocol(format!("unparseable record line {line:?}"))
+                    }));
+                }
+                Err(e) => return Some(Err(ClientError::Io(e))),
+            }
+        }
+    }
+}

@@ -1,0 +1,608 @@
+//! The hand-rolled HTTP/1.1 front-end over `std::net`.
+//!
+//! Deliberately minimal, like the rest of this crate's wire layer: one
+//! request per connection, `Connection: close`, bodies delimited by
+//! `Content-Length` on the way in and by EOF on the way out — which is
+//! what lets the NDJSON result stream be plain sequential writes with no
+//! chunked framing.
+//!
+//! # Backpressure, explicitly
+//!
+//! Two independent admission controls, each with its own status code:
+//!
+//! * **`429`** — the bounded handler pool is saturated. The acceptor
+//!   thread never queues more than `ServiceConfig::backlog` connections;
+//!   beyond that it answers `429 Too Many Requests` inline and closes.
+//! * **`503`** — the job queue is full (or draining). `POST /jobs` maps
+//!   [`SubmitError::QueueFull`] to `503 Service Unavailable` with a
+//!   `Retry-After` hint; accepted connections are unaffected.
+//!
+//! # Endpoints
+//!
+//! | Method/path              | Purpose                                  |
+//! |--------------------------|------------------------------------------|
+//! | `POST /jobs`             | Submit a campaign job (JSON spec)        |
+//! | `GET /jobs/{id}`         | Job status + live progress               |
+//! | `GET /jobs/{id}/results` | NDJSON record stream (follows live jobs) |
+//! | `DELETE /jobs/{id}`      | Cancel a queued/running job              |
+//! | `GET /report/{id}`       | Final coverage report                    |
+//! | `GET /healthz`           | Liveness probe                           |
+//! | `GET /stats`             | Service counters                         |
+//! | `POST /shutdown`         | Graceful drain-to-checkpoint shutdown    |
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use symbist_defects::checkpoint::checkpoint_line;
+
+use crate::backend::CampaignBackend;
+use crate::job::{JobId, JobState, Registry, SubmitError};
+use crate::json::Json;
+use crate::spec::JobSpec;
+use crate::worker::WorkerPool;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; use port 0 to let the OS pick (tests).
+    pub addr: String,
+    /// Job-queue capacity — the `503` threshold.
+    pub queue_capacity: usize,
+    /// Campaign worker threads.
+    pub workers: usize,
+    /// HTTP handler threads.
+    pub handlers: usize,
+    /// Accepted-but-unhandled connection backlog — the `429` threshold.
+    pub backlog: usize,
+    /// Job persistence directory; `None` disables persistence (and with
+    /// it drain/resume across restarts).
+    pub data_dir: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            queue_capacity: 16,
+            workers: 2,
+            handlers: 4,
+            backlog: 8,
+            data_dir: None,
+        }
+    }
+}
+
+struct Shared {
+    registry: Arc<Registry>,
+    backend: Arc<dyn CampaignBackend>,
+    shutdown: Mutex<bool>,
+    shutdown_cv: Condvar,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        *self.shutdown.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.shutdown_cv.notify_all();
+    }
+}
+
+/// The running service: listener, handler pool, worker pool, registry.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    stop_accepting: Arc<AtomicBool>,
+    acceptor: JoinHandle<()>,
+    handler_threads: Vec<JoinHandle<()>>,
+    pool: WorkerPool,
+}
+
+impl Server {
+    /// Binds, recovers persisted jobs, and spawns the worker and handler
+    /// pools. Returns once the service is accepting requests.
+    pub fn start(
+        config: ServiceConfig,
+        backend: Arc<dyn CampaignBackend>,
+    ) -> std::io::Result<Server> {
+        let registry = Arc::new(Registry::new(
+            config.queue_capacity,
+            config.data_dir.clone(),
+        )?);
+        let pool = WorkerPool::spawn(Arc::clone(&registry), Arc::clone(&backend), config.workers);
+        let shared = Arc::new(Shared {
+            registry,
+            backend,
+            shutdown: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+        });
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stop_accepting = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let handler_threads = (0..config.handlers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("symbist-http-{i}"))
+                    .spawn(move || handler_loop(&rx, &shared))
+                    .expect("spawn handler thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let stop = Arc::clone(&stop_accepting);
+            std::thread::Builder::new()
+                .name("symbist-accept".into())
+                .spawn(move || accept_loop(listener, tx, &stop))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Server {
+            shared,
+            addr,
+            stop_accepting,
+            acceptor,
+            handler_threads,
+            pool,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The job registry (for in-process inspection in tests).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
+    /// Requests a graceful shutdown, as `POST /shutdown` does. Returns
+    /// immediately; [`wait`](Self::wait) performs the actual drain.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Blocks until shutdown is requested (via
+    /// [`request_shutdown`](Self::request_shutdown) or `POST /shutdown`),
+    /// then drains: running jobs are cancelled to their checkpoints and
+    /// persisted as `queued`, in-flight responses finish, and every
+    /// thread joins. After this returns, a new server on the same data
+    /// directory resumes the interrupted jobs bit-identically.
+    pub fn wait(self) {
+        {
+            let mut down = self
+                .shared
+                .shutdown
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            while !*down {
+                down = self
+                    .shared
+                    .shutdown_cv
+                    .wait(down)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        // Drain order matters: cancel jobs first so live NDJSON streams
+        // reach a terminal record set and handler threads can finish.
+        self.shared.registry.begin_drain();
+        self.pool.join();
+        // Unblock the acceptor (it may be parked in accept()).
+        self.stop_accepting.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.acceptor.join();
+        // The acceptor owned the channel sender; handlers drain what was
+        // queued, then exit on the closed channel.
+        for handle in self.handler_threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: SyncSender<TcpStream>, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                // Handler pool saturated: refuse inline, never queue.
+                let _ = write_response(
+                    &mut stream,
+                    429,
+                    &[("Retry-After", "1")],
+                    error_json("handler pool saturated"),
+                );
+                // The request was never read, so a plain close would RST
+                // the connection and could destroy the in-flight 429.
+                // Half-close instead and give the client a moment to
+                // drain the response (EOF or timeout, whichever first).
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+                let mut sink = [0u8; 512];
+                while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+fn handler_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
+    loop {
+        let stream = {
+            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, shared),
+            Err(_) => break, // acceptor gone, queue drained
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------
+
+const MAX_HEADER_BYTES: usize = 8 * 1024;
+const MAX_BODY_BYTES: usize = 64 * 1024;
+/// Stream-follow tick: how often a results stream re-checks for new
+/// records (and notices client disconnects) when the job is idle.
+const FOLLOW_TICK: Duration = Duration::from_millis(50);
+
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+enum ParseFailure {
+    /// Protocol error worth a status response.
+    Bad(u16, &'static str),
+    /// Dead/empty connection; just close.
+    Drop,
+}
+
+fn parse_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ParseFailure> {
+    let mut line = String::new();
+    if reader
+        .read_line(&mut line)
+        .map_err(|_| ParseFailure::Drop)?
+        == 0
+    {
+        return Err(ParseFailure::Drop);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ParseFailure::Bad(400, "malformed request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(ParseFailure::Bad(400, "malformed request line"))?;
+    // Strip any query string; no endpoint takes one.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    let mut header_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        if reader
+            .read_line(&mut header)
+            .map_err(|_| ParseFailure::Drop)?
+            == 0
+        {
+            return Err(ParseFailure::Drop);
+        }
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(ParseFailure::Bad(431, "header block too large"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseFailure::Bad(400, "bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseFailure::Bad(413, "body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| ParseFailure::Drop)?;
+    Ok(Request { method, path, body })
+}
+
+// ---------------------------------------------------------------------
+// Response writing
+// ---------------------------------------------------------------------
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+fn error_json(message: &str) -> Json {
+    Json::obj([("error", Json::str(message))])
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: Json,
+) -> std::io::Result<()> {
+    let payload = format!("{body}\n");
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nConnection: close\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n",
+        status_reason(status),
+        payload.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // A slow or stalled client must not pin a handler thread forever —
+    // except while streaming, where the write path has its own pacing.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    let request = match parse_request(&mut reader) {
+        Ok(request) => request,
+        Err(ParseFailure::Bad(status, message)) => {
+            let _ = write_response(&mut stream, status, &[], error_json(message));
+            return;
+        }
+        Err(ParseFailure::Drop) => return,
+    };
+    route(&mut stream, &request, shared);
+}
+
+/// Splits `/jobs/{id}`-style paths. Returns the id and the trailing
+/// segment (e.g. `"results"`), if any.
+fn parse_job_path<'a>(path: &'a str, prefix: &str) -> Option<(JobId, Option<&'a str>)> {
+    let rest = path.strip_prefix(prefix)?;
+    match rest.split_once('/') {
+        None => Some((rest.parse().ok()?, None)),
+        Some((id, tail)) => Some((id.parse().ok()?, Some(tail))),
+    }
+}
+
+fn route(stream: &mut TcpStream, request: &Request, shared: &Shared) {
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    let result = match (method, path) {
+        ("GET", "/healthz") => {
+            write_response(stream, 200, &[], Json::obj([("status", Json::str("ok"))]))
+        }
+        ("GET", "/stats") => {
+            let s = shared.registry.stats();
+            write_response(
+                stream,
+                200,
+                &[],
+                Json::obj([
+                    ("queue_depth", Json::num(s.queue_depth as f64)),
+                    ("queue_capacity", Json::num(s.queue_capacity as f64)),
+                    ("running", Json::num(s.running as f64)),
+                    ("submitted", Json::num(s.submitted as f64)),
+                    ("completed", Json::num(s.completed as f64)),
+                    ("failed", Json::num(s.failed as f64)),
+                    ("cancelled", Json::num(s.cancelled as f64)),
+                    ("rejected", Json::num(s.rejected as f64)),
+                    ("accepting", Json::Bool(shared.registry.accepting())),
+                ]),
+            )
+        }
+        ("POST", "/jobs") => submit_job(stream, &request.body, shared),
+        ("POST", "/shutdown") => {
+            shared.request_shutdown();
+            write_response(
+                stream,
+                202,
+                &[],
+                Json::obj([("status", Json::str("draining"))]),
+            )
+        }
+        _ => route_job(stream, method, path, shared),
+    };
+    let _ = result;
+}
+
+fn route_job(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    if let Some((id, tail)) = parse_job_path(path, "/report/") {
+        return match (method, tail) {
+            ("GET", None) => report(stream, id, shared),
+            _ => write_response(stream, 405, &[], error_json("method not allowed")),
+        };
+    }
+    let Some((id, tail)) = parse_job_path(path, "/jobs/") else {
+        return write_response(stream, 404, &[], error_json("no such route"));
+    };
+    match (method, tail) {
+        ("GET", None) => job_status(stream, id, shared),
+        ("GET", Some("results")) => stream_results(stream, id, shared),
+        ("DELETE", None) => cancel_job(stream, id, shared),
+        (_, None | Some("results")) => {
+            write_response(stream, 405, &[], error_json("method not allowed"))
+        }
+        _ => write_response(stream, 404, &[], error_json("no such route")),
+    }
+}
+
+fn submit_job(stream: &mut TcpStream, body: &[u8], shared: &Shared) -> std::io::Result<()> {
+    let text = match std::str::from_utf8(body) {
+        Ok(text) if !text.trim().is_empty() => text,
+        _ => {
+            return write_response(
+                stream,
+                400,
+                &[],
+                error_json("expected a JSON job spec body"),
+            )
+        }
+    };
+    let spec = match JobSpec::from_json_text(text) {
+        Ok(spec) => spec,
+        Err(e) => return write_response(stream, 400, &[], error_json(&e.0)),
+    };
+    if let Err(e) = shared.backend.validate(&spec) {
+        return write_response(stream, 400, &[], error_json(&e.0));
+    }
+    match shared.registry.submit(spec) {
+        Ok(job) => write_response(
+            stream,
+            201,
+            &[],
+            Json::obj([
+                ("id", Json::num(job.id as f64)),
+                ("state", Json::str(job.state().label())),
+            ]),
+        ),
+        Err(e @ SubmitError::QueueFull { .. }) => write_response(
+            stream,
+            503,
+            &[("Retry-After", "1")],
+            error_json(&e.to_string()),
+        ),
+        Err(e @ SubmitError::Draining) => {
+            write_response(stream, 503, &[], error_json(&e.to_string()))
+        }
+    }
+}
+
+fn job_status(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<()> {
+    match shared.registry.get(id) {
+        Some(job) => write_response(stream, 200, &[], job.status().to_json()),
+        None => write_response(stream, 404, &[], error_json("no such job")),
+    }
+}
+
+fn cancel_job(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<()> {
+    match shared.registry.get(id) {
+        None => write_response(stream, 404, &[], error_json("no such job")),
+        Some(job) if job.state().is_terminal() => {
+            write_response(stream, 409, &[], error_json("job already finished"))
+        }
+        Some(job) => {
+            shared.registry.cancel(id);
+            write_response(
+                stream,
+                202,
+                &[],
+                Json::obj([
+                    ("id", Json::num(job.id as f64)),
+                    ("state", Json::str(job.state().label())),
+                ]),
+            )
+        }
+    }
+}
+
+fn report(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<()> {
+    let Some(job) = shared.registry.get(id) else {
+        return write_response(stream, 404, &[], error_json("no such job"));
+    };
+    match (job.state(), job.report()) {
+        (JobState::Completed, Some(report)) => write_response(stream, 200, &[], report.to_json()),
+        (state, _) => write_response(
+            stream,
+            409,
+            &[],
+            error_json(&format!("no report: job is {}", state.label())),
+        ),
+    }
+}
+
+/// Streams the job's record log as NDJSON, following a live job until it
+/// reaches a terminal state. Lines use the campaign checkpoint format, so
+/// clients parse them with `parse_checkpoint_line` and a completed
+/// stream is byte-identical to the job's checkpoint modulo record order.
+fn stream_results(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<()> {
+    let Some(job) = shared.registry.get(id) else {
+        return write_response(stream, 404, &[], error_json("no such job"));
+    };
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nConnection: close\r\n\
+          Content-Type: application/x-ndjson\r\n\r\n",
+    )?;
+    let mut sent = 0usize;
+    loop {
+        let (records, terminal) = job.records_from(sent);
+        for record in &records {
+            stream.write_all(checkpoint_line(record).as_bytes())?;
+            stream.write_all(b"\n")?;
+        }
+        stream.flush()?;
+        sent += records.len();
+        if terminal && records.is_empty() {
+            return Ok(());
+        }
+        if records.is_empty() {
+            // A drained registry leaves queued jobs queued (they resume
+            // after restart) — following one would outlive the server, so
+            // end the stream.
+            if !shared.registry.accepting() && job.state() == JobState::Queued {
+                return Ok(());
+            }
+            // A failed write above is how we notice a gone client; the
+            // wait ticks so a stalled job can't pin the handler forever
+            // without re-checking.
+            job.wait_progress(sent, FOLLOW_TICK);
+        }
+    }
+}

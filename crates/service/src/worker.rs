@@ -1,0 +1,175 @@
+//! The worker pool: fixed threads pulling jobs off the registry queue and
+//! running them against the backend, with per-job panic isolation.
+//!
+//! Each worker loops on [`Registry::claim_next`] until the registry
+//! drains. A claimed job runs under `catch_unwind`, so a backend bug
+//! takes down one job (it transitions to `Failed`), never a worker thread
+//! — mirroring the per-defect panic isolation inside the campaign runner
+//! one level up.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use symbist_defects::CampaignError;
+
+use crate::backend::CampaignBackend;
+use crate::job::{Job, JobMonitor, Registry};
+
+/// A pool of campaign worker threads.
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (clamped to at least 1) serving the
+    /// registry's queue with the given backend.
+    pub fn spawn(
+        registry: Arc<Registry>,
+        backend: Arc<dyn CampaignBackend>,
+        threads: usize,
+    ) -> WorkerPool {
+        let handles = (0..threads.max(1))
+            .map(|i| {
+                let registry = Arc::clone(&registry);
+                let backend = Arc::clone(&backend);
+                std::thread::Builder::new()
+                    .name(format!("symbist-worker-{i}"))
+                    .spawn(move || worker_loop(&registry, backend.as_ref()))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Waits for every worker to exit. Workers exit once the registry
+    /// drains ([`Registry::begin_drain`]) and their in-flight job — if
+    /// any — reaches a terminal state, so calling this after
+    /// `begin_drain` implements graceful shutdown.
+    pub fn join(self) {
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(registry: &Registry, backend: &dyn CampaignBackend) {
+    while let Some(job) = registry.claim_next() {
+        run_one(registry, backend, &job);
+    }
+}
+
+/// Runs a claimed job to a terminal state.
+fn run_one(registry: &Registry, backend: &dyn CampaignBackend, job: &Job) {
+    let monitor = JobMonitor::new(job);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        backend.run(&job.spec, job.checkpoint.clone(), &monitor)
+    }));
+    let outcome = match outcome {
+        Ok(Ok(result)) => Ok(result),
+        Ok(Err(CampaignError::Cancelled { completed, .. })) => {
+            Err(format!("cancelled after {completed} defects"))
+        }
+        Ok(Err(error)) => Err(error.to_string()),
+        Err(panic) => Err(format!("worker panicked: {}", panic_message(&*panic))),
+    };
+    registry.finish(job, outcome);
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    use symbist_defects::{CampaignMonitor, CampaignResult};
+
+    use crate::backend::SyntheticBackend;
+    use crate::job::{JobState, SubmitError};
+    use crate::spec::JobSpec;
+
+    /// Backend that panics on every run.
+    struct PanickingBackend;
+
+    impl CampaignBackend for PanickingBackend {
+        fn validate(&self, _spec: &JobSpec) -> Result<(), crate::spec::SpecError> {
+            Ok(())
+        }
+        fn run(
+            &self,
+            _spec: &JobSpec,
+            _checkpoint: Option<PathBuf>,
+            _monitor: &dyn CampaignMonitor,
+        ) -> Result<CampaignResult, CampaignError> {
+            panic!("backend exploded");
+        }
+    }
+
+    fn wait_terminal(job: &Job) -> JobState {
+        for _ in 0..500 {
+            let state = job.state();
+            if state.is_terminal() {
+                return state;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("job never reached a terminal state");
+    }
+
+    #[test]
+    fn pool_runs_jobs_to_completion() {
+        let registry = Arc::new(Registry::new(8, None).unwrap());
+        let backend: Arc<dyn CampaignBackend> = Arc::new(SyntheticBackend::new(3));
+        let pool = WorkerPool::spawn(Arc::clone(&registry), backend, 2);
+        let jobs: Vec<_> = (0..4)
+            .map(|_| registry.submit(JobSpec::default()).unwrap())
+            .collect();
+        for job in &jobs {
+            assert_eq!(wait_terminal(job), JobState::Completed);
+            assert!(job.report().is_some());
+        }
+        registry.begin_drain();
+        pool.join();
+        let stats = registry.stats();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.running, 0);
+    }
+
+    #[test]
+    fn panicking_backend_fails_job_not_worker() {
+        let registry = Arc::new(Registry::new(8, None).unwrap());
+        let pool = WorkerPool::spawn(Arc::clone(&registry), Arc::new(PanickingBackend), 1);
+        let bad = registry.submit(JobSpec::default()).unwrap();
+        assert_eq!(wait_terminal(&bad), JobState::Failed);
+        let error = bad.status().error.unwrap();
+        assert!(error.contains("backend exploded"), "{error}");
+        // The worker survived the panic and keeps serving.
+        let next = registry.submit(JobSpec::default()).unwrap();
+        assert_eq!(wait_terminal(&next), JobState::Failed);
+        registry.begin_drain();
+        pool.join();
+    }
+
+    #[test]
+    fn drain_with_empty_queue_joins_immediately() {
+        let registry = Arc::new(Registry::new(4, None).unwrap());
+        let backend: Arc<dyn CampaignBackend> = Arc::new(SyntheticBackend::new(2));
+        let pool = WorkerPool::spawn(Arc::clone(&registry), backend, 3);
+        registry.begin_drain();
+        pool.join();
+        assert!(matches!(
+            registry.submit(JobSpec::default()).unwrap_err(),
+            SubmitError::Draining
+        ));
+    }
+}

@@ -1,0 +1,396 @@
+//! End-to-end acceptance tests for the campaign job service, exercised
+//! through the real TCP/HTTP stack: submit → poll → stream → report,
+//! queue-full `503` backpressure, handler-pool `429` refusal, live NDJSON
+//! streaming, cancellation, and the drain/restart resume contract (the
+//! service-level version of the campaign runner's kill-and-resume
+//! oracle).
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use symbist_defects::{CampaignResult, DefectRecord};
+use symbist_service::backend::{CampaignBackend, Gate, SyntheticBackend};
+use symbist_service::client::{Client, ClientError};
+use symbist_service::http::{Server, ServiceConfig};
+use symbist_service::json::Json;
+use symbist_service::spec::JobSpec;
+
+const POLL: Duration = Duration::from_millis(10);
+
+fn start(config: ServiceConfig, backend: Arc<dyn CampaignBackend>) -> (Server, Client) {
+    let server = Server::start(config, backend).expect("server starts");
+    let client = Client::new(server.addr().to_string());
+    (server, client)
+}
+
+/// Fresh scratch directory per test (the suite runs concurrently).
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("symbist-service-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn progress_done(status: &Json) -> u64 {
+    status
+        .get("progress")
+        .and_then(|p| p.get("done"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+/// Polls until `pred` holds, panicking after a generous deadline.
+fn wait_until(what: &str, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(POLL);
+    }
+}
+
+#[test]
+fn submit_poll_stream_report_lifecycle() {
+    let backend = Arc::new(SyntheticBackend::new(6));
+    let universe = backend.universe_len();
+    let (server, client) = start(ServiceConfig::default(), backend);
+
+    client.health().expect("healthz");
+    let id = client.submit(&JobSpec::default()).expect("submit");
+    let (state, status) = client.wait_terminal(id, POLL).expect("terminal");
+    assert_eq!(state, "completed");
+    assert_eq!(progress_done(&status) as usize, universe);
+
+    let records: Vec<DefectRecord> = client
+        .stream_results(id)
+        .expect("stream")
+        .map(|r| r.expect("record parses"))
+        .collect();
+    assert_eq!(records.len(), universe);
+
+    let report = client.report(id).expect("report");
+    let coverage = report.get("coverage").expect("coverage pair");
+    let lower = coverage.get("lower").and_then(Json::as_f64).unwrap();
+    let upper = coverage.get("upper").and_then(Json::as_f64).unwrap();
+    assert!(
+        (0.0..=1.0).contains(&lower) && lower <= upper,
+        "{lower} <= {upper}"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("completed").and_then(Json::as_u64), Some(1));
+
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn bad_specs_are_rejected_with_400() {
+    let (server, client) = start(ServiceConfig::default(), Arc::new(SyntheticBackend::new(3)));
+    for spec in [
+        JobSpec {
+            sample_size: Some(10_000), // larger than the universe
+            ..Default::default()
+        },
+        JobSpec {
+            block: Some("No Such Block".into()),
+            ..Default::default()
+        },
+    ] {
+        match client.submit(&spec) {
+            Err(ClientError::Http { status: 400, .. }) => {}
+            other => panic!("expected 400, got {other:?}"),
+        }
+    }
+    // Unknown routes and jobs.
+    assert!(matches!(
+        client.status(999),
+        Err(ClientError::Http { status: 404, .. })
+    ));
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn queue_full_returns_503_backpressure() {
+    // Capacity 2, one worker wedged on a held gate: the queue fills and
+    // further submissions must bounce with 503, not block or drop.
+    let gate = Gate::new();
+    gate.hold();
+    let backend = Arc::new(SyntheticBackend::new(3).with_gate(Arc::clone(&gate)));
+    let config = ServiceConfig {
+        queue_capacity: 2,
+        workers: 1,
+        ..ServiceConfig::default()
+    };
+    let (server, client) = start(config, backend);
+
+    let first = client.submit(&JobSpec::default()).expect("first submit");
+    // Wait until the worker has claimed it so the queue is empty again.
+    wait_until("first job running", || {
+        client
+            .status(first)
+            .is_ok_and(|s| s.get("state").and_then(Json::as_str) == Some("running"))
+    });
+    client.submit(&JobSpec::default()).expect("fills slot 1");
+    client.submit(&JobSpec::default()).expect("fills slot 2");
+
+    let mut rejections = 0;
+    for _ in 0..3 {
+        match client.submit(&JobSpec::default()) {
+            Err(ClientError::Http {
+                status: 503,
+                message,
+            }) => {
+                assert!(message.contains("queue full"), "{message}");
+                rejections += 1;
+            }
+            other => panic!("expected 503, got {other:?}"),
+        }
+    }
+    assert_eq!(rejections, 3);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("rejected").and_then(Json::as_u64), Some(3));
+    assert_eq!(stats.get("queue_depth").and_then(Json::as_u64), Some(2));
+
+    gate.release();
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn results_stream_follows_a_live_job() {
+    // The stream is opened while the job is provably not terminal (its
+    // first defect is wedged on the gate), then must deliver every record
+    // and terminate when the job completes.
+    let gate = Gate::new();
+    gate.hold();
+    let backend = Arc::new(SyntheticBackend::new(5).with_gate(Arc::clone(&gate)));
+    let universe = backend.universe_len();
+    let (server, client) = start(ServiceConfig::default(), backend);
+
+    let id = client.submit(&JobSpec::default()).expect("submit");
+    wait_until("job running", || {
+        client
+            .status(id)
+            .is_ok_and(|s| s.get("state").and_then(Json::as_str) == Some("running"))
+    });
+    assert_eq!(
+        progress_done(&client.status(id).unwrap()),
+        0,
+        "gate held: no records yet"
+    );
+
+    let stream = client.stream_results(id).expect("stream opens on live job");
+    let collector = std::thread::spawn(move || {
+        stream
+            .map(|r| r.expect("record parses"))
+            .collect::<Vec<DefectRecord>>()
+    });
+    gate.release();
+    let records = collector.join().expect("collector thread");
+    assert_eq!(records.len(), universe, "stream delivered every record");
+
+    let (state, _) = client.wait_terminal(id, POLL).expect("terminal");
+    assert_eq!(state, "completed");
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn delete_cancels_a_running_job() {
+    let gate = Gate::new();
+    gate.hold();
+    let backend = Arc::new(SyntheticBackend::new(6).with_gate(Arc::clone(&gate)));
+    let universe = backend.universe_len();
+    let (server, client) = start(ServiceConfig::default(), backend);
+
+    let id = client.submit(&JobSpec::default()).expect("submit");
+    wait_until("job running", || {
+        client
+            .status(id)
+            .is_ok_and(|s| s.get("state").and_then(Json::as_str) == Some("running"))
+    });
+    client.cancel(id).expect("cancel accepted");
+    gate.release(); // let the wedged defect finish; the campaign then stops
+
+    let (state, status) = client.wait_terminal(id, POLL).expect("terminal");
+    assert_eq!(state, "cancelled");
+    assert!(
+        (progress_done(&status) as usize) < universe,
+        "cancellation must stop the campaign early"
+    );
+    // Cancelling a finished job is a conflict.
+    assert!(matches!(
+        client.cancel(id),
+        Err(ClientError::Http { status: 409, .. })
+    ));
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn saturated_handler_pool_returns_429() {
+    // One handler, backlog of one. Wedge the handler with a half-open
+    // request and park a second connection in the backlog; the acceptor
+    // must then refuse further connections inline with 429.
+    let config = ServiceConfig {
+        handlers: 1,
+        backlog: 1,
+        ..ServiceConfig::default()
+    };
+    let (server, client) = start(config, Arc::new(SyntheticBackend::new(2)));
+    let addr = server.addr();
+
+    // Three half-open requests against capacity two (one handler + one
+    // backlog slot). Whatever the claim timing, the handler can block on
+    // at most one of them, another occupies the backlog slot, and the
+    // rest bounce — so the saturated state is stable, not a race. The
+    // acceptor routes connections in accept order, so by the time it
+    // sees the health probe below, all three are accounted for.
+    let mut wedges: Vec<TcpStream> = (0..3)
+        .map(|i| {
+            let mut stream = TcpStream::connect(addr).expect("wedge connects");
+            stream.write_all(b"GET").expect("partial request");
+            if i < 2 {
+                // Give the acceptor a beat so the first two land in the
+                // handler + slot rather than all three racing one
+                // try_send window.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            stream
+        })
+        .collect();
+
+    match client.health() {
+        Err(ClientError::Http { status: 429, .. }) => {}
+        other => panic!("expected 429, got {other:?}"),
+    }
+
+    // Completing the half-open requests restores service: the handler
+    // finishes the one it claimed, then drains the backlog slot. (The
+    // write to the already-refused connection fails; that's fine.)
+    for wedge in &mut wedges {
+        let _ = wedge.write_all(b" /healthz HTTP/1.1\r\n\r\n");
+    }
+    wait_until("service recovers", || client.health().is_ok());
+    drop(wedges);
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn shutdown_mid_job_then_restart_resumes_bit_identically() {
+    // The service-level kill-and-resume oracle: drain a server mid-
+    // campaign, restart on the same data directory, and the finished
+    // job's records must match an uninterrupted run bit-for-bit on every
+    // deterministic field (wall times of re-simulated defects may
+    // legitimately differ — same contract as the campaign runner's own
+    // resume tests).
+    let data_dir = temp_dir("resume");
+    let spec = JobSpec::default(); // threads=1: deterministic record order
+    let components = 12;
+
+    // Reference: the same campaign, uninterrupted, straight through the
+    // backend (no service, no checkpoint).
+    let reference: CampaignResult = SyntheticBackend::new(components)
+        .run(&spec, None, &())
+        .expect("reference campaign");
+
+    // Server #1: slow backend so the drain lands mid-campaign.
+    let backend = Arc::new(SyntheticBackend::new(components).with_delay(Duration::from_millis(10)));
+    let config = ServiceConfig {
+        workers: 1,
+        data_dir: Some(data_dir.clone()),
+        ..ServiceConfig::default()
+    };
+    let (server, client) = start(config.clone(), backend);
+    let id = client.submit(&spec).expect("submit");
+    wait_until("some records completed", || {
+        client.status(id).is_ok_and(|s| progress_done(&s) >= 3)
+    });
+    client.shutdown().expect("POST /shutdown accepted");
+    server.wait();
+
+    // The drain persisted the interrupted job as queued, with a partial
+    // checkpoint holding every completed record.
+    let meta = std::fs::read_to_string(data_dir.join(format!("job-{id:06}.json")))
+        .expect("job metadata persisted");
+    assert!(meta.contains("\"state\":\"queued\""), "{meta}");
+    let ckpt = std::fs::read_to_string(data_dir.join(format!("job-{id:06}.ckpt.jsonl")))
+        .expect("checkpoint persisted");
+    let persisted = ckpt.lines().count();
+    assert!(
+        persisted >= 3 && persisted < reference.records.len(),
+        "expected a partial checkpoint, got {persisted} records"
+    );
+
+    // Server #2: same data dir, fast backend. Recovery re-enqueues the
+    // job and the campaign resumes from the checkpoint.
+    let (server2, client2) = start(config, Arc::new(SyntheticBackend::new(components)));
+    let (state, status) = client2
+        .wait_terminal(id, POLL)
+        .expect("resumed to terminal");
+    assert_eq!(state, "completed");
+    let resumed = status
+        .get("progress")
+        .and_then(|p| p.get("resumed"))
+        .and_then(Json::as_u64)
+        .expect("resumed counter");
+    assert!(
+        resumed >= 3,
+        "must reload checkpointed records, got {resumed}"
+    );
+
+    let records: Vec<DefectRecord> = client2
+        .stream_results(id)
+        .expect("stream")
+        .map(|r| r.expect("record parses"))
+        .collect();
+    assert_eq!(records.len(), reference.records.len());
+    for (r, u) in records.iter().zip(&reference.records) {
+        assert_eq!(r.defect_index, u.defect_index);
+        assert_eq!(r.site, u.site);
+        assert_eq!(r.likelihood.to_bits(), u.likelihood.to_bits());
+        assert_eq!(r.outcome, u.outcome);
+    }
+
+    server2.request_shutdown();
+    server2.wait();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+#[test]
+fn draining_server_rejects_new_jobs_with_503() {
+    let gate = Gate::new();
+    gate.hold();
+    let backend = Arc::new(SyntheticBackend::new(3).with_gate(Arc::clone(&gate)));
+    let (server, client) = start(ServiceConfig::default(), backend);
+
+    let id = client.submit(&JobSpec::default()).expect("submit");
+    wait_until("job running", || {
+        client
+            .status(id)
+            .is_ok_and(|s| s.get("state").and_then(Json::as_str) == Some("running"))
+    });
+    // Begin the drain without waiting: the server keeps answering while
+    // the wedged job holds the worker.
+    server.registry().begin_drain();
+    match client.submit(&JobSpec::default()) {
+        Err(ClientError::Http {
+            status: 503,
+            message,
+        }) => {
+            assert!(message.contains("draining"), "{message}");
+        }
+        other => panic!("expected 503, got {other:?}"),
+    }
+    gate.release();
+    server.request_shutdown();
+    server.wait();
+}
