@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use symbist_circuit::error::CircuitError;
+use symbist_circuit::netlist::Netlist;
 use symbist_circuit::rng::Rng;
 
 use crate::bandgap::{Bandgap, BandgapMismatch};
@@ -305,6 +306,62 @@ impl SarAdc {
     /// probes its ripple-attenuation transfer function).
     pub fn vcm_generator(&self) -> &VcmGenerator {
         &self.vcm
+    }
+
+    /// The bandgap block.
+    pub fn bandgap(&self) -> &Bandgap {
+        &self.bandgap
+    }
+
+    /// The reference buffer (amp + ladder) block.
+    pub fn reference_buffer(&self) -> &ReferenceBuffer {
+        &self.refbuf
+    }
+
+    /// The SUBDAC1 block.
+    pub fn subdac1(&self) -> &SubDac {
+        &self.sd1
+    }
+
+    /// The SUBDAC2 block.
+    pub fn subdac2(&self) -> &SubDac {
+        &self.sd2
+    }
+
+    /// The switched-capacitor array block.
+    pub fn sc_array(&self) -> &ScArray {
+        &self.sc
+    }
+
+    /// The nominal (defect-free) bandgap voltage captured at construction.
+    pub fn vbg_nominal(&self) -> f64 {
+        self.refbuf.vbg_nominal()
+    }
+
+    /// Structural netlist snapshots of every analog block, labeled — the
+    /// inputs of the `symbist-lint` netlist rules. Snapshots reflect the
+    /// instance's current defect/mismatch state; a freshly constructed ADC
+    /// yields the nominal circuits.
+    ///
+    /// The reference network appears at three (m, l) code pairs — both
+    /// rails and mid-scale — because tap selection changes which mux
+    /// resistors exist.
+    pub fn lint_netlists(&self) -> Vec<(String, Netlist)> {
+        let vbg = self.vbg_nominal();
+        let mut out = vec![
+            ("bandgap".to_string(), self.bandgap.netlist()),
+            ("vcm generator".to_string(), self.vcm.netlist()),
+        ];
+        for (m, l) in [(0u8, 0u8), (16, 16), (31, 31)] {
+            out.push((
+                format!("reference network @ m={m} l={l}"),
+                crate::refnet::ref_network_netlist(&self.refbuf, &self.sd1, &self.sd2, vbg, m, l),
+            ));
+        }
+        let pair = self.sc.fd_pair();
+        out.push(("sc array (P side)".to_string(), pair.p));
+        out.push(("sc array (N side)".to_string(), pair.n));
+        out
     }
 
     fn vbg(&self) -> Result<f64, CircuitError> {

@@ -212,6 +212,18 @@ impl Bandgap {
         self.solve_at(26.85) // 300 K, the device-model reference point
     }
 
+    /// The structural netlist of the block at its target amplifier gain —
+    /// the `symbist-lint` snapshot. Identical to the final stage the gain
+    /// homotopy in [`Bandgap::solve`] converges on.
+    pub fn netlist(&self) -> Netlist {
+        let fault = self.amp_fault();
+        let target_gain = match fault {
+            AmpFault::GainScale(s) => AMP_GAIN * s,
+            _ => AMP_GAIN,
+        };
+        self.build_netlist(target_gain, fault).0
+    }
+
     /// Solves the block at a given junction temperature (°C).
     ///
     /// The diode `Is(T)`/`Vt(T)` scaling in the circuit engine gives the

@@ -51,8 +51,10 @@ pub mod digital;
 pub mod fault;
 pub mod refnet;
 pub mod sc_array;
+pub mod symmetry;
 pub mod vcm;
 
 pub use adc::{AdcMismatch, SarAdc, TestObservation};
 pub use config::AdcConfig;
 pub use fault::{BlockKind, ComponentInfo, ComponentKind, DefectKind, DefectSite, Faultable};
+pub use symmetry::{seeds_by_name, subdac_fd_pair, FdPair};

@@ -170,6 +170,11 @@ impl ReferenceBuffer {
         }
     }
 
+    /// The nominal bandgap voltage this buffer was calibrated against.
+    pub(crate) fn vbg_nominal(&self) -> f64 {
+        self.vbg_nominal
+    }
+
     /// Local catalog index of the buffer decoupling cap.
     const C_DEC_INDEX: usize = BUFFER_TRANSISTORS;
 
@@ -441,26 +446,18 @@ pub struct RefOutputs {
     pub vref32: f64,
 }
 
-/// Solves the coupled reference network for select codes `m` (SUBDAC1) and
-/// `l` (SUBDAC2), both in `0..32`.
-///
-/// The nominal network is linear and always solvable, but an injected
-/// defect can make it singular (e.g. an open that floats a mux output) or
-/// a thread [`SolveBudget`](symbist_circuit::dc::SolveBudget) can expire
-/// mid-solve — both surface as `Err` for the campaign to record.
-///
-/// # Panics
-///
-/// Panics if a code is out of range.
-pub fn solve_ref_network(
-    refbuf: &ReferenceBuffer,
-    sd1: &SubDac,
-    sd2: &SubDac,
-    vbg: f64,
-    m: u8,
-    l: u8,
-) -> Result<RefOutputs, CircuitError> {
-    assert!(m < 32 && l < 32, "select codes must be 5-bit");
+/// The shared ladder/buffer portion of the reference network, plus the
+/// handles the mux emitters need.
+struct LadderCore {
+    nl: Netlist,
+    tap_nodes: Vec<NodeId>,
+    vdda: NodeId,
+}
+
+/// Builds the supply, resistor ladder, and buffer drive — the part of the
+/// reference network shared by every mux and by the lint's half-circuit
+/// snapshots.
+fn build_ladder_core(refbuf: &ReferenceBuffer, vbg: f64) -> LadderCore {
     let cfg = &refbuf.cfg;
     let mut nl = Netlist::new();
 
@@ -500,45 +497,138 @@ pub fn solve_ref_network(
         cfg,
     );
 
-    // The four mux outputs.
-    let m_plus = nl.node("m_plus");
-    let m_minus = nl.node("m_minus");
-    let l_plus = nl.node("l_plus");
-    let l_minus = nl.node("l_minus");
+    LadderCore {
+        nl,
+        tap_nodes,
+        vdda,
+    }
+}
 
-    let emit_mux = |sub: &SubDac, side: MuxSide, code: u8, out: NodeId, nl: &mut Netlist| {
-        let eff = sub.effective_code(side, code);
-        let selected = match side {
-            MuxSide::P => eff as usize,
-            MuxSide::N => 32 - eff as usize,
-        };
-        for (tap, &tap_node) in tap_nodes.iter().enumerate().take(TAPS) {
-            match sub.tap_state(side, tap, selected, cfg) {
-                TapState::Off => {}
-                TapState::On { r } => {
-                    nl.resistor(tap_node, out, r);
-                }
-                TapState::OnLoaded { r, load_r, to_vdda } => {
-                    nl.resistor(tap_node, out, r);
-                    let rail = if to_vdda { vdda } else { Netlist::GND };
-                    nl.resistor(tap_node, rail, load_r);
-                }
+/// Emits one tap multiplexer of `sub` into the core, driving `out`.
+fn emit_mux(
+    core: &mut LadderCore,
+    cfg: &AdcConfig,
+    sub: &SubDac,
+    side: MuxSide,
+    code: u8,
+    out: NodeId,
+) {
+    let eff = sub.effective_code(side, code);
+    let selected = match side {
+        MuxSide::P => eff as usize,
+        MuxSide::N => 32 - eff as usize,
+    };
+    for tap in 0..TAPS {
+        let tap_node = core.tap_nodes[tap];
+        match sub.tap_state(side, tap, selected, cfg) {
+            TapState::Off => {}
+            TapState::On { r } => {
+                core.nl.resistor(tap_node, out, r);
+            }
+            TapState::OnLoaded { r, load_r, to_vdda } => {
+                core.nl.resistor(tap_node, out, r);
+                let rail = if to_vdda { core.vdda } else { Netlist::GND };
+                core.nl.resistor(tap_node, rail, load_r);
             }
         }
-    };
-    emit_mux(sd1, MuxSide::P, m, m_plus, &mut nl);
-    emit_mux(sd1, MuxSide::N, m, m_minus, &mut nl);
-    emit_mux(sd2, MuxSide::P, l, l_plus, &mut nl);
-    emit_mux(sd2, MuxSide::N, l, l_minus, &mut nl);
+    }
+}
 
+/// Builds the ladder plus *one* tap multiplexer of `sub` at select code
+/// `code`, with the mux output on the node named `"mux_out"`.
+///
+/// This is the half-circuit snapshot the FD-symmetry lint compares: at the
+/// mid-scale code 16 the P mux selects tap 16 and the N mux selects
+/// tap 32 − 16 = 16, so a healthy sub-DAC yields structurally identical
+/// halves — exactly the symmetry Eq. (2) of the paper relies on.
+///
+/// # Panics
+///
+/// Panics if `code` is out of range.
+pub fn mux_half_netlist(
+    refbuf: &ReferenceBuffer,
+    sub: &SubDac,
+    side: MuxSide,
+    code: u8,
+    vbg: f64,
+) -> Netlist {
+    assert!(code < 32, "select code must be 5-bit");
+    let cfg = refbuf.cfg.clone();
+    let mut core = build_ladder_core(refbuf, vbg);
+    let out = core.nl.node("mux_out");
+    emit_mux(&mut core, &cfg, sub, side, code, out);
+    core.nl
+}
+
+/// Builds the full coupled reference network (ladder, buffer drive, and
+/// all four tap muxes) for select codes `m` and `l` without solving it.
+///
+/// The mux outputs land on the nodes named `"m_plus"`, `"m_minus"`,
+/// `"l_plus"`, `"l_minus"`; ladder taps are `"vref1"..="vref32"`. Used
+/// both by [`solve_ref_network`] and by the `symbist-lint` netlist
+/// snapshots.
+///
+/// # Panics
+///
+/// Panics if a code is out of range.
+pub fn ref_network_netlist(
+    refbuf: &ReferenceBuffer,
+    sd1: &SubDac,
+    sd2: &SubDac,
+    vbg: f64,
+    m: u8,
+    l: u8,
+) -> Netlist {
+    assert!(m < 32 && l < 32, "select codes must be 5-bit");
+    let cfg = refbuf.cfg.clone();
+    let mut core = build_ladder_core(refbuf, vbg);
+
+    // The four mux outputs.
+    let m_plus = core.nl.node("m_plus");
+    let m_minus = core.nl.node("m_minus");
+    let l_plus = core.nl.node("l_plus");
+    let l_minus = core.nl.node("l_minus");
+
+    emit_mux(&mut core, &cfg, sd1, MuxSide::P, m, m_plus);
+    emit_mux(&mut core, &cfg, sd1, MuxSide::N, m, m_minus);
+    emit_mux(&mut core, &cfg, sd2, MuxSide::P, l, l_plus);
+    emit_mux(&mut core, &cfg, sd2, MuxSide::N, l, l_minus);
+
+    core.nl
+}
+
+/// Solves the coupled reference network for select codes `m` (SUBDAC1) and
+/// `l` (SUBDAC2), both in `0..32`.
+///
+/// The nominal network is linear and always solvable, but an injected
+/// defect can make it singular (e.g. an open that floats a mux output) or
+/// a thread [`SolveBudget`](symbist_circuit::dc::SolveBudget) can expire
+/// mid-solve — both surface as `Err` for the campaign to record.
+///
+/// # Panics
+///
+/// Panics if a code is out of range.
+pub fn solve_ref_network(
+    refbuf: &ReferenceBuffer,
+    sd1: &SubDac,
+    sd2: &SubDac,
+    vbg: f64,
+    m: u8,
+    l: u8,
+) -> Result<RefOutputs, CircuitError> {
+    let nl = ref_network_netlist(refbuf, sd1, sd2, vbg, m, l);
     let op = DcSolver::new().solve(&nl)?;
+    let volt = |name: &str| {
+        let node = nl.find_node(name).expect("reference-network node");
+        op.voltage(node)
+    };
     Ok(RefOutputs {
-        m_plus: op.voltage(m_plus),
-        m_minus: op.voltage(m_minus),
-        l_plus: op.voltage(l_plus),
-        l_minus: op.voltage(l_minus),
-        vref16: op.voltage(tap_nodes[16]),
-        vref32: op.voltage(tap_nodes[32]),
+        m_plus: volt("m_plus"),
+        m_minus: volt("m_minus"),
+        l_plus: volt("l_plus"),
+        l_minus: volt("l_minus"),
+        vref16: volt("vref16"),
+        vref32: volt("vref32"),
     })
 }
 

@@ -325,6 +325,23 @@ impl ScArray {
         }
     }
 
+    /// Builds the declared FD pair of this array: both sides with
+    /// identical nominal inputs (`vin = 0`, `vcm = vref_fs / 2`), so a
+    /// healthy array yields bit-identical halves and any P/N divergence
+    /// is an injected defect or a builder asymmetry.
+    pub fn fd_pair(&self) -> crate::symmetry::FdPair {
+        let vcm = self.cfg.vref_fs / 2.0;
+        let p = self.build_side(Side::P, 0.0, vcm);
+        let n = self.build_side(Side::N, 0.0, vcm);
+        let seeds = crate::symmetry::seeds_by_name(&p.nl, &n.nl);
+        crate::symmetry::FdPair {
+            name: BlockKind::ScArray.label().to_string(),
+            p: p.nl,
+            n: n.nl,
+            seeds,
+        }
+    }
+
     /// Starts an interactive session: builds both sides, runs one sampling
     /// cycle, and leaves the array ready for conversion cycles.
     ///

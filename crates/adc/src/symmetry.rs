@@ -1,0 +1,119 @@
+//! Fully-differential symmetry declarations.
+//!
+//! SymBIST's invariances (paper Eqs. 2–5) assume the P and N halves of
+//! each differential block are *structurally identical*: complementary
+//! mux halves see the same ladder, and the two SC-array sides carry
+//! matched capacitors and switches. This module lets each block publish
+//! that assumption as data — a pair of half-circuit netlists plus seed
+//! node correspondences — so the `symbist-lint` FD-symmetry rule can
+//! verify it statically instead of trusting it.
+//!
+//! Each half is built by the same builder code with identical nominal
+//! inputs, so a healthy pair is isomorphic with bit-identical element
+//! values; any asymmetry (a defect model leaking into the nominal build,
+//! a mismatched capacitor expression, a divergent switch phase) shows up
+//! as a structural diff.
+
+use symbist_circuit::netlist::{Netlist, NodeId};
+
+use crate::adc::SarAdc;
+use crate::refnet::{mux_half_netlist, MuxSide, ReferenceBuffer, SubDac};
+
+/// A declared P/N half-circuit pair for the FD-symmetry check.
+#[derive(Debug, Clone)]
+pub struct FdPair {
+    /// Human-readable pair name (e.g. `"SC Array"`).
+    pub name: String,
+    /// Positive half-circuit.
+    pub p: Netlist,
+    /// Negative half-circuit.
+    pub n: Netlist,
+    /// Seed node correspondences `(p_node, n_node)` the isomorphism must
+    /// respect; always includes ground ↔ ground.
+    pub seeds: Vec<(NodeId, NodeId)>,
+}
+
+/// Pairs ground and every identically-named node of the two halves — the
+/// natural seed set when both halves are emitted by the same builder.
+pub fn seeds_by_name(p: &Netlist, n: &Netlist) -> Vec<(NodeId, NodeId)> {
+    let mut seeds = vec![(Netlist::GND, Netlist::GND)];
+    for node in p.nodes() {
+        if let Some(name) = p.node_name(node) {
+            if let Some(other) = n.find_node(name) {
+                seeds.push((node, other));
+            }
+        }
+    }
+    seeds
+}
+
+/// Mid-scale select code at which the P and N muxes of a sub-DAC select
+/// the *same* tap (16 = 32 − 16), making the two halves isomorphic.
+const SYMMETRIC_CODE: u8 = 16;
+
+/// Builds the declared FD pair of one sub-DAC: ladder + P mux vs.
+/// ladder + N mux, both at the mid-scale code where tap selection is
+/// self-complementary.
+pub fn subdac_fd_pair(refbuf: &ReferenceBuffer, sub: &SubDac, vbg: f64) -> FdPair {
+    let p = mux_half_netlist(refbuf, sub, MuxSide::P, SYMMETRIC_CODE, vbg);
+    let n = mux_half_netlist(refbuf, sub, MuxSide::N, SYMMETRIC_CODE, vbg);
+    let seeds = seeds_by_name(&p, &n);
+    FdPair {
+        name: sub.block().label().to_string(),
+        p,
+        n,
+        seeds,
+    }
+}
+
+impl SarAdc {
+    /// Every FD-symmetry declaration of this ADC instance: the SC array's
+    /// P/N sides and both sub-DAC mux pairs.
+    ///
+    /// The halves are nominal snapshots — injected defects and mismatch
+    /// *do* flow into them (that is the point: the lint can show which
+    /// asymmetry a defect introduces), but the campaign lints the healthy
+    /// instance.
+    pub fn fd_pairs(&self) -> Vec<FdPair> {
+        let vbg = self.vbg_nominal();
+        vec![
+            self.sc_array().fd_pair(),
+            subdac_fd_pair(self.reference_buffer(), self.subdac1(), vbg),
+            subdac_fd_pair(self.reference_buffer(), self.subdac2(), vbg),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdcConfig;
+
+    #[test]
+    fn adc_declares_three_pairs() {
+        let adc = SarAdc::new(AdcConfig::default());
+        let pairs = adc.fd_pairs();
+        assert_eq!(pairs.len(), 3);
+        for pair in &pairs {
+            assert_eq!(
+                pair.p.device_count(),
+                pair.n.device_count(),
+                "{}: healthy halves must match",
+                pair.name
+            );
+            assert!(pair.seeds.contains(&(Netlist::GND, Netlist::GND)));
+        }
+    }
+
+    #[test]
+    fn seeds_pair_named_nodes() {
+        let mut p = Netlist::new();
+        let mut n = Netlist::new();
+        let pa = p.node("x");
+        let na = n.node("x");
+        p.node("only_p");
+        let seeds = seeds_by_name(&p, &n);
+        assert!(seeds.contains(&(pa, na)));
+        assert_eq!(seeds.len(), 2, "gnd + x only");
+    }
+}

@@ -113,18 +113,17 @@ impl VcmGenerator {
         }
     }
 
-    /// Solves the block: returns the generated common-mode voltage for a
-    /// given buffered reference `vrefp` (nominally `vref_fs`, yielding
-    /// `Vcm = vref_fs / 2`).
-    ///
-    /// Errs if an injected defect makes the divider singular or a thread
-    /// solve budget expires.
-    pub fn solve(&self, vrefp: f64) -> Result<f64, CircuitError> {
-        let v_in = vrefp;
+    /// Builds the passive divider/decoupling network driven by `v_in`:
+    /// `src → R_top → mid → R_bot → gnd`, with `mid → ESR → cap → gnd`.
+    /// Shared by the DC solve, the AC ripple check, and the lint snapshot.
+    fn build_divider(
+        &self,
+        v_in: f64,
+    ) -> (Netlist, symbist_circuit::NodeId, symbist_circuit::DeviceId) {
         let mut nl = Netlist::new();
         let src = nl.node("src");
         let mid = nl.node("mid");
-        nl.vsource(src, Netlist::GND, v_in);
+        let vs = nl.vsource(src, Netlist::GND, v_in);
         emit_resistor(
             &mut nl,
             src,
@@ -160,6 +159,23 @@ impl VcmGenerator {
             self.local_defect(C_DEC),
             &self.cfg,
         );
+        (nl, mid, vs)
+    }
+
+    /// The structural netlist of the block (divider plus decoupling, at
+    /// the nominal reference input) — the `symbist-lint` snapshot.
+    pub fn netlist(&self) -> Netlist {
+        self.build_divider(self.cfg.vref_fs).0
+    }
+
+    /// Solves the block: returns the generated common-mode voltage for a
+    /// given buffered reference `vrefp` (nominally `vref_fs`, yielding
+    /// `Vcm = vref_fs / 2`).
+    ///
+    /// Errs if an injected defect makes the divider singular or a thread
+    /// solve budget expires.
+    pub fn solve(&self, vrefp: f64) -> Result<f64, CircuitError> {
+        let (nl, mid, _) = self.build_divider(vrefp);
         let v_mid = DcSolver::new().solve(&nl)?.voltage(mid);
 
         // Buffer: unity follower with possible behavioral corruption.
@@ -190,44 +206,7 @@ impl VcmGenerator {
     /// Errs if a defect makes the AC network singular.
     pub fn ripple_attenuation(&self, freq: f64) -> Result<f64, CircuitError> {
         use symbist_circuit::ac::AcSolver;
-        let mut nl = Netlist::new();
-        let src = nl.node("src");
-        let mid = nl.node("mid");
-        let vs = nl.vsource(src, Netlist::GND, self.cfg.vref_fs);
-        emit_resistor(
-            &mut nl,
-            src,
-            mid,
-            R_DIV * (1.0 + self.mismatch.r_top),
-            self.local_defect(R_TOP),
-            &self.cfg,
-        );
-        emit_resistor(
-            &mut nl,
-            mid,
-            Netlist::GND,
-            R_DIV * (1.0 + self.mismatch.r_bot),
-            self.local_defect(R_BOT),
-            &self.cfg,
-        );
-        let esr = nl.node("esr");
-        emit_resistor(
-            &mut nl,
-            mid,
-            esr,
-            200.0,
-            self.local_defect(R_ESR),
-            &self.cfg,
-        );
-        emit_capacitor(
-            &mut nl,
-            esr,
-            Netlist::GND,
-            100e-12,
-            None,
-            self.local_defect(C_DEC),
-            &self.cfg,
-        );
+        let (nl, mid, vs) = self.build_divider(self.cfg.vref_fs);
         let sweep = AcSolver::new().solve(&nl, vs, &[freq])?;
         // Normalize to the healthy passive divider ratio (0.5).
         Ok(sweep.voltage(0, mid).abs() / 0.5)

@@ -30,6 +30,9 @@
 //!   from a seed.
 //! * [`waveform`] — traces with the settle-detection the clocked BIST
 //!   checker relies on.
+//! * [`topology`] — read-only graph introspection (device adjacency,
+//!   terminal degrees, connected components) consumed by the
+//!   `symbist-lint` static analyzer.
 //!
 //! ## Quick start
 //!
@@ -62,13 +65,15 @@ pub mod netlist;
 pub mod parser;
 pub mod rng;
 pub mod sparse;
+pub mod topology;
 pub mod transient;
 pub mod units;
 pub mod waveform;
 
 pub use dc::{set_thread_solve_budget, DcOptions, DcSolver, EngineChoice, Operating, SolveBudget};
 pub use error::CircuitError;
-pub use netlist::{Device, DeviceId, MosPolarity, Netlist, NodeId, SourceWave};
+pub use netlist::{device_param_issue, Device, DeviceId, MosPolarity, Netlist, NodeId, SourceWave};
 pub use rng::Rng;
+pub use topology::{DisjointSet, Topology};
 pub use transient::{Integrator, TransientOptions, TransientSim};
 pub use waveform::{Trace, TraceSet};

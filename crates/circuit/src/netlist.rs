@@ -313,6 +313,147 @@ impl Device {
     }
 }
 
+/// Returns a human-readable description of the first invalid parameter in
+/// `device`, or `None` when all parameters are sane.
+///
+/// This is the single source of truth for "sane device parameters": the
+/// [`Netlist`] builder methods consult it in debug builds (via
+/// [`Netlist::push`]'s debug assertion) and the `symbist-lint`
+/// parameter-sanity rule applies it to finished netlists, so a value the
+/// linter would flag can never slip through a builder unnoticed in tests.
+pub fn device_param_issue(device: &Device) -> Option<String> {
+    fn wave_issue(wave: &SourceWave) -> Option<String> {
+        match wave {
+            SourceWave::Dc(v) => (!v.is_finite()).then(|| format!("non-finite DC value {v}")),
+            SourceWave::Pulse {
+                low,
+                high,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                for (name, v) in [("low", low), ("high", high), ("delay", delay)] {
+                    if !v.is_finite() {
+                        return Some(format!("non-finite pulse {name} {v}"));
+                    }
+                }
+                for (name, v) in [
+                    ("rise", rise),
+                    ("fall", fall),
+                    ("width", width),
+                    ("period", period),
+                ] {
+                    if !v.is_finite() || *v < 0.0 {
+                        return Some(format!("pulse {name} must be finite and >= 0, got {v}"));
+                    }
+                }
+                None
+            }
+            SourceWave::Pwl(points) => {
+                for (t, v) in points {
+                    if !t.is_finite() || !v.is_finite() {
+                        return Some(format!("non-finite PWL breakpoint ({t}, {v})"));
+                    }
+                }
+                if points.windows(2).any(|w| w[1].0 < w[0].0) {
+                    return Some("PWL breakpoints not sorted by time".into());
+                }
+                None
+            }
+            SourceWave::Sine {
+                offset,
+                ampl,
+                freq,
+                delay,
+            } => {
+                for (name, v) in [
+                    ("offset", offset),
+                    ("ampl", ampl),
+                    ("freq", freq),
+                    ("delay", delay),
+                ] {
+                    if !v.is_finite() {
+                        return Some(format!("non-finite sine {name} {v}"));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    match device {
+        Device::Resistor { ohms, .. } => (!ohms.is_finite() || *ohms <= 0.0)
+            .then(|| format!("resistance must be finite and > 0, got {ohms}")),
+        Device::Capacitor { farads, ic, .. } => {
+            if !farads.is_finite() || *farads <= 0.0 {
+                return Some(format!("capacitance must be finite and > 0, got {farads}"));
+            }
+            if let Some(ic) = ic {
+                if !ic.is_finite() {
+                    return Some(format!(
+                        "capacitor initial condition must be finite, got {ic}"
+                    ));
+                }
+            }
+            None
+        }
+        Device::VSource { wave, .. } | Device::ISource { wave, .. } => wave_issue(wave),
+        Device::Switch { r_on, r_off, .. } => {
+            if !r_on.is_finite() || *r_on <= 0.0 {
+                return Some(format!("switch r_on must be finite and > 0, got {r_on}"));
+            }
+            if !r_off.is_finite() || *r_off <= 0.0 {
+                return Some(format!("switch r_off must be finite and > 0, got {r_off}"));
+            }
+            if r_on >= r_off {
+                return Some(format!(
+                    "switch r_on must be smaller than r_off, got r_on={r_on} r_off={r_off}"
+                ));
+            }
+            None
+        }
+        Device::Diode {
+            i_sat, ideality, ..
+        } => {
+            if !i_sat.is_finite() || *i_sat <= 0.0 {
+                return Some(format!("diode i_sat must be finite and > 0, got {i_sat}"));
+            }
+            if !ideality.is_finite() || *ideality < 1.0 {
+                return Some(format!(
+                    "diode ideality must be finite and >= 1, got {ideality}"
+                ));
+            }
+            None
+        }
+        Device::Mosfet {
+            vth, kp, lambda, ..
+        } => {
+            if !vth.is_finite() || *vth <= 0.0 {
+                return Some(format!(
+                    "mosfet vth magnitude must be finite and > 0, got {vth}"
+                ));
+            }
+            if !kp.is_finite() || *kp <= 0.0 {
+                return Some(format!("mosfet kp must be finite and > 0, got {kp}"));
+            }
+            if !lambda.is_finite() || *lambda < 0.0 {
+                return Some(format!(
+                    "mosfet lambda must be finite and >= 0, got {lambda}"
+                ));
+            }
+            None
+        }
+        Device::Vcvs { gain, .. } => {
+            (!gain.is_finite()).then(|| format!("vcvs gain must be finite, got {gain}"))
+        }
+        Device::Vccs { gm, .. } => {
+            (!gm.is_finite()).then(|| format!("vccs gm must be finite, got {gm}"))
+        }
+    }
+}
+
 /// A flat circuit description.
 #[derive(Debug, Clone, Default)]
 pub struct Netlist {
@@ -415,6 +556,13 @@ impl Netlist {
     }
 
     fn push(&mut self, d: Device) -> DeviceId {
+        // Debug-time mirror of the `symbist-lint` parameter-sanity rule:
+        // anything the linter would flag as a bad parameter is a builder
+        // bug, caught at construction in test/debug builds.
+        #[cfg(debug_assertions)]
+        if let Some(issue) = device_param_issue(&d) {
+            panic!("invalid device parameters: {issue}");
+        }
         let id = DeviceId(self.devices.len());
         self.devices.push(d);
         id
@@ -464,12 +612,24 @@ impl Netlist {
     }
 
     /// Adds a capacitor with an initial condition `v(a) − v(b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is not strictly positive and finite, or (in
+    /// debug builds) if `ic` is not finite.
     pub fn capacitor_with_ic(&mut self, a: NodeId, b: NodeId, farads: f64, ic: f64) -> DeviceId {
-        let id = self.capacitor(a, b, farads);
-        if let Device::Capacitor { ic: slot, .. } = &mut self.devices[id.0] {
-            *slot = Some(ic);
-        }
-        id
+        self.check_node(a);
+        self.check_node(b);
+        assert!(
+            farads.is_finite() && farads > 0.0,
+            "capacitance must be > 0, got {farads}"
+        );
+        self.push(Device::Capacitor {
+            a,
+            b,
+            farads,
+            ic: Some(ic),
+        })
     }
 
     /// Adds a DC voltage source.
@@ -695,6 +855,99 @@ mod tests {
         let mut nl = Netlist::new();
         // NodeId forged beyond the netlist's node count.
         nl.resistor(NodeId(42), Netlist::GND, 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_finite_ic_rejected() {
+        let mut nl = Netlist::new();
+        let n = nl.fresh_node();
+        nl.capacitor_with_ic(n, Netlist::GND, 1e-12, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_finite_vsource_rejected() {
+        let mut nl = Netlist::new();
+        let n = nl.fresh_node();
+        nl.vsource(n, Netlist::GND, f64::INFINITY);
+    }
+
+    #[test]
+    fn device_param_issue_matches_builders() {
+        // Bad parameters the builders reject are exactly those the
+        // shared validator reports.
+        let n = NodeId(0);
+        let bad = [
+            Device::Resistor {
+                a: n,
+                b: n,
+                ohms: 0.0,
+            },
+            Device::Capacitor {
+                a: n,
+                b: n,
+                farads: -1e-12,
+                ic: None,
+            },
+            Device::Capacitor {
+                a: n,
+                b: n,
+                farads: 1e-12,
+                ic: Some(f64::NAN),
+            },
+            Device::Switch {
+                a: n,
+                b: n,
+                closed: false,
+                r_on: 10.0,
+                r_off: 10.0,
+            },
+            Device::VSource {
+                p: n,
+                n,
+                wave: SourceWave::Dc(f64::NAN),
+            },
+            Device::VSource {
+                p: n,
+                n,
+                wave: SourceWave::Pwl(vec![(1.0, 0.0), (0.0, 1.0)]),
+            },
+            Device::Diode {
+                anode: n,
+                cathode: n,
+                i_sat: 1e-15,
+                ideality: 0.5,
+            },
+            Device::Mosfet {
+                d: n,
+                g: n,
+                s: n,
+                polarity: MosPolarity::Nmos,
+                vth: 0.4,
+                kp: 0.0,
+                lambda: 0.0,
+            },
+            Device::Vcvs {
+                p: n,
+                n,
+                cp: n,
+                cn: n,
+                gain: f64::INFINITY,
+            },
+        ];
+        for device in &bad {
+            assert!(
+                device_param_issue(device).is_some(),
+                "expected an issue for {device:?}"
+            );
+        }
+        let good = Device::Resistor {
+            a: n,
+            b: n,
+            ohms: 1e3,
+        };
+        assert_eq!(device_param_issue(&good), None);
     }
 
     #[test]

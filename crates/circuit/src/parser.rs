@@ -210,7 +210,9 @@ impl LineParser<'_> {
 
     fn card(&mut self, tokens: &[&str]) -> Result<(), ParseError> {
         let name = tokens[0].to_ascii_uppercase();
-        let kind = name.chars().next().unwrap();
+        let Some(kind) = name.chars().next() else {
+            return Err(self.err("empty device name"));
+        };
         let id = match kind {
             'R' => {
                 let [a, b, v] = tokens[1..=3] else {

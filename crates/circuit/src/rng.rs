@@ -219,7 +219,7 @@ impl Rng {
             })
             .collect();
         // Larger ln(u)/w (closer to zero) means larger u^(1/w); sort desc.
-        keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
         keyed.truncate(k);
         keyed.into_iter().map(|(_, i)| i).collect()
     }

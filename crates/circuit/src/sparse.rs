@@ -199,11 +199,13 @@ impl Symbolic {
             // Clique the neighbors (this is the fill).
             for (i, &a) in nbrs.iter().enumerate() {
                 for &b in &nbrs[i + 1..] {
-                    if adj[a].binary_search(&b).is_err() {
-                        let pos = adj[a].binary_search(&b).unwrap_err();
+                    // The adjacency is kept symmetric, so b ∉ adj[a]
+                    // implies a ∉ adj[b].
+                    if let Err(pos) = adj[a].binary_search(&b) {
                         adj[a].insert(pos, b);
-                        let pos = adj[b].binary_search(&a).unwrap_err();
-                        adj[b].insert(pos, a);
+                        if let Err(pos) = adj[b].binary_search(&a) {
+                            adj[b].insert(pos, a);
+                        }
                     }
                 }
             }

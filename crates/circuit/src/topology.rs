@@ -1,0 +1,279 @@
+//! Read-only topology introspection over a [`Netlist`].
+//!
+//! The static analyzer (`symbist-lint`) and other pre-simulation passes
+//! need graph-level facts about a circuit — which devices touch a node,
+//! per-node terminal degree, connected components — without stamping a
+//! single MNA entry. This module computes those facts once, up front, and
+//! never mutates the netlist.
+//!
+//! Every device is treated as a *hyperedge* over its terminal set (a
+//! MOSFET connects drain, gate, and source; a controlled source connects
+//! its output and control pairs), which is the right notion for
+//! "electrically attached": a node whose only attachment is a MOSFET gate
+//! is still attached to that transistor, even though no DC current flows
+//! into a gate. Analyses that care about *conductive* paths (the DC-path
+//! rules in `symbist-lint`) build their own filtered [`DisjointSet`] on
+//! top of the raw facts exposed here.
+//!
+//! ```
+//! use symbist_circuit::netlist::Netlist;
+//! use symbist_circuit::topology::Topology;
+//!
+//! let mut nl = Netlist::new();
+//! let a = nl.node("a");
+//! let b = nl.node("b");
+//! nl.vsource(a, Netlist::GND, 1.0);
+//! nl.resistor(a, b, 1e3);
+//! let topo = Topology::of(&nl);
+//! assert_eq!(topo.degree(a), 2);
+//! assert!(topo.connected_to_ground(b));
+//! ```
+
+use crate::netlist::{Device, DeviceId, Netlist, NodeId};
+
+impl Device {
+    /// Every node this device touches, in declaration order (duplicates
+    /// possible when two terminals share a node).
+    ///
+    /// For controlled sources the control terminals are included: a
+    /// control-only node is physically routed to the device even though
+    /// it carries no current.
+    pub fn terminals(&self) -> Vec<NodeId> {
+        match *self {
+            Device::Resistor { a, b, .. }
+            | Device::Capacitor { a, b, .. }
+            | Device::Switch { a, b, .. } => vec![a, b],
+            Device::VSource { p, n, .. } | Device::ISource { p, n, .. } => vec![p, n],
+            Device::Diode { anode, cathode, .. } => vec![anode, cathode],
+            Device::Mosfet { d, g, s, .. } => vec![d, g, s],
+            Device::Vcvs { p, n, cp, cn, .. } | Device::Vccs { p, n, cp, cn, .. } => {
+                vec![p, n, cp, cn]
+            }
+        }
+    }
+
+    /// Short class name for reports ("resistor", "vsource", …).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Device::Resistor { .. } => "resistor",
+            Device::Capacitor { .. } => "capacitor",
+            Device::VSource { .. } => "vsource",
+            Device::ISource { .. } => "isource",
+            Device::Switch { .. } => "switch",
+            Device::Diode { .. } => "diode",
+            Device::Mosfet { .. } => "mosfet",
+            Device::Vcvs { .. } => "vcvs",
+            Device::Vccs { .. } => "vccs",
+        }
+    }
+}
+
+/// Union–find (disjoint-set) structure over `0..n`, with union by size
+/// and path compression.
+///
+/// Exposed publicly because graph-shaped lint rules build *filtered*
+/// connectivity relations (e.g. "DC-conductive edges only", "ideal
+/// voltage constraints only") that [`Topology`] itself deliberately does
+/// not bake in.
+#[derive(Debug, Clone)]
+pub struct DisjointSet {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl DisjointSet {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `false` if they
+    /// were already in the same set — i.e. the new edge closes a cycle,
+    /// which is exactly the fact the voltage-source-loop rule needs.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+
+    /// Whether `a` and `b` are currently in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure tracks no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+/// Immutable adjacency snapshot of a netlist: which devices touch each
+/// node, per-node terminal degree, and full-graph connected components.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    devices_at: Vec<Vec<DeviceId>>,
+    degree: Vec<usize>,
+    component: Vec<usize>,
+}
+
+impl Topology {
+    /// Builds the snapshot. `O(nodes + total terminals)`.
+    pub fn of(nl: &Netlist) -> Topology {
+        let n = nl.node_count();
+        let mut devices_at: Vec<Vec<DeviceId>> = vec![Vec::new(); n];
+        let mut degree = vec![0usize; n];
+        let mut sets = DisjointSet::new(n);
+        for (id, device) in nl.iter() {
+            let terminals = device.terminals();
+            for &t in &terminals {
+                degree[t.index()] += 1;
+                if devices_at[t.index()].last() != Some(&id) {
+                    devices_at[t.index()].push(id);
+                }
+            }
+            for pair in terminals.windows(2) {
+                sets.union(pair[0].index(), pair[1].index());
+            }
+        }
+        let component = (0..n).map(|i| sets.find(i)).collect();
+        Topology {
+            devices_at,
+            degree,
+            component,
+        }
+    }
+
+    /// Number of nodes (including ground).
+    pub fn node_count(&self) -> usize {
+        self.degree.len()
+    }
+
+    /// Devices incident on `node`, each listed once per device (not per
+    /// terminal).
+    pub fn devices_at(&self, node: NodeId) -> &[DeviceId] {
+        &self.devices_at[node.index()]
+    }
+
+    /// Number of device terminals landing on `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.degree[node.index()]
+    }
+
+    /// Opaque component label of `node`; two nodes share a label iff some
+    /// chain of devices connects them.
+    pub fn component_label(&self, node: NodeId) -> usize {
+        self.component[node.index()]
+    }
+
+    /// Whether `node` is in ground's component.
+    pub fn connected_to_ground(&self, node: NodeId) -> bool {
+        self.component[node.index()] == self.component[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_and_adjacency() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let r1 = nl.resistor(a, b, 1e3);
+        let r2 = nl.resistor(a, Netlist::GND, 1e3);
+        let topo = Topology::of(&nl);
+        assert_eq!(topo.degree(a), 2);
+        assert_eq!(topo.degree(b), 1);
+        assert_eq!(topo.degree(Netlist::GND), 1);
+        assert_eq!(topo.devices_at(a), &[r1, r2]);
+        assert_eq!(topo.devices_at(b), &[r1]);
+    }
+
+    #[test]
+    fn components_split_on_disconnection() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let c = nl.node("c");
+        nl.resistor(a, Netlist::GND, 1e3);
+        nl.resistor(b, c, 1e3); // island
+        let topo = Topology::of(&nl);
+        assert!(topo.connected_to_ground(a));
+        assert!(!topo.connected_to_ground(b));
+        assert_eq!(topo.component_label(b), topo.component_label(c));
+        assert_ne!(topo.component_label(a), topo.component_label(b));
+    }
+
+    #[test]
+    fn mosfet_gate_counts_as_attached() {
+        let mut nl = Netlist::new();
+        let d = nl.node("d");
+        let g = nl.node("g");
+        nl.mosfet(
+            d,
+            g,
+            Netlist::GND,
+            crate::netlist::MosPolarity::Nmos,
+            0.4,
+            1e-3,
+            0.0,
+        );
+        let topo = Topology::of(&nl);
+        assert!(topo.connected_to_ground(g));
+        assert_eq!(topo.degree(g), 1);
+    }
+
+    #[test]
+    fn disjoint_set_detects_cycles() {
+        let mut ds = DisjointSet::new(3);
+        assert!(ds.union(0, 1));
+        assert!(ds.union(1, 2));
+        assert!(!ds.union(0, 2), "closing edge must report the cycle");
+        assert!(ds.same(0, 2));
+        assert_eq!(ds.len(), 3);
+    }
+
+    #[test]
+    fn terminals_cover_all_kinds() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vcvs(a, Netlist::GND, b, Netlist::GND, 2.0);
+        let (_, dev) = nl.iter().next().expect("one device");
+        assert_eq!(dev.terminals().len(), 4);
+        assert_eq!(dev.kind_name(), "vcvs");
+    }
+}

@@ -93,8 +93,8 @@ impl Trace {
         if t <= self.times[0] {
             return self.values[0];
         }
-        if t >= *self.times.last().unwrap() {
-            return *self.values.last().unwrap();
+        if t >= self.times[self.times.len() - 1] {
+            return self.values[self.values.len() - 1];
         }
         let idx = self.times.partition_point(|&x| x <= t);
         let (t0, v0) = (self.times[idx - 1], self.values[idx - 1]);
@@ -213,7 +213,7 @@ impl TraceSet {
             .iter()
             .flat_map(|t| t.times().iter().copied())
             .collect();
-        stamps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        stamps.sort_by(|a, b| a.total_cmp(b));
         stamps.dedup_by(|a, b| (*a - *b).abs() < f64::EPSILON);
         for s in stamps {
             let _ = write!(out, "{s:.6e}");

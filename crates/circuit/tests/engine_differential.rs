@@ -5,6 +5,7 @@
 //! reference-ladder DC network, a bandgap-style nonlinear branch, a
 //! switched-capacitor sampling step — plus randomly generated netlists must
 //! agree between the two engines to ≤ 1e-9 on every unknown.
+#![allow(clippy::unwrap_used)] // integration tests assert by panicking
 
 use symbist_circuit::dc::{DcOptions, DcSolver, EngineChoice};
 use symbist_circuit::netlist::{MosPolarity, Netlist, NodeId};

@@ -4,6 +4,7 @@
 //! (the repo's own [`Rng`] is the case generator, so no external
 //! property-testing dependency is needed and every failure is reproducible
 //! from the printed seed).
+#![allow(clippy::unwrap_used)] // integration tests assert by panicking
 
 use symbist_circuit::dc::{DcOptions, DcSolver, EngineChoice};
 use symbist_circuit::matrix::Matrix;

@@ -40,4 +40,4 @@ pub use campaign::{
 pub use coverage::Coverage;
 pub use likelihood::LikelihoodModel;
 pub use report::CoverageTable;
-pub use universe::{Defect, DefectUniverse};
+pub use universe::{Defect, DefectUniverse, UniverseIssue};

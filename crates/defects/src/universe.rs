@@ -1,7 +1,10 @@
 //! Defect-universe extraction: every applicable defect on every physical
 //! component of a [`Faultable`] DUT.
 
-use symbist_adc::fault::{BlockKind, DefectSite, Faultable};
+use std::collections::HashMap;
+use std::fmt;
+
+use symbist_adc::fault::{BlockKind, ComponentInfo, DefectSite, Faultable};
 
 use crate::likelihood::LikelihoodModel;
 
@@ -87,6 +90,133 @@ impl DefectUniverse {
     pub fn from_defects(defects: Vec<Defect>) -> Self {
         Self { defects }
     }
+
+    /// Structural problems in this universe relative to a DUT component
+    /// catalog — the `symbist-lint` defect-universe rules.
+    ///
+    /// A universe produced by [`DefectUniverse::enumerate`] against the
+    /// same catalog is always clean; issues arise when universes are
+    /// persisted, hand-edited, resampled, or paired with a different DUT
+    /// revision than the one they were extracted from.
+    pub fn lint_issues(&self, catalog: &[ComponentInfo]) -> Vec<UniverseIssue> {
+        let mut issues = Vec::new();
+        let mut first_seen: HashMap<DefectSite, usize> = HashMap::new();
+        for (index, defect) in self.defects.iter().enumerate() {
+            let site = defect.site;
+            match catalog.get(site.component) {
+                None => issues.push(UniverseIssue::DanglingSite {
+                    index,
+                    site,
+                    catalog_len: catalog.len(),
+                }),
+                Some(comp) => {
+                    if !comp.kind.applicable_defects().contains(&site.kind) {
+                        issues.push(UniverseIssue::InapplicableKind {
+                            index,
+                            site,
+                            component: comp.name.clone(),
+                        });
+                    }
+                }
+            }
+            if !defect.likelihood.is_finite() || defect.likelihood <= 0.0 {
+                issues.push(UniverseIssue::BadLikelihood {
+                    index,
+                    likelihood: defect.likelihood,
+                    component: defect.component_name.clone(),
+                });
+            }
+            match first_seen.get(&site) {
+                Some(&first) => issues.push(UniverseIssue::DuplicateSite { first, index, site }),
+                None => {
+                    first_seen.insert(site, index);
+                }
+            }
+        }
+        issues
+    }
+}
+
+/// One structural problem found by [`DefectUniverse::lint_issues`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum UniverseIssue {
+    /// A defect references a component index beyond the DUT catalog.
+    DanglingSite {
+        /// Index of the offending defect within the universe.
+        index: usize,
+        /// The offending site.
+        site: DefectSite,
+        /// Size of the catalog the site was checked against.
+        catalog_len: usize,
+    },
+    /// A defect kind that is not applicable to its component's kind
+    /// (e.g. a gate open on a resistor).
+    InapplicableKind {
+        /// Index of the offending defect within the universe.
+        index: usize,
+        /// The offending site.
+        site: DefectSite,
+        /// Name of the referenced component.
+        component: String,
+    },
+    /// A zero, negative, or non-finite likelihood — it would silently
+    /// vanish from (or corrupt) every L-W coverage sum.
+    BadLikelihood {
+        /// Index of the offending defect within the universe.
+        index: usize,
+        /// The offending likelihood value.
+        likelihood: f64,
+        /// Name of the referenced component.
+        component: String,
+    },
+    /// The same `(component, kind)` injection appears twice — it would be
+    /// double-counted by coverage accounting.
+    DuplicateSite {
+        /// Index of the first occurrence.
+        first: usize,
+        /// Index of the duplicate.
+        index: usize,
+        /// The duplicated site.
+        site: DefectSite,
+    },
+}
+
+impl fmt::Display for UniverseIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UniverseIssue::DanglingSite {
+                index,
+                site,
+                catalog_len,
+            } => write!(
+                f,
+                "defect #{index} references component {} ({}), but the catalog has only {catalog_len} components",
+                site.component, site.kind
+            ),
+            UniverseIssue::InapplicableKind {
+                index,
+                site,
+                component,
+            } => write!(
+                f,
+                "defect #{index}: kind {} is not applicable to component {} ({component})",
+                site.kind, site.component
+            ),
+            UniverseIssue::BadLikelihood {
+                index,
+                likelihood,
+                component,
+            } => write!(
+                f,
+                "defect #{index} on {component} has invalid likelihood {likelihood}"
+            ),
+            UniverseIssue::DuplicateSite { first, index, site } => write!(
+                f,
+                "defect #{index} duplicates defect #{first} (component {}, {})",
+                site.component, site.kind
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +263,61 @@ mod tests {
             assert!(d.likelihood > 0.0 && d.likelihood.is_finite(), "{d:?}");
         }
         assert!(uni.total_likelihood() > 0.0);
+    }
+
+    #[test]
+    fn enumerated_universe_lints_clean() {
+        let adc = SarAdc::new(AdcConfig::default());
+        let uni = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
+        assert!(uni.lint_issues(adc.components()).is_empty());
+    }
+
+    #[test]
+    fn lint_flags_structural_problems() {
+        use symbist_adc::fault::DefectKind;
+        let adc = SarAdc::new(AdcConfig::default());
+        let catalog = adc.components();
+        let uni = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
+        let mut defects = uni.defects()[..3].to_vec();
+        // Dangling site.
+        defects[0].site.component = catalog.len() + 7;
+        // NaN likelihood.
+        defects[1].likelihood = f64::NAN;
+        // Duplicate of defect 2.
+        defects.push(defects[2].clone());
+        // Inapplicable kind: a MOS gate open on a resistor component.
+        let r_idx = catalog
+            .iter()
+            .position(|c| c.kind == symbist_adc::ComponentKind::Resistor)
+            .expect("some resistor");
+        defects.push(Defect {
+            site: DefectSite {
+                component: r_idx,
+                kind: DefectKind::OpenGate,
+            },
+            component_name: catalog[r_idx].name.clone(),
+            block: catalog[r_idx].block,
+            likelihood: 1.0,
+        });
+        let issues = DefectUniverse::from_defects(defects).lint_issues(catalog);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, UniverseIssue::DanglingSite { index: 0, .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, UniverseIssue::BadLikelihood { index: 1, .. })));
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            UniverseIssue::DuplicateSite {
+                first: 2,
+                index: 3,
+                ..
+            }
+        )));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, UniverseIssue::InapplicableKind { index: 4, .. })));
+        assert_eq!(issues.len(), 4);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Fault-tolerance acceptance tests for the campaign runner: panic
 //! isolation, per-defect budgets, typed unresolved reasons, coverage
 //! bounds, and checkpoint/resume bit-identity.
+#![allow(clippy::unwrap_used)] // integration tests assert by panicking
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,6 +1,7 @@
 //! Checkpoint-loader edge cases and campaign-monitor semantics: empty
 //! files, torn-only files, over-count (corrupt) checkpoints, progress
 //! callbacks, and cooperative cancellation.
+#![allow(clippy::unwrap_used)] // integration tests assert by panicking
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

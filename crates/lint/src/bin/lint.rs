@@ -1,0 +1,54 @@
+//! `lint` — run the full static analysis suite over the built-in SAR ADC
+//! and its enumerated defect universe.
+//!
+//! ```text
+//! cargo run -p symbist-lint              # human-readable report
+//! cargo run -p symbist-lint -- --json    # machine-readable report
+//! ```
+//!
+//! Exits `0` when no Error-level diagnostics fire, `1` otherwise (the CI
+//! gate), and `2` on usage errors.
+
+use std::process::ExitCode;
+
+use symbist_adc::{AdcConfig, SarAdc};
+use symbist_defects::{DefectUniverse, LikelihoodModel};
+use symbist_lint::lint_adc_with_universe;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: lint [--json]");
+                println!();
+                println!(
+                    "Statically analyzes the built-in SAR ADC blocks, FD-symmetry \
+                     declarations,\nand enumerated defect universe; exits 1 on \
+                     Error-level diagnostics."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let adc = SarAdc::new(AdcConfig::default());
+    let universe = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
+    let report = lint_adc_with_universe(&adc, &universe);
+
+    if json {
+        println!("{}", report.to_json_string());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

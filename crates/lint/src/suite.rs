@@ -1,0 +1,59 @@
+//! The full analysis suite over a SAR ADC instance: every built-in block
+//! netlist through the netlist rules, every declared FD pair through the
+//! symmetry rule, and (optionally) a defect universe through the universe
+//! rules. This is what the `lint` binary and the service pre-flight run.
+
+use symbist_adc::fault::Faultable;
+use symbist_adc::SarAdc;
+use symbist_defects::DefectUniverse;
+
+use crate::diag::LintReport;
+use crate::rules::lint_netlist;
+use crate::symmetry::check_fd_symmetry;
+use crate::universe_rules::lint_universe;
+
+/// Lints every block netlist and FD-symmetry declaration of `adc`.
+///
+/// The instance's current defect/mismatch state flows into the snapshots,
+/// so linting an injected instance shows *which* structural asymmetry the
+/// defect introduces; gates lint the healthy instance.
+pub fn lint_adc(adc: &SarAdc) -> LintReport {
+    let mut report = LintReport::new();
+    for (context, nl) in adc.lint_netlists() {
+        report.extend(lint_netlist(&context, &nl));
+    }
+    for pair in adc.fd_pairs() {
+        report.extend(check_fd_symmetry(&pair));
+    }
+    report
+}
+
+/// [`lint_adc`] plus defect-universe validation against the ADC's
+/// component catalog.
+pub fn lint_adc_with_universe(adc: &SarAdc, universe: &DefectUniverse) -> LintReport {
+    let mut report = lint_adc(adc);
+    report.extend(lint_universe(universe, adc.components()));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbist_adc::AdcConfig;
+    use symbist_defects::LikelihoodModel;
+
+    #[test]
+    fn healthy_adc_has_no_errors() {
+        let adc = SarAdc::new(AdcConfig::default());
+        let report = lint_adc(&adc);
+        assert_eq!(report.error_count(), 0, "{}", report.render_text());
+    }
+
+    #[test]
+    fn suite_includes_universe_rules() {
+        let adc = SarAdc::new(AdcConfig::default());
+        let universe = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
+        let report = lint_adc_with_universe(&adc, &universe);
+        assert_eq!(report.error_count(), 0, "{}", report.render_text());
+    }
+}

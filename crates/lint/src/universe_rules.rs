@@ -1,0 +1,70 @@
+//! Defect-universe validation (rules SYM-L040..L042).
+//!
+//! A structurally broken universe corrupts coverage accounting silently:
+//! a dangling site crashes (or worse, mis-targets) injection, a
+//! non-finite likelihood poisons every weighted-coverage sum, and a
+//! duplicated site double-counts its weight. `symbist-defects` reports
+//! these as [`UniverseIssue`]s; this module maps them onto stable rule
+//! IDs so gates and clients can key on them.
+
+use symbist_adc::fault::ComponentInfo;
+use symbist_defects::{DefectUniverse, UniverseIssue};
+
+use crate::diag::{Diagnostic, LintReport, Rule};
+
+/// Lints `universe` against the component catalog it was built for.
+pub fn lint_universe(universe: &DefectUniverse, catalog: &[ComponentInfo]) -> LintReport {
+    let mut report = LintReport::new();
+    let context = "defect universe";
+    for issue in universe.lint_issues(catalog) {
+        let rule = match issue {
+            UniverseIssue::DanglingSite { .. } | UniverseIssue::InapplicableKind { .. } => {
+                Rule::DanglingDefectSite
+            }
+            UniverseIssue::BadLikelihood { .. } => Rule::BadLikelihood,
+            UniverseIssue::DuplicateSite { .. } => Rule::DuplicateDefect,
+        };
+        let subject = match &issue {
+            UniverseIssue::DanglingSite { index, .. }
+            | UniverseIssue::InapplicableKind { index, .. }
+            | UniverseIssue::BadLikelihood { index, .. } => format!("defect #{index}"),
+            UniverseIssue::DuplicateSite { index, first, .. } => {
+                format!("defect #{index} (first at #{first})")
+            }
+        };
+        report.push(Diagnostic::new(rule, context, subject, issue.to_string()));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbist_adc::fault::Faultable;
+    use symbist_adc::{AdcConfig, SarAdc};
+    use symbist_defects::LikelihoodModel;
+
+    #[test]
+    fn enumerated_universe_is_clean() {
+        let adc = SarAdc::new(AdcConfig::default());
+        let universe = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
+        let report = lint_universe(&universe, adc.components());
+        assert!(report.diagnostics().is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn corrupted_universe_maps_to_rules() {
+        let adc = SarAdc::new(AdcConfig::default());
+        let universe = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
+        let catalog_len = adc.components().len();
+        let mut defects = universe.defects().to_vec();
+        defects[0].site.component = catalog_len + 3;
+        defects[1].likelihood = -1.0;
+        defects[3] = defects[2].clone();
+        let universe = DefectUniverse::from_defects(defects);
+        let report = lint_universe(&universe, adc.components());
+        assert!(report.has_rule("SYM-L040"), "{}", report.render_text());
+        assert!(report.has_rule("SYM-L041"));
+        assert!(report.has_rule("SYM-L042"));
+    }
+}

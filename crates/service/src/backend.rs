@@ -22,6 +22,7 @@ use symbist_defects::{
     run_campaign_monitored, CampaignError, CampaignMonitor, CampaignResult, DefectUniverse,
     SimOutcome, TestOutcome,
 };
+use symbist_lint::{lint_adc_with_universe, LintReport};
 
 use crate::spec::{JobSpec, SpecError};
 
@@ -31,6 +32,15 @@ pub trait CampaignBackend: Send + Sync {
     /// Checks a spec against this backend's universe so a bad spec is
     /// rejected at submit time (`400`) instead of failing the job later.
     fn validate(&self, spec: &JobSpec) -> Result<(), SpecError>;
+
+    /// Static pre-flight analysis for a spec: the lint report of the DUT
+    /// and universe the job would run against. The front-end rejects
+    /// submissions whose report carries Error-level diagnostics (`422`)
+    /// before the job ever reaches the queue or a worker slot. The
+    /// default is an empty (passing) report.
+    fn preflight(&self, _spec: &JobSpec) -> LintReport {
+        LintReport::default()
+    }
 
     /// Runs the campaign described by `spec`, checkpointing to
     /// `checkpoint` and publishing every record through `monitor` (which
@@ -89,6 +99,7 @@ fn resolve_schedule(spec: &JobSpec) -> Result<Schedule, SpecError> {
 pub struct AdcBackend {
     adc: SarAdc,
     universe: DefectUniverse,
+    lint: LintReport,
     sequential: SymBist,
     parallel: SymBist,
 }
@@ -96,10 +107,13 @@ pub struct AdcBackend {
 impl AdcBackend {
     /// Builds the ADC, enumerates its defect universe, and calibrates a
     /// SymBIST engine per schedule (the expensive part — done once, not
-    /// per job).
+    /// per job). The static lint report is also computed here: the DUT
+    /// and universe are fixed for the backend's lifetime, so pre-flight
+    /// per submission is a clone, not a re-analysis.
     pub fn new(xc: &ExperimentConfig) -> AdcBackend {
         let adc = SarAdc::new(xc.adc.clone());
         let universe = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
+        let lint = lint_adc_with_universe(&adc, &universe);
         let engine = |schedule| {
             let mut xc = xc.clone();
             xc.schedule = schedule;
@@ -108,6 +122,7 @@ impl AdcBackend {
         AdcBackend {
             adc,
             universe,
+            lint,
             sequential: engine(Schedule::Sequential),
             parallel: engine(Schedule::Parallel),
         }
@@ -127,6 +142,10 @@ impl AdcBackend {
 }
 
 impl CampaignBackend for AdcBackend {
+    fn preflight(&self, _spec: &JobSpec) -> LintReport {
+        self.lint.clone()
+    }
+
     fn validate(&self, spec: &JobSpec) -> Result<(), SpecError> {
         let block = resolve_block(spec)?;
         resolve_schedule(spec)?;
@@ -245,6 +264,7 @@ pub struct SyntheticBackend {
     universe: DefectUniverse,
     defect_delay: Duration,
     gate: Option<Arc<Gate>>,
+    lint: LintReport,
 }
 
 impl SyntheticBackend {
@@ -258,6 +278,7 @@ impl SyntheticBackend {
             universe,
             defect_delay: Duration::ZERO,
             gate: None,
+            lint: LintReport::default(),
         }
     }
 
@@ -273,6 +294,13 @@ impl SyntheticBackend {
         self
     }
 
+    /// Scripts the pre-flight lint report (tests exercise the `422`
+    /// rejection path without building a structurally broken DUT).
+    pub fn with_lint_report(mut self, report: LintReport) -> SyntheticBackend {
+        self.lint = report;
+        self
+    }
+
     /// Size of the synthetic defect universe.
     pub fn universe_len(&self) -> usize {
         self.universe.len()
@@ -280,6 +308,10 @@ impl SyntheticBackend {
 }
 
 impl CampaignBackend for SyntheticBackend {
+    fn preflight(&self, _spec: &JobSpec) -> LintReport {
+        self.lint.clone()
+    }
+
     fn validate(&self, spec: &JobSpec) -> Result<(), SpecError> {
         if let Some(block) = &spec.block {
             if block != BlockKind::ScArray.label() {

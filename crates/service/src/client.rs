@@ -175,6 +175,14 @@ impl Client {
             .json()
     }
 
+    /// `GET /lint/{id}`: the pre-flight lint report evaluated for the
+    /// job's DUT and defect universe at submission.
+    pub fn lint(&self, id: JobId) -> Result<Json, ClientError> {
+        self.request("GET", &format!("/lint/{id}"), None)?
+            .check()?
+            .json()
+    }
+
     /// `POST /shutdown`: asks the server to drain and exit.
     pub fn shutdown(&self) -> Result<(), ClientError> {
         self.request("POST", "/shutdown", None)?.check().map(|_| ())

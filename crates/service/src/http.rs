@@ -26,6 +26,7 @@
 //! | `GET /jobs/{id}/results` | NDJSON record stream (follows live jobs) |
 //! | `DELETE /jobs/{id}`      | Cancel a queued/running job              |
 //! | `GET /report/{id}`       | Final coverage report                    |
+//! | `GET /lint/{id}`         | Pre-flight lint report for the job's DUT |
 //! | `GET /healthz`           | Liveness probe                           |
 //! | `GET /stats`             | Service counters                         |
 //! | `POST /shutdown`         | Graceful drain-to-checkpoint shutdown    |
@@ -347,6 +348,7 @@ fn status_reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
@@ -356,6 +358,37 @@ fn status_reason(status: u16) -> &'static str {
 
 fn error_json(message: &str) -> Json {
     Json::obj([("error", Json::str(message))])
+}
+
+/// Renders a lint report as the service's JSON diagnostics shape (the
+/// same fields the `lint --json` binary emits).
+fn lint_json(report: &symbist_lint::LintReport) -> Json {
+    Json::obj([
+        ("errors", Json::num(report.error_count() as f64)),
+        (
+            "warnings",
+            Json::num(report.count(symbist_lint::Severity::Warning) as f64),
+        ),
+        (
+            "diagnostics",
+            Json::Arr(
+                report
+                    .diagnostics()
+                    .iter()
+                    .map(|d| {
+                        Json::obj([
+                            ("rule", Json::str(d.rule.code())),
+                            ("name", Json::str(d.rule.name())),
+                            ("severity", Json::str(d.severity.label())),
+                            ("context", Json::str(d.context.clone())),
+                            ("subject", Json::str(d.subject.clone())),
+                            ("message", Json::str(d.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn write_response(
@@ -470,6 +503,12 @@ fn route_job(
             _ => write_response(stream, 405, &[], error_json("method not allowed")),
         };
     }
+    if let Some((id, tail)) = parse_job_path(path, "/lint/") {
+        return match (method, tail) {
+            ("GET", None) => lint_report(stream, id, shared),
+            _ => write_response(stream, 405, &[], error_json("method not allowed")),
+        };
+    }
     let Some((id, tail)) = parse_job_path(path, "/jobs/") else {
         return write_response(stream, 404, &[], error_json("no such route"));
     };
@@ -502,6 +541,21 @@ fn submit_job(stream: &mut TcpStream, body: &[u8], shared: &Shared) -> std::io::
     };
     if let Err(e) = shared.backend.validate(&spec) {
         return write_response(stream, 400, &[], error_json(&e.0));
+    }
+    // Static pre-flight: a DUT/universe that fails Error-level lints
+    // would burn a worker slot on a campaign doomed to NoConvergence or
+    // corrupted coverage — reject before the job touches the queue.
+    let lint = shared.backend.preflight(&spec);
+    if lint.has_errors() {
+        let mut body = match lint_json(&lint) {
+            Json::Obj(map) => map,
+            _ => unreachable!("lint_json always returns an object"),
+        };
+        body.insert(
+            "error".to_string(),
+            Json::str("pre-flight lint failed: the DUT or defect universe is structurally broken"),
+        );
+        return write_response(stream, 422, &[], Json::Obj(body));
     }
     match shared.registry.submit(spec) {
         Ok(job) => write_response(
@@ -550,6 +604,21 @@ fn cancel_job(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Re
                 ]),
             )
         }
+    }
+}
+
+/// Returns the pre-flight lint report the submission gate evaluated for
+/// job `id`'s spec. Admitted jobs always show zero `errors`; the value is
+/// in the warnings/info detail and in auditing what the gate saw.
+fn lint_report(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<()> {
+    match shared.registry.get(id) {
+        Some(job) => write_response(
+            stream,
+            200,
+            &[],
+            lint_json(&shared.backend.preflight(&job.spec)),
+        ),
+        None => write_response(stream, 404, &[], error_json("no such job")),
     }
 }
 

@@ -4,6 +4,7 @@
 //! streaming, cancellation, and the drain/restart resume contract (the
 //! service-level version of the campaign runner's kill-and-resume
 //! oracle).
+#![allow(clippy::unwrap_used)] // integration tests assert by panicking
 
 use std::io::Write;
 use std::net::TcpStream;
@@ -391,6 +392,116 @@ fn draining_server_rejects_new_jobs_with_503() {
         other => panic!("expected 503, got {other:?}"),
     }
     gate.release();
+    server.request_shutdown();
+    server.wait();
+}
+
+/// One raw HTTP exchange, returning the status code and body — used where
+/// the typed client collapses error bodies into a single message and the
+/// test needs the full JSON payload.
+fn raw_request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    use std::io::{BufRead, BufReader, Read};
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header");
+        if header.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut body = String::new();
+    reader.read_to_string(&mut body).expect("body");
+    (status, body)
+}
+
+#[test]
+fn preflight_errors_reject_with_422_without_queueing() {
+    use symbist_lint::{Diagnostic, LintReport, Rule};
+
+    // A backend whose static pre-flight fails: one Error-level finding.
+    let mut report = LintReport::new();
+    report.push(Diagnostic::new(
+        Rule::FloatingNode,
+        "synthetic dut",
+        "node island",
+        "2 node(s) have no connection to ground",
+    ));
+    let backend = Arc::new(SyntheticBackend::new(3).with_lint_report(report));
+    let (server, client) = start(ServiceConfig::default(), backend);
+
+    // The raw 422 body carries machine-readable diagnostics.
+    let spec_body = JobSpec::default().to_json().to_string();
+    let (status, body) = raw_request(server.addr(), "POST", "/jobs", &spec_body);
+    assert_eq!(status, 422, "{body}");
+    let json = Json::parse(&body).expect("422 body is JSON");
+    assert!(json.get("error").and_then(Json::as_str).is_some(), "{body}");
+    assert_eq!(json.get("errors").and_then(Json::as_u64), Some(1), "{body}");
+    let diags = json
+        .get("diagnostics")
+        .and_then(Json::as_arr)
+        .expect("diagnostics array");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(
+        diags[0].get("rule").and_then(Json::as_str),
+        Some("SYM-L001")
+    );
+    assert_eq!(
+        diags[0].get("severity").and_then(Json::as_str),
+        Some("error")
+    );
+
+    // The typed client surfaces the same rejection.
+    match client.submit(&JobSpec::default()) {
+        Err(ClientError::Http {
+            status: 422,
+            message,
+        }) => assert!(message.contains("pre-flight"), "{message}"),
+        other => panic!("expected 422, got {other:?}"),
+    }
+
+    // The rejection happened at the front door: nothing was queued, no
+    // worker slot was ever occupied, and no job id was minted.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("queue_depth").and_then(Json::as_u64), Some(0));
+    assert_eq!(stats.get("running").and_then(Json::as_u64), Some(0));
+    assert_eq!(stats.get("submitted").and_then(Json::as_u64), Some(0));
+
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn lint_endpoint_reports_for_admitted_jobs() {
+    // A clean backend admits the job; GET /lint/{id} then audits what the
+    // submission gate saw (zero errors).
+    let (server, client) = start(ServiceConfig::default(), Arc::new(SyntheticBackend::new(3)));
+    let id = client.submit(&JobSpec::default()).expect("submit");
+    let lint = client.lint(id).expect("lint report");
+    assert_eq!(lint.get("errors").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        lint.get("diagnostics")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+    // Unknown job ids 404 like every other job-scoped endpoint.
+    assert!(matches!(
+        client.lint(9_999),
+        Err(ClientError::Http { status: 404, .. })
+    ));
     server.request_shutdown();
     server.wait();
 }
