@@ -4,8 +4,14 @@
 //! tracked across commits.
 //!
 //! ```text
-//! cargo run --release -p symbist-bench --bin bench_engine [-- --quick] [out.json]
+//! cargo run --release -p symbist-bench --bin bench_engine [-- --quick] [--no-obs] [out.json]
 //! ```
+//!
+//! `--no-obs` disables the observability layer globally for the whole
+//! run, giving uninstrumented baseline numbers. The default (obs on)
+//! still measures both sides of the `transient_rc_1000_steps/obs` vs
+//! `/no_obs` pair by toggling the layer around that one benchmark; its
+//! derived `obs_overhead_pct` is the CI gate for the ≤ 3 % budget.
 
 use symbist_bench::{engine_suite, harness::Harness, service_suite};
 
@@ -15,6 +21,8 @@ fn main() {
     for arg in std::env::args().skip(1) {
         if arg == "--quick" {
             quick = true;
+        } else if arg == "--no-obs" {
+            symbist_obs::set_enabled(false);
         } else {
             out_path = arg;
         }

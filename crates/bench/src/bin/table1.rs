@@ -5,13 +5,38 @@
 //! ```sh
 //! cargo run --release -p symbist-bench --bin table1
 //! ```
+//!
+//! Pass `--trace-out PATH` to dump the campaign's captured spans as
+//! `chrome://tracing`-compatible NDJSON when the run finishes.
 
 use std::fs;
+use std::path::PathBuf;
 
 use symbist::experiments::{table1, Table1Options};
 use symbist_bench::standard_config;
 
+fn parse_trace_out() -> Option<PathBuf> {
+    let mut trace_out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--trace-out" {
+            match it.next() {
+                Some(path) => trace_out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--trace-out requires a value");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            eprintln!("unknown flag {flag:?} (usage: table1 [--trace-out PATH])");
+            std::process::exit(2);
+        }
+    }
+    trace_out
+}
+
 fn main() {
+    let trace_out = parse_trace_out();
     let xc = standard_config();
     let opts = Table1Options::default();
     eprintln!(
@@ -44,4 +69,12 @@ Complete A/M-S part 86.96%±3.67%."
 
     fs::write("table1.csv", table.to_csv()).expect("write table1.csv");
     eprintln!("\nWrote table1.csv");
+
+    if let Some(path) = trace_out {
+        let tracer = symbist_obs::tracer();
+        let mut out = Vec::new();
+        tracer.write_ndjson(&mut out).expect("serialize trace");
+        fs::write(&path, out).expect("write trace file");
+        eprintln!("Wrote {} trace events to {}", tracer.len(), path.display());
+    }
 }

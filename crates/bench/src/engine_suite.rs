@@ -7,6 +7,8 @@
 //! solve inside `refnet`) and the repeated transient step, plus the full
 //! 10-bit SAR conversion that composes them.
 
+use std::sync::OnceLock;
+
 use crate::harness::Harness;
 use symbist_adc::{AdcConfig, SarAdc};
 use symbist_circuit::dc::{set_thread_default_engine, DcOptions, DcSolver, EngineChoice};
@@ -15,6 +17,10 @@ use symbist_circuit::netlist::{MosPolarity, Netlist, NodeId};
 use symbist_circuit::rng::Rng;
 use symbist_circuit::sparse::{Numeric, Symbolic};
 use symbist_circuit::transient::{TransientOptions, TransientSim};
+
+/// Paired obs-on/obs-off overhead on the 1000-step RC transient,
+/// measured by `run` and read back by `derived`.
+static OBS_OVERHEAD_PCT: OnceLock<f64> = OnceLock::new();
 
 fn solver(engine: EngineChoice) -> DcSolver {
     DcSolver::with_options(DcOptions {
@@ -146,6 +152,40 @@ pub fn run(h: &mut Harness) {
         h.bench("transient_rc_1000_steps/sparse", || {
             run(EngineChoice::Sparse)
         });
+
+        // --- observability overhead on the hottest loop ----------------
+        // The same 1000-step sparse transient with the obs layer live vs
+        // globally disabled; the derived `obs_overhead_pct` is the CI
+        // gate for the "metrics cost ≤ 3 %" budget. Sequential whole-
+        // bench timing lets machine drift dwarf a sub-3 % signal, so the
+        // two sides are measured *paired*: each round times them back to
+        // back (alternating order to cancel ordering bias) and yields one
+        // obs/off ratio; the reported overhead is the median ratio, which
+        // is immune to slow drift and to outlier rounds alike.
+        let mut ratios = Vec::new();
+        const ROUNDS: usize = 60;
+        const ITERS: usize = 8;
+        for round in 0..ROUNDS {
+            let order = if round % 2 == 0 {
+                [true, false]
+            } else {
+                [false, true]
+            };
+            let mut timed = [0.0f64; 2]; // [obs, off]
+            for on in order {
+                let prev = symbist_obs::set_enabled(on);
+                let start = std::time::Instant::now();
+                for _ in 0..ITERS {
+                    std::hint::black_box(run(EngineChoice::Sparse));
+                }
+                timed[usize::from(!on)] = start.elapsed().as_secs_f64();
+                symbist_obs::set_enabled(prev);
+            }
+            ratios.push(timed[0] / timed[1]);
+        }
+        ratios.sort_by(f64::total_cmp);
+        let median = ratios[ROUNDS / 2];
+        let _ = OBS_OVERHEAD_PCT.set((median - 1.0) * 100.0);
     }
 
     // --- ADC-level composites: the full 10-bit SAR conversion -----------
@@ -174,6 +214,9 @@ pub fn derived(h: &Harness) -> Vec<(&'static str, f64)> {
     }
     if let Some(s) = h.speedup("sar_conversion_10bit/dense", "sar_conversion_10bit/sparse") {
         out.push(("sar_conversion_speedup", s));
+    }
+    if let Some(pct) = OBS_OVERHEAD_PCT.get() {
+        out.push(("obs_overhead_pct", *pct));
     }
     out
 }

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use symbist_service::backend::{Gate, SyntheticBackend};
-use symbist_service::client::{Client, ClientError};
+use symbist_service::client::{Client, ClientError, ServiceError};
 use symbist_service::http::{Server, ServiceConfig};
 use symbist_service::spec::JobSpec;
 
@@ -33,7 +33,9 @@ pub fn run(h: &mut Harness) {
             Arc::new(SyntheticBackend::new(4)),
         )
         .expect("bench server");
-        let client = Client::new(server.addr().to_string());
+        let client = Client::builder()
+            .base_url(server.addr().to_string())
+            .build();
         h.bench("service/job_roundtrip", || {
             let id = client.submit(&JobSpec::default()).expect("submit");
             let mut records = 0usize;
@@ -69,7 +71,9 @@ pub fn run(h: &mut Harness) {
             Arc::new(SyntheticBackend::new(2).with_gate(Arc::clone(&gate))),
         )
         .expect("bench server");
-        let client = Client::new(server.addr().to_string());
+        let client = Client::builder()
+            .base_url(server.addr().to_string())
+            .build();
         let first = client.submit(&JobSpec::default()).expect("first job");
         // Wait for the worker to claim it, then fill the single queue slot
         // so the saturated state is stable for the whole measurement.
@@ -92,8 +96,8 @@ pub fn run(h: &mut Harness) {
         client.submit(&JobSpec::default()).expect("fills the queue");
         h.bench("service/queue_saturated_503", || {
             match client.submit(&JobSpec::default()) {
-                Err(ClientError::Http { status: 503, .. }) => {}
-                other => panic!("expected 503 under saturation, got {other:?}"),
+                Err(ClientError::Service(ServiceError::QueueFull { .. })) => {}
+                other => panic!("expected queue_full under saturation, got {other:?}"),
             }
         });
         gate.release();

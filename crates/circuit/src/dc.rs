@@ -273,6 +273,32 @@ impl DcSolver {
         netlist: &Netlist,
         initial: Option<&[f64]>,
     ) -> Result<Operating, CircuitError> {
+        // Time the whole continuation ladder, not individual Newton
+        // attempts: a solve that needed gmin stepping should show its
+        // full cost in one histogram sample.
+        let start = symbist_obs::enabled().then(std::time::Instant::now);
+        let result = self.solve_from_inner(netlist, initial);
+        if let Some(start) = start {
+            symbist_obs::counter!(
+                "symbist_solver_dc_solves_total",
+                "DC operating-point solves (all continuation strategies included)"
+            )
+            .inc();
+            symbist_obs::histogram!(
+                "symbist_solver_dc_solve_seconds",
+                "Wall time per DC operating-point solve",
+                symbist_obs::SECONDS_EDGES
+            )
+            .record(start.elapsed().as_secs_f64());
+        }
+        result
+    }
+
+    fn solve_from_inner(
+        &self,
+        netlist: &Netlist,
+        initial: Option<&[f64]>,
+    ) -> Result<Operating, CircuitError> {
         let mut asm = MnaEngine::new(netlist, self.options.engine);
         let dim = asm.layout().dim;
         let caps: Vec<Option<CapCompanion>> = vec![None; netlist.device_count()];
@@ -398,6 +424,7 @@ impl DcSolver {
                 return Ok(false);
             }
             if linear || max_delta == 0.0 {
+                asm.note_newton(iter as u64 + 1);
                 return Ok(true);
             }
         }

@@ -824,7 +824,10 @@ impl SparseAssembler {
         self.base_dirty = false;
     }
 
-    /// Assembles (incrementally) and solves the MNA system.
+    /// Assembles (incrementally) and solves the MNA system. Returns
+    /// `true` when a numeric refactorization was performed, `false` when
+    /// the bit-identical-matrix check allowed it to be skipped — the
+    /// engine turns this into the refactor-skip hit-rate metrics.
     ///
     /// # Errors
     ///
@@ -837,7 +840,7 @@ impl SparseAssembler {
         layout: &MnaLayout,
         ctx: &AssemblyCtx<'_>,
         x_out: &mut [f64],
-    ) -> Result<(), SingularMatrixError> {
+    ) -> Result<bool, SingularMatrixError> {
         self.refresh_base(netlist, layout, ctx);
         self.work.copy_from_slice(&self.base);
         self.rhs.fill(0.0);
@@ -990,7 +993,7 @@ impl SparseAssembler {
             self.factored.copy_from_slice(&self.work);
         }
         self.numeric.solve_into(&self.symbolic, &self.rhs, x_out);
-        Ok(())
+        Ok(!same)
     }
 }
 
@@ -1007,6 +1010,67 @@ pub(crate) struct MnaEngine {
     /// a few so a topology that genuinely defeats static pivoting does not
     /// pay for a doomed refactorization on every iteration.
     sparse_failures: u32,
+    stats: EngineStats,
+}
+
+/// Plain-integer solve tallies, accumulated per engine and flushed to the
+/// shared `symbist-obs` registry once, on [`MnaEngine`] drop. Keeping the
+/// per-solve cost at ordinary integer increments (no atomics, no clock
+/// reads) is what holds the measured instrumentation overhead on the
+/// transient hot loop under the 3% budget.
+#[derive(Debug)]
+struct EngineStats {
+    sparse_solves: u64,
+    dense_solves: u64,
+    refactors: u64,
+    refactor_skips: u64,
+    /// Newton iterations per converged operating-point solve; local
+    /// buckets, merged into the shared histogram on drop.
+    newton_iters: symbist_obs::LocalHistogram,
+}
+
+impl EngineStats {
+    fn new() -> Self {
+        Self {
+            sparse_solves: 0,
+            dense_solves: 0,
+            refactors: 0,
+            refactor_skips: 0,
+            newton_iters: symbist_obs::LocalHistogram::new(symbist_obs::histogram!(
+                "symbist_solver_newton_iterations",
+                "Newton iterations per converged operating-point solve",
+                symbist_obs::ITERATION_EDGES
+            )),
+        }
+    }
+
+    fn flush(&mut self) {
+        symbist_obs::counter!(
+            r#"symbist_solver_solves_total{path="sparse"}"#,
+            "Linear MNA solves by assembly path"
+        )
+        .add(self.sparse_solves);
+        symbist_obs::counter!(
+            r#"symbist_solver_solves_total{path="dense"}"#,
+            "Linear MNA solves by assembly path"
+        )
+        .add(self.dense_solves);
+        symbist_obs::counter!(
+            "symbist_solver_refactors_total",
+            "Sparse numeric refactorizations performed"
+        )
+        .add(self.refactors);
+        symbist_obs::counter!(
+            "symbist_solver_refactor_skips_total",
+            "Sparse refactorizations skipped via the bit-identical-matrix check"
+        )
+        .add(self.refactor_skips);
+        self.sparse_solves = 0;
+        self.dense_solves = 0;
+        self.refactors = 0;
+        self.refactor_skips = 0;
+        self.newton_iters.flush();
+    }
 }
 
 /// After this many consecutive static-pivot failures the engine stops trying
@@ -1029,7 +1093,15 @@ impl MnaEngine {
             sparse,
             solution,
             sparse_failures: 0,
+            stats: EngineStats::new(),
         }
+    }
+
+    /// Records the iteration count of one converged Newton solve into the
+    /// engine-local histogram (flushed on drop).
+    pub(crate) fn note_newton(&mut self, iterations: u64) {
+        #[allow(clippy::cast_precision_loss)]
+        self.stats.newton_iters.record(iterations as f64);
     }
 
     pub(crate) fn layout(&self) -> &MnaLayout {
@@ -1057,9 +1129,15 @@ impl MnaEngine {
                     ctx,
                     &mut self.solution,
                 ) {
-                    Ok(()) => {
+                    Ok(refactored) => {
                         self.sparse_failures = 0;
                         solved = true;
+                        self.stats.sparse_solves += 1;
+                        if refactored {
+                            self.stats.refactors += 1;
+                        } else {
+                            self.stats.refactor_skips += 1;
+                        }
                     }
                     Err(_) => self.sparse_failures += 1,
                 }
@@ -1068,6 +1146,7 @@ impl MnaEngine {
         if !solved {
             self.dense.assemble(netlist, ctx);
             self.solution = self.dense.matrix.solve(&self.dense.rhs)?;
+            self.stats.dense_solves += 1;
         }
         Ok(&self.solution)
     }
@@ -1075,6 +1154,7 @@ impl MnaEngine {
 
 impl Drop for MnaEngine {
     fn drop(&mut self) {
+        self.stats.flush();
         if let Some(sparse) = self.sparse.take() {
             sparse.release();
         }

@@ -98,6 +98,19 @@ pub struct TransientSim {
     /// Trapezoidal needs a consistent capacitor current to start from; the
     /// first step is always taken with backward Euler to provide one.
     first_step: bool,
+    /// Steps taken by this sim, flushed to the registry once on drop so
+    /// the per-step cost stays a plain integer increment.
+    steps_taken: u64,
+}
+
+impl Drop for TransientSim {
+    fn drop(&mut self) {
+        symbist_obs::counter!(
+            "symbist_solver_transient_steps_total",
+            "Transient integration steps taken"
+        )
+        .add(self.steps_taken);
+    }
 }
 
 impl TransientSim {
@@ -145,6 +158,7 @@ impl TransientSim {
             companions: vec![None; device_count],
             device_count,
             first_step: true,
+            steps_taken: 0,
         })
     }
 
@@ -297,6 +311,7 @@ impl TransientSim {
         }
         self.time = t_next;
         self.first_step = false;
+        self.steps_taken += 1;
         Ok(())
     }
 

@@ -75,11 +75,14 @@ impl Calibration {
     ) -> Self {
         assert!(samples >= 2, "need at least 2 MC samples");
         assert!(k > 0.0, "k must be positive");
+        let cal_start = symbist_obs::enabled().then(std::time::Instant::now);
+        let _cal_span = symbist_obs::span!("calibration");
         let wiring = CheckerWiring::from_config(cfg);
         let mut rng = Rng::seed_from_u64(seed);
         // One deviation matrix per sample, evaluated in parallel; pooling
         // happens afterwards in sample order so the statistics cannot
         // depend on thread scheduling.
+        let mc_span = symbist_obs::span!("calibration_mc_samples");
         let per_sample: Vec<[Vec<f64>; 6]> =
             run_parallel_seeded(samples, &mut rng, threads, |_, sample_rng| {
                 let mut adc = SarAdc::new(cfg.clone());
@@ -95,6 +98,8 @@ impl Calibration {
                 }
                 devs
             });
+        drop(mc_span);
+        let pool_span = symbist_obs::span!("calibration_pooling");
         let mut pooled: [Vec<f64>; 6] = Default::default();
         for devs in per_sample {
             for (pool, mut dev) in pooled.iter_mut().zip(devs) {
@@ -115,6 +120,20 @@ impl Calibration {
             means[i] = s.mean;
             sigmas[i] = s.std.max(1e-6); // floor keeps the window physical
             deltas[i] = k * sigmas[i];
+        }
+        drop(pool_span);
+        if let Some(cal_start) = cal_start {
+            symbist_obs::counter!(
+                "symbist_calibration_runs_total",
+                "Monte-Carlo calibrations performed"
+            )
+            .inc();
+            symbist_obs::histogram!(
+                "symbist_calibration_seconds",
+                "Wall time per Monte-Carlo calibration (sampling + pooling)",
+                symbist_obs::SECONDS_EDGES
+            )
+            .record(cal_start.elapsed().as_secs_f64());
         }
         Self {
             k,

@@ -586,6 +586,12 @@ where
         return Err(CampaignError::EmptyUniverse);
     }
     let start = Instant::now();
+    symbist_obs::counter!("symbist_campaign_runs_total", "Defect campaigns started").inc();
+    let _campaign_span = symbist_obs::span!("campaign");
+    // The caller's trace scope (e.g. the service's `job-{id}`) is
+    // thread-local; capture it here and re-install it inside each scoped
+    // worker thread so per-job trace slicing survives the fan-out.
+    let trace_scope = symbist_obs::current_scope();
 
     // LWRS draw (or the full universe), as sorted indices into the universe.
     let selected: Vec<usize> = match options.sample_size {
@@ -618,6 +624,11 @@ where
         done
     };
     let resumed = preloaded.len();
+    symbist_obs::counter!(
+        "symbist_campaign_resumed_records_total",
+        "Defect records reloaded from checkpoints instead of re-simulated"
+    )
+    .add(resumed as u64);
     monitor.on_start(selected.len(), resumed);
     for (_, rec) in &preloaded {
         monitor.on_record(rec, true);
@@ -646,6 +657,7 @@ where
     let cancelled = std::sync::atomic::AtomicBool::new(false);
 
     let worker = || -> Result<Vec<(usize, DefectRecord)>, CampaignError> {
+        let _scope = symbist_obs::enter_scope_opt(trace_scope.clone());
         let mut local: Vec<(usize, DefectRecord)> = Vec::new();
         loop {
             if cancelled.load(Ordering::Relaxed) || monitor.cancelled() {
@@ -670,12 +682,14 @@ where
             } else {
                 set_thread_solve_budget(Some(budget))
             };
+            let defect_span = symbist_obs::span!("defect_sim");
             let verdict = catch_unwind(AssertUnwindSafe(|| {
                 let mut instance = dut.clone();
                 instance.inject(defect.site);
                 test(&instance).into()
             }));
             set_thread_solve_budget(prev);
+            drop(defect_span);
             let wall = t0.elapsed();
             let mut outcome = match verdict {
                 Ok(outcome) => outcome,
@@ -703,13 +717,23 @@ where
                 outcome,
                 wall,
             };
+            record_defect_metrics(&record);
             if let Some(writer) = &writer {
+                let ckpt_start = symbist_obs::enabled().then(Instant::now);
                 let mut file = writer.lock().unwrap_or_else(|e| e.into_inner());
                 let line = checkpoint_line(&record);
                 let io = file
                     .write_all(line.as_bytes())
                     .and_then(|()| file.write_all(b"\n"))
                     .and_then(|()| file.flush());
+                if let Some(ckpt_start) = ckpt_start {
+                    symbist_obs::histogram!(
+                        "symbist_campaign_checkpoint_seconds",
+                        "Latency of one checkpoint record append (lock + write + flush)",
+                        symbist_obs::SECONDS_EDGES
+                    )
+                    .record(ckpt_start.elapsed().as_secs_f64());
+                }
                 if let Err(e) = io {
                     return Err(CampaignError::Checkpoint {
                         path: options
@@ -762,6 +786,54 @@ where
         resumed,
         total_wall: start.elapsed(),
     })
+}
+
+/// Bumps the per-outcome counter family, the wall-time histogram, and the
+/// budget-exhaustion counter for one freshly-simulated defect. The label
+/// universe is the closed set of [`SimOutcome`] shapes, so each series
+/// gets a static handle.
+fn record_defect_metrics(record: &DefectRecord) {
+    const HELP: &str = "Freshly-simulated defects by outcome";
+    let counter = match &record.outcome {
+        SimOutcome::Completed(o) if o.detected => {
+            symbist_obs::counter!(
+                r#"symbist_campaign_defects_total{outcome="detected"}"#,
+                HELP
+            )
+        }
+        SimOutcome::Completed(_) => {
+            symbist_obs::counter!(r#"symbist_campaign_defects_total{outcome="escaped"}"#, HELP)
+        }
+        SimOutcome::Unresolved(UnresolvedReason::NoConvergence) => symbist_obs::counter!(
+            r#"symbist_campaign_defects_total{outcome="no-convergence"}"#,
+            HELP
+        ),
+        SimOutcome::Unresolved(UnresolvedReason::Timeout) => {
+            symbist_obs::counter!(r#"symbist_campaign_defects_total{outcome="timeout"}"#, HELP)
+        }
+        SimOutcome::Unresolved(UnresolvedReason::Panic) => {
+            symbist_obs::counter!(r#"symbist_campaign_defects_total{outcome="panic"}"#, HELP)
+        }
+    };
+    counter.inc();
+    symbist_obs::histogram!(
+        "symbist_campaign_defect_seconds",
+        "Wall time per defect simulation",
+        symbist_obs::SECONDS_EDGES
+    )
+    .record(record.wall.as_secs_f64());
+    // `BudgetExhausted` (deadline or Newton allowance) maps to `Timeout`
+    // in the outcome conversion, so this is the budget-exhaustion count.
+    if matches!(
+        record.outcome,
+        SimOutcome::Unresolved(UnresolvedReason::Timeout)
+    ) {
+        symbist_obs::counter!(
+            "symbist_campaign_budget_exhausted_total",
+            "Defects whose per-defect budget (deadline or Newton allowance) ran out"
+        )
+        .inc();
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,8 @@
 //!   calibration at startup (default 10, as in the paper experiments)
 //! * `--synthetic N` — serve the scripted N-component synthetic backend
 //!   instead of the SAR ADC (fast; for demos and smoke tests)
+//! * `--trace-out PATH` — on exit, dump the captured trace ring as
+//!   `chrome://tracing`-compatible NDJSON to PATH
 //!
 //! The process exits after `POST /shutdown` finishes draining: running
 //! campaigns stop at the next defect boundary with every completed record
@@ -33,6 +35,7 @@ struct Args {
     config: ServiceConfig,
     calibration_samples: usize,
     synthetic: Option<usize>,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         },
         calibration_samples: 10,
         synthetic: None,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -57,11 +61,12 @@ fn parse_args() -> Result<Args, String> {
                 args.calibration_samples = parse_num(&value("--calibration-samples")?)?
             }
             "--synthetic" => args.synthetic = Some(parse_num(&value("--synthetic")?)?),
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--help" | "-h" => {
                 return Err(
                     "usage: serve [--addr HOST:PORT] [--workers N] [--handlers N] \
                             [--queue N] [--data-dir PATH] [--calibration-samples N] \
-                            [--synthetic N]"
+                            [--synthetic N] [--trace-out PATH]"
                         .into(),
                 )
             }
@@ -120,6 +125,21 @@ fn main() -> ExitCode {
         server.addr()
     );
     server.wait();
+    if let Some(path) = &args.trace_out {
+        match write_trace(path) {
+            Ok(events) => eprintln!("serve: wrote {events} trace events to {}", path.display()),
+            Err(e) => eprintln!("serve: failed to write trace to {}: {e}", path.display()),
+        }
+    }
     eprintln!("serve: drained; bye");
     ExitCode::SUCCESS
+}
+
+fn write_trace(path: &std::path::Path) -> std::io::Result<usize> {
+    let tracer = symbist_obs::tracer();
+    let events = tracer.len();
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    tracer.write_ndjson(&mut file)?;
+    std::io::Write::flush(&mut file)?;
+    Ok(events)
 }

@@ -2,6 +2,25 @@
 //! the integration tests, and the throughput benchmarks. One TCP
 //! connection per request, mirroring the server's one-request-per-
 //! connection model.
+//!
+//! Construction goes through [`Client::builder`]; the builder defaults to
+//! the versioned `/v1` API surface:
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use symbist_service::Client;
+//!
+//! let client = Client::builder()
+//!     .base_url("127.0.0.1:7171")
+//!     .timeout(Duration::from_secs(5))
+//!     .retries(2)
+//!     .build();
+//! # let _ = client;
+//! ```
+//!
+//! Server-side failures arrive as [`ClientError::Service`] carrying a
+//! typed [`ServiceError`] parsed from the error envelope — match on the
+//! variant, never on message text.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -14,18 +33,169 @@ use crate::job::JobId;
 use crate::json::Json;
 use crate::spec::JobSpec;
 
+/// A non-2xx response, parsed from the service's typed error envelope
+/// (`{"error": {"code", "message", ...}}`) into the matching variant.
+/// Unknown or future codes land in [`ServiceError::Other`], so adding a
+/// server-side code is not a client-breaking change.
+#[derive(Debug, Clone)]
+pub enum ServiceError {
+    /// `400 bad_request`: malformed body, spec, or parameters.
+    BadRequest(String),
+    /// `404 not_found`: no such job or route.
+    NotFound(String),
+    /// `405 method_not_allowed`.
+    MethodNotAllowed(String),
+    /// `409 conflict`: the job's state refuses the operation.
+    Conflict(String),
+    /// `413 payload_too_large`.
+    PayloadTooLarge(String),
+    /// `422 lint_failed`: the pre-flight lint gate rejected the spec;
+    /// `diagnostics` holds the lint report.
+    LintFailed {
+        /// Envelope message.
+        message: String,
+        /// The lint report (errors/warnings/diagnostics), when present.
+        diagnostics: Option<Json>,
+    },
+    /// `429 saturated`: the handler pool refused the connection.
+    Saturated {
+        /// Envelope message.
+        message: String,
+        /// Server retry hint in seconds.
+        retry_after: Option<u64>,
+    },
+    /// `503 queue_full`: the bounded job queue is at capacity.
+    QueueFull {
+        /// Envelope message.
+        message: String,
+        /// Server retry hint in seconds.
+        retry_after: Option<u64>,
+    },
+    /// `503 draining`: the service is shutting down.
+    Draining(String),
+    /// `308 moved_permanently`: a deprecated unversioned path was used.
+    MovedPermanently(String),
+    /// Any other status/code pair, including codes newer than this client.
+    Other {
+        /// HTTP status code.
+        status: u16,
+        /// The envelope's `code` slug (empty when unparseable).
+        code: String,
+        /// Envelope (or raw body) message.
+        message: String,
+    },
+}
+
+impl ServiceError {
+    /// The HTTP status this error arrived with.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServiceError::BadRequest(_) => 400,
+            ServiceError::NotFound(_) => 404,
+            ServiceError::MethodNotAllowed(_) => 405,
+            ServiceError::Conflict(_) => 409,
+            ServiceError::PayloadTooLarge(_) => 413,
+            ServiceError::LintFailed { .. } => 422,
+            ServiceError::Saturated { .. } => 429,
+            ServiceError::QueueFull { .. } | ServiceError::Draining(_) => 503,
+            ServiceError::MovedPermanently(_) => 308,
+            ServiceError::Other { status, .. } => *status,
+        }
+    }
+
+    /// The server's retry hint in seconds, when it gave one.
+    pub fn retry_after(&self) -> Option<u64> {
+        match self {
+            ServiceError::Saturated { retry_after, .. }
+            | ServiceError::QueueFull { retry_after, .. } => *retry_after,
+            _ => None,
+        }
+    }
+
+    /// Parses a non-2xx body. Falls back to [`ServiceError::Other`] with
+    /// the raw body when the envelope is absent or malformed.
+    fn parse(status: u16, body: &str) -> ServiceError {
+        let envelope = Json::parse(body)
+            .ok()
+            .and_then(|doc| doc.get("error").cloned());
+        let Some(envelope) = envelope else {
+            return ServiceError::Other {
+                status,
+                code: String::new(),
+                message: body.trim().to_string(),
+            };
+        };
+        let field = |name: &str| {
+            envelope
+                .get(name)
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        let code = field("code");
+        let message = field("message");
+        let retry_after = envelope.get("retry_after").and_then(Json::as_u64);
+        let diagnostics = envelope.get("diagnostics").cloned();
+        match code.as_str() {
+            "bad_request" => ServiceError::BadRequest(message),
+            "not_found" => ServiceError::NotFound(message),
+            "method_not_allowed" => ServiceError::MethodNotAllowed(message),
+            "conflict" => ServiceError::Conflict(message),
+            "payload_too_large" => ServiceError::PayloadTooLarge(message),
+            "lint_failed" => ServiceError::LintFailed {
+                message,
+                diagnostics,
+            },
+            "saturated" => ServiceError::Saturated {
+                message,
+                retry_after,
+            },
+            "queue_full" => ServiceError::QueueFull {
+                message,
+                retry_after,
+            },
+            "draining" => ServiceError::Draining(message),
+            "moved_permanently" => ServiceError::MovedPermanently(message),
+            _ => ServiceError::Other {
+                status,
+                code,
+                message,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::NotFound(m) => write!(f, "not found: {m}"),
+            ServiceError::MethodNotAllowed(m) => write!(f, "method not allowed: {m}"),
+            ServiceError::Conflict(m) => write!(f, "conflict: {m}"),
+            ServiceError::PayloadTooLarge(m) => write!(f, "payload too large: {m}"),
+            ServiceError::LintFailed { message, .. } => write!(f, "lint failed: {message}"),
+            ServiceError::Saturated { message, .. } => write!(f, "saturated: {message}"),
+            ServiceError::QueueFull { message, .. } => write!(f, "queue full: {message}"),
+            ServiceError::Draining(m) => write!(f, "draining: {m}"),
+            ServiceError::MovedPermanently(m) => write!(f, "moved permanently: {m}"),
+            ServiceError::Other {
+                status,
+                code,
+                message,
+            } => write!(f, "HTTP {status} ({code}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
 /// Client-side failure.
 #[derive(Debug)]
 pub enum ClientError {
     /// Transport failure.
     Io(std::io::Error),
-    /// The server answered with a non-2xx status.
-    Http {
-        /// HTTP status code.
-        status: u16,
-        /// The server's `error` message, when parseable.
-        message: String,
-    },
+    /// The server answered with a non-2xx status; the typed envelope.
+    Service(ServiceError),
     /// The response violated the wire contract.
     Protocol(String),
 }
@@ -34,7 +204,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
-            ClientError::Http { status, message } => write!(f, "HTTP {status}: {message}"),
+            ClientError::Service(e) => write!(f, "service error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
@@ -63,15 +233,74 @@ impl Response {
         if (200..300).contains(&self.status) {
             return Ok(self);
         }
-        let message = self
-            .json()
-            .ok()
-            .and_then(|j| j.get("error").and_then(Json::as_str).map(str::to_string))
-            .unwrap_or_else(|| self.body.trim().to_string());
-        Err(ClientError::Http {
-            status: self.status,
-            message,
-        })
+        Err(ClientError::Service(ServiceError::parse(
+            self.status,
+            &self.body,
+        )))
+    }
+}
+
+/// Configures and builds a [`Client`]; see [`Client::builder`].
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    addr: String,
+    base_path: String,
+    timeout: Duration,
+    retries: u32,
+}
+
+impl Default for ClientBuilder {
+    fn default() -> Self {
+        ClientBuilder {
+            addr: String::new(),
+            base_path: "/v1".to_string(),
+            timeout: Duration::from_secs(30),
+            retries: 0,
+        }
+    }
+}
+
+impl ClientBuilder {
+    /// Sets the service address, optionally with an API path prefix:
+    /// `"127.0.0.1:7171"` targets the default `/v1` surface, while
+    /// `"127.0.0.1:7171/v1"` (or a future `/v2`) pins one explicitly.
+    pub fn base_url(mut self, base: impl Into<String>) -> ClientBuilder {
+        let base = base.into();
+        match base.find('/') {
+            Some(slash) => {
+                self.addr = base[..slash].to_string();
+                self.base_path = base[slash..].trim_end_matches('/').to_string();
+            }
+            None => self.addr = base,
+        }
+        self
+    }
+
+    /// Overrides the per-request read timeout (default 30 s). Streaming
+    /// reads use it per line, not per stream.
+    pub fn timeout(mut self, timeout: Duration) -> ClientBuilder {
+        self.timeout = timeout;
+        self
+    }
+
+    /// How many times to re-send a request that provably never entered
+    /// the service: transport connect failures and `429 saturated`
+    /// refusals (the acceptor answered before reading the request).
+    /// Definitive answers — `503 queue_full` included — are never
+    /// retried. Default 0.
+    pub fn retries(mut self, retries: u32) -> ClientBuilder {
+        self.retries = retries;
+        self
+    }
+
+    /// Builds the client.
+    pub fn build(self) -> Client {
+        Client {
+            addr: self.addr,
+            base_path: self.base_path,
+            timeout: self.timeout,
+            retries: self.retries,
+        }
     }
 }
 
@@ -79,23 +308,36 @@ impl Response {
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
+    base_path: String,
     timeout: Duration,
+    retries: u32,
 }
 
 impl Client {
-    /// Creates a client for `addr` (e.g. `"127.0.0.1:7171"`).
-    pub fn new(addr: impl Into<String>) -> Client {
-        Client {
-            addr: addr.into(),
-            timeout: Duration::from_secs(30),
-        }
+    /// Starts a [`ClientBuilder`] targeting the `/v1` API by default.
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
     }
 
-    /// Overrides the per-request read timeout (default 30 s). Streaming
-    /// reads use it per line, not per stream.
+    /// Creates a client for `addr` (e.g. `"127.0.0.1:7171"`), targeting
+    /// the `/v1` API with default timeout and no retries.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Client::builder().base_url(addr).build() instead"
+    )]
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client::builder().base_url(addr).build()
+    }
+
+    /// Overrides the per-request read timeout; prefer
+    /// [`ClientBuilder::timeout`].
     pub fn with_timeout(mut self, timeout: Duration) -> Client {
         self.timeout = timeout;
         self
+    }
+
+    fn url(&self, path: &str) -> String {
+        format!("{}{path}", self.base_path)
     }
 
     fn connect(
@@ -117,7 +359,7 @@ impl Client {
         Ok(stream)
     }
 
-    fn request(
+    fn request_once(
         &self,
         method: &str,
         path: &str,
@@ -132,21 +374,67 @@ impl Client {
         Ok(Response { status, body })
     }
 
-    /// `GET /healthz`.
+    /// One request, with the builder's retry policy: only failures where
+    /// the request never entered the service (connect errors, `429`) are
+    /// re-sent, with a short backoff honoring the server's `retry_after`.
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, ClientError> {
+        let mut attempt = 0;
+        loop {
+            let result = self.request_once(method, path, body);
+            let retryable = match &result {
+                Err(ClientError::Io(_)) => true,
+                Ok(response) if response.status == 429 => true,
+                _ => false,
+            };
+            if !retryable || attempt >= self.retries {
+                return result;
+            }
+            attempt += 1;
+            let backoff = match &result {
+                Ok(response) => ServiceError::parse(response.status, &response.body)
+                    .retry_after()
+                    .map(Duration::from_secs)
+                    .unwrap_or(Duration::from_millis(50)),
+                Err(_) => Duration::from_millis(50),
+            };
+            std::thread::sleep(backoff.min(Duration::from_secs(2)));
+        }
+    }
+
+    /// `GET /v1/healthz`.
     pub fn health(&self) -> Result<(), ClientError> {
-        self.request("GET", "/healthz", None)?.check().map(|_| ())
+        self.request("GET", &self.url("/healthz"), None)?
+            .check()
+            .map(|_| ())
     }
 
-    /// `GET /stats`.
+    /// `GET /v1/stats`.
     pub fn stats(&self) -> Result<Json, ClientError> {
-        self.request("GET", "/stats", None)?.check()?.json()
+        self.request("GET", &self.url("/stats"), None)?
+            .check()?
+            .json()
     }
 
-    /// `POST /jobs`: submits a spec, returning the new job id. Queue-full
-    /// backpressure surfaces as `ClientError::Http { status: 503, .. }`.
+    /// `GET /v1/metrics`: the raw Prometheus text exposition.
+    pub fn metrics(&self) -> Result<String, ClientError> {
+        self.request("GET", &self.url("/metrics"), None)?
+            .check()
+            .map(|r| r.body)
+    }
+
+    /// `POST /v1/jobs`: submits a spec, returning the new job id.
+    /// Queue-full backpressure surfaces as
+    /// `ClientError::Service(ServiceError::QueueFull { .. })`.
     pub fn submit(&self, spec: &JobSpec) -> Result<JobId, ClientError> {
         let body = spec.to_json().to_string();
-        let response = self.request("POST", "/jobs", Some(&body))?.check()?;
+        let response = self
+            .request("POST", &self.url("/jobs"), Some(&body))?
+            .check()?;
         response
             .json()?
             .get("id")
@@ -154,45 +442,55 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("submit response missing id".into()))
     }
 
-    /// `GET /jobs/{id}`: the raw status document.
+    /// `GET /v1/jobs/{id}`: the raw status document.
     pub fn status(&self, id: JobId) -> Result<Json, ClientError> {
-        self.request("GET", &format!("/jobs/{id}"), None)?
+        self.request("GET", &self.url(&format!("/jobs/{id}")), None)?
             .check()?
             .json()
     }
 
-    /// `DELETE /jobs/{id}`.
+    /// `DELETE /v1/jobs/{id}`.
     pub fn cancel(&self, id: JobId) -> Result<(), ClientError> {
-        self.request("DELETE", &format!("/jobs/{id}"), None)?
+        self.request("DELETE", &self.url(&format!("/jobs/{id}")), None)?
             .check()
             .map(|_| ())
     }
 
-    /// `GET /report/{id}`: the final coverage report (completed jobs).
+    /// `GET /v1/report/{id}`: the final coverage report (completed jobs).
     pub fn report(&self, id: JobId) -> Result<Json, ClientError> {
-        self.request("GET", &format!("/report/{id}"), None)?
+        self.request("GET", &self.url(&format!("/report/{id}")), None)?
             .check()?
             .json()
     }
 
-    /// `GET /lint/{id}`: the pre-flight lint report evaluated for the
+    /// `GET /v1/lint/{id}`: the pre-flight lint report evaluated for the
     /// job's DUT and defect universe at submission.
     pub fn lint(&self, id: JobId) -> Result<Json, ClientError> {
-        self.request("GET", &format!("/lint/{id}"), None)?
+        self.request("GET", &self.url(&format!("/lint/{id}")), None)?
             .check()?
             .json()
     }
 
-    /// `POST /shutdown`: asks the server to drain and exit.
-    pub fn shutdown(&self) -> Result<(), ClientError> {
-        self.request("POST", "/shutdown", None)?.check().map(|_| ())
+    /// `GET /v1/jobs/{id}/trace`: the job's captured trace spans as
+    /// `chrome://tracing` NDJSON (one event object per line).
+    pub fn trace(&self, id: JobId) -> Result<String, ClientError> {
+        self.request("GET", &self.url(&format!("/jobs/{id}/trace")), None)?
+            .check()
+            .map(|r| r.body)
     }
 
-    /// `GET /jobs/{id}/results`: opens the NDJSON record stream. The
+    /// `POST /v1/shutdown`: asks the server to drain and exit.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        self.request("POST", &self.url("/shutdown"), None)?
+            .check()
+            .map(|_| ())
+    }
+
+    /// `GET /v1/jobs/{id}/results`: opens the NDJSON record stream. The
     /// iterator follows a live job and ends when the job reaches a
     /// terminal state.
     pub fn stream_results(&self, id: JobId) -> Result<ResultStream, ClientError> {
-        let stream = self.connect("GET", &format!("/jobs/{id}/results"), None)?;
+        let stream = self.connect("GET", &self.url(&format!("/jobs/{id}/results")), None)?;
         let mut reader = BufReader::new(stream);
         let status = read_status(&mut reader)?;
         if status != 200 {
@@ -205,7 +503,7 @@ impl Client {
         Ok(ResultStream { reader })
     }
 
-    /// Polls `GET /jobs/{id}` until the job reaches a terminal state,
+    /// Polls `GET /v1/jobs/{id}` until the job reaches a terminal state,
     /// returning the final state label and status document.
     pub fn wait_terminal(&self, id: JobId, poll: Duration) -> Result<(String, Json), ClientError> {
         loop {

@@ -17,19 +17,35 @@
 //!   [`SubmitError::QueueFull`] to `503 Service Unavailable` with a
 //!   `Retry-After` hint; accepted connections are unaffected.
 //!
-//! # Endpoints
+//! # Endpoints (v1)
 //!
-//! | Method/path              | Purpose                                  |
-//! |--------------------------|------------------------------------------|
-//! | `POST /jobs`             | Submit a campaign job (JSON spec)        |
-//! | `GET /jobs/{id}`         | Job status + live progress               |
-//! | `GET /jobs/{id}/results` | NDJSON record stream (follows live jobs) |
-//! | `DELETE /jobs/{id}`      | Cancel a queued/running job              |
-//! | `GET /report/{id}`       | Final coverage report                    |
-//! | `GET /lint/{id}`         | Pre-flight lint report for the job's DUT |
-//! | `GET /healthz`           | Liveness probe                           |
-//! | `GET /stats`             | Service counters                         |
-//! | `POST /shutdown`         | Graceful drain-to-checkpoint shutdown    |
+//! All routes live under the `/v1` prefix. The pre-versioning paths
+//! answer `308 Permanent Redirect` with a `Location: /v1{path}` and a
+//! `Deprecation: true` header, so old clients keep working while new
+//! ones never learn the legacy names.
+//!
+//! | Method/path                 | Purpose                                  |
+//! |-----------------------------|------------------------------------------|
+//! | `POST /v1/jobs`             | Submit a campaign job (JSON spec)        |
+//! | `GET /v1/jobs/{id}`         | Job status + live progress               |
+//! | `GET /v1/jobs/{id}/results` | NDJSON record stream (follows live jobs) |
+//! | `GET /v1/jobs/{id}/trace`   | Per-job trace spans (chrome NDJSON)      |
+//! | `DELETE /v1/jobs/{id}`      | Cancel a queued/running job              |
+//! | `GET /v1/report/{id}`       | Final coverage report                    |
+//! | `GET /v1/lint/{id}`         | Pre-flight lint report for the job's DUT |
+//! | `GET /v1/metrics`           | Prometheus text exposition               |
+//! | `GET /v1/healthz`           | Liveness probe                           |
+//! | `GET /v1/stats`             | Service counters                         |
+//! | `POST /v1/shutdown`         | Graceful drain-to-checkpoint shutdown    |
+//!
+//! # Errors
+//!
+//! Every non-2xx response (including the 308 redirects) carries one JSON
+//! envelope: `{"error": {"code", "message", "retry_after?",
+//! "diagnostics?"}}`. `code` is a stable machine-readable slug (see
+//! [`ApiError`]); `retry_after`, when present, duplicates the
+//! `Retry-After` header in seconds; `diagnostics` carries structured
+//! detail (currently: the lint report on `422`).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -38,7 +54,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use symbist_defects::checkpoint::checkpoint_line;
 
@@ -220,11 +236,10 @@ fn accept_loop(listener: TcpListener, tx: SyncSender<TcpStream>, stop: &AtomicBo
             Ok(()) => {}
             Err(TrySendError::Full(mut stream)) => {
                 // Handler pool saturated: refuse inline, never queue.
-                let _ = write_response(
+                let _ = write_error(
                     &mut stream,
-                    429,
-                    &[("Retry-After", "1")],
-                    error_json("handler pool saturated"),
+                    &ApiError::new(429, "saturated", "handler pool saturated").with_retry_after(1),
+                    &[],
                 );
                 // The request was never read, so a plain close would RST
                 // the connection and could destroy the in-flight 429.
@@ -343,6 +358,7 @@ fn status_reason(status: u16) -> &'static str {
         200 => "OK",
         201 => "Created",
         202 => "Accepted",
+        308 => "Permanent Redirect",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -356,8 +372,87 @@ fn status_reason(status: u16) -> &'static str {
     }
 }
 
-fn error_json(message: &str) -> Json {
-    Json::obj([("error", Json::str(message))])
+/// The one shape every non-2xx response takes:
+/// `{"error": {"code", "message", "retry_after?", "diagnostics?"}}`.
+///
+/// `code` is the stable machine-readable contract — clients match on it,
+/// never on `message` text. The codes in use: `bad_request`, `not_found`,
+/// `method_not_allowed`, `conflict`, `payload_too_large`, `lint_failed`,
+/// `saturated`, `header_too_large`, `queue_full`, `draining`,
+/// `moved_permanently`.
+#[derive(Debug, Clone)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable error slug.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// Seconds to wait before retrying (also sent as `Retry-After`).
+    pub retry_after: Option<u64>,
+    /// Structured detail, e.g. the lint report on `422`.
+    pub diagnostics: Option<Json>,
+}
+
+impl ApiError {
+    fn new(status: u16, code: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            code,
+            message: message.into(),
+            retry_after: None,
+            diagnostics: None,
+        }
+    }
+
+    fn with_retry_after(mut self, seconds: u64) -> ApiError {
+        self.retry_after = Some(seconds);
+        self
+    }
+
+    fn with_diagnostics(mut self, diagnostics: Json) -> ApiError {
+        self.diagnostics = Some(diagnostics);
+        self
+    }
+
+    fn not_found(message: impl Into<String>) -> ApiError {
+        ApiError::new(404, "not_found", message)
+    }
+
+    fn method_not_allowed() -> ApiError {
+        ApiError::new(405, "method_not_allowed", "method not allowed")
+    }
+
+    /// The JSON envelope body.
+    fn envelope(&self) -> Json {
+        let mut fields = vec![
+            ("code".to_string(), Json::str(self.code)),
+            ("message".to_string(), Json::str(self.message.clone())),
+        ];
+        if let Some(seconds) = self.retry_after {
+            fields.push(("retry_after".to_string(), Json::num(seconds as f64)));
+        }
+        if let Some(diagnostics) = &self.diagnostics {
+            fields.push(("diagnostics".to_string(), diagnostics.clone()));
+        }
+        Json::obj([("error", Json::Obj(fields.into_iter().collect()))])
+    }
+}
+
+/// Writes an [`ApiError`] envelope; `retry_after` doubles as the
+/// `Retry-After` header.
+fn write_error(
+    stream: &mut TcpStream,
+    error: &ApiError,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<u16> {
+    let retry = error.retry_after.map(|s| s.to_string());
+    let mut headers: Vec<(&str, &str)> = Vec::with_capacity(extra_headers.len() + 1);
+    if let Some(retry) = &retry {
+        headers.push(("Retry-After", retry));
+    }
+    headers.extend_from_slice(extra_headers);
+    write_response(stream, error.status, &headers, error.envelope())
 }
 
 /// Renders a lint report as the service's JSON diagnostics shape (the
@@ -396,11 +491,36 @@ fn write_response(
     status: u16,
     extra_headers: &[(&str, &str)],
     body: Json,
-) -> std::io::Result<()> {
-    let payload = format!("{body}\n");
+) -> std::io::Result<u16> {
+    write_payload(
+        stream,
+        status,
+        extra_headers,
+        "application/json",
+        &format!("{body}\n"),
+    )
+}
+
+/// Writes a non-JSON body (the Prometheus exposition, trace NDJSON).
+fn write_text_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<u16> {
+    write_payload(stream, status, &[], content_type, body)
+}
+
+fn write_payload(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    content_type: &str,
+    payload: &str,
+) -> std::io::Result<u16> {
     let mut head = format!(
         "HTTP/1.1 {status} {}\r\nConnection: close\r\n\
-         Content-Type: application/json\r\nContent-Length: {}\r\n",
+         Content-Type: {content_type}\r\nContent-Length: {}\r\n",
         status_reason(status),
         payload.len()
     );
@@ -413,7 +533,8 @@ fn write_response(
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(payload.as_bytes())?;
-    stream.flush()
+    stream.flush()?;
+    Ok(status)
 }
 
 // ---------------------------------------------------------------------
@@ -429,15 +550,45 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         Err(_) => return,
     });
     let mut stream = stream;
+    let start = Instant::now();
     let request = match parse_request(&mut reader) {
         Ok(request) => request,
         Err(ParseFailure::Bad(status, message)) => {
-            let _ = write_response(&mut stream, status, &[], error_json(message));
+            let code = match status {
+                413 => "payload_too_large",
+                431 => "header_too_large",
+                _ => "bad_request",
+            };
+            let written = write_error(&mut stream, &ApiError::new(status, code, message), &[]);
+            record_request_metrics(written, start);
             return;
         }
         Err(ParseFailure::Drop) => return,
     };
-    route(&mut stream, &request, shared);
+    let _span = symbist_obs::span!("http_request");
+    let written = route(&mut stream, &request, shared);
+    record_request_metrics(written, start);
+}
+
+/// Bumps the per-status-class request counter and latency histogram for
+/// one completed response. An `Err` means the client vanished mid-write;
+/// that response was never delivered, so it is not counted.
+fn record_request_metrics(written: std::io::Result<u16>, start: Instant) {
+    let Ok(status) = written else { return };
+    const HELP: &str = "HTTP responses, by status class";
+    let counter = match status / 100 {
+        2 => symbist_obs::counter!(r#"symbist_service_requests_total{class="2xx"}"#, HELP),
+        3 => symbist_obs::counter!(r#"symbist_service_requests_total{class="3xx"}"#, HELP),
+        4 => symbist_obs::counter!(r#"symbist_service_requests_total{class="4xx"}"#, HELP),
+        _ => symbist_obs::counter!(r#"symbist_service_requests_total{class="5xx"}"#, HELP),
+    };
+    counter.inc();
+    symbist_obs::histogram!(
+        "symbist_service_request_seconds",
+        "Wall time from request parse to response flush",
+        symbist_obs::SECONDS_EDGES
+    )
+    .record(start.elapsed().as_secs_f64());
 }
 
 /// Splits `/jobs/{id}`-style paths. Returns the id and the trailing
@@ -450,10 +601,53 @@ fn parse_job_path<'a>(path: &'a str, prefix: &str) -> Option<(JobId, Option<&'a 
     }
 }
 
-fn route(stream: &mut TcpStream, request: &Request, shared: &Shared) {
+fn route(stream: &mut TcpStream, request: &Request, shared: &Shared) -> std::io::Result<u16> {
     let method = request.method.as_str();
     let path = request.path.as_str();
-    let result = match (method, path) {
+    match path.strip_prefix("/v1") {
+        Some(rest) if rest.starts_with('/') => route_v1(stream, method, rest, request, shared),
+        Some(_) => write_error(stream, &ApiError::not_found("no such route"), &[]),
+        None if is_legacy_route(path) => redirect_to_v1(stream, path),
+        None => write_error(stream, &ApiError::not_found("no such route"), &[]),
+    }
+}
+
+/// Whether a pre-versioning path deserves a `308` onto its `/v1` twin.
+/// Unknown paths fall through to a plain `404` — redirecting them would
+/// turn every typo into a misleading "deprecated route" signal.
+fn is_legacy_route(path: &str) -> bool {
+    matches!(path, "/healthz" | "/stats" | "/jobs" | "/shutdown")
+        || path.starts_with("/jobs/")
+        || path.starts_with("/report/")
+        || path.starts_with("/lint/")
+}
+
+/// `308 Permanent Redirect` preserves the method and body, so a legacy
+/// `POST /jobs` replays correctly against `/v1/jobs`. The `Deprecation`
+/// header marks the old name; the envelope body serves clients that do
+/// not follow redirects.
+fn redirect_to_v1(stream: &mut TcpStream, path: &str) -> std::io::Result<u16> {
+    let location = format!("/v1{path}");
+    let error = ApiError::new(
+        308,
+        "moved_permanently",
+        format!("unversioned paths are deprecated; use {location}"),
+    );
+    write_error(
+        stream,
+        &error,
+        &[("Location", &location), ("Deprecation", "true")],
+    )
+}
+
+fn route_v1(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    request: &Request,
+    shared: &Shared,
+) -> std::io::Result<u16> {
+    match (method, path) {
         ("GET", "/healthz") => {
             write_response(stream, 200, &[], Json::obj([("status", Json::str("ok"))]))
         }
@@ -476,6 +670,12 @@ fn route(stream: &mut TcpStream, request: &Request, shared: &Shared) {
                 ]),
             )
         }
+        ("GET", "/metrics") => write_text_response(
+            stream,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            &symbist_obs::registry().render_prometheus(),
+        ),
         ("POST", "/jobs") => submit_job(stream, &request.body, shared),
         ("POST", "/shutdown") => {
             shared.request_shutdown();
@@ -487,8 +687,7 @@ fn route(stream: &mut TcpStream, request: &Request, shared: &Shared) {
             )
         }
         _ => route_job(stream, method, path, shared),
-    };
-    let _ = result;
+    }
 }
 
 fn route_job(
@@ -496,66 +695,64 @@ fn route_job(
     method: &str,
     path: &str,
     shared: &Shared,
-) -> std::io::Result<()> {
+) -> std::io::Result<u16> {
     if let Some((id, tail)) = parse_job_path(path, "/report/") {
         return match (method, tail) {
             ("GET", None) => report(stream, id, shared),
-            _ => write_response(stream, 405, &[], error_json("method not allowed")),
+            _ => write_error(stream, &ApiError::method_not_allowed(), &[]),
         };
     }
     if let Some((id, tail)) = parse_job_path(path, "/lint/") {
         return match (method, tail) {
             ("GET", None) => lint_report(stream, id, shared),
-            _ => write_response(stream, 405, &[], error_json("method not allowed")),
+            _ => write_error(stream, &ApiError::method_not_allowed(), &[]),
         };
     }
     let Some((id, tail)) = parse_job_path(path, "/jobs/") else {
-        return write_response(stream, 404, &[], error_json("no such route"));
+        return write_error(stream, &ApiError::not_found("no such route"), &[]);
     };
     match (method, tail) {
         ("GET", None) => job_status(stream, id, shared),
         ("GET", Some("results")) => stream_results(stream, id, shared),
+        ("GET", Some("trace")) => job_trace(stream, id, shared),
         ("DELETE", None) => cancel_job(stream, id, shared),
-        (_, None | Some("results")) => {
-            write_response(stream, 405, &[], error_json("method not allowed"))
+        (_, None | Some("results" | "trace")) => {
+            write_error(stream, &ApiError::method_not_allowed(), &[])
         }
-        _ => write_response(stream, 404, &[], error_json("no such route")),
+        _ => write_error(stream, &ApiError::not_found("no such route"), &[]),
     }
 }
 
-fn submit_job(stream: &mut TcpStream, body: &[u8], shared: &Shared) -> std::io::Result<()> {
+fn submit_job(stream: &mut TcpStream, body: &[u8], shared: &Shared) -> std::io::Result<u16> {
     let text = match std::str::from_utf8(body) {
         Ok(text) if !text.trim().is_empty() => text,
         _ => {
-            return write_response(
+            return write_error(
                 stream,
-                400,
+                &ApiError::new(400, "bad_request", "expected a JSON job spec body"),
                 &[],
-                error_json("expected a JSON job spec body"),
             )
         }
     };
     let spec = match JobSpec::from_json_text(text) {
         Ok(spec) => spec,
-        Err(e) => return write_response(stream, 400, &[], error_json(&e.0)),
+        Err(e) => return write_error(stream, &ApiError::new(400, "bad_request", e.0), &[]),
     };
     if let Err(e) = shared.backend.validate(&spec) {
-        return write_response(stream, 400, &[], error_json(&e.0));
+        return write_error(stream, &ApiError::new(400, "bad_request", e.0), &[]);
     }
     // Static pre-flight: a DUT/universe that fails Error-level lints
     // would burn a worker slot on a campaign doomed to NoConvergence or
     // corrupted coverage — reject before the job touches the queue.
     let lint = shared.backend.preflight(&spec);
     if lint.has_errors() {
-        let mut body = match lint_json(&lint) {
-            Json::Obj(map) => map,
-            _ => unreachable!("lint_json always returns an object"),
-        };
-        body.insert(
-            "error".to_string(),
-            Json::str("pre-flight lint failed: the DUT or defect universe is structurally broken"),
-        );
-        return write_response(stream, 422, &[], Json::Obj(body));
+        let error = ApiError::new(
+            422,
+            "lint_failed",
+            "pre-flight lint failed: the DUT or defect universe is structurally broken",
+        )
+        .with_diagnostics(lint_json(&lint));
+        return write_error(stream, &error, &[]);
     }
     match shared.registry.submit(spec) {
         Ok(job) => write_response(
@@ -567,31 +764,32 @@ fn submit_job(stream: &mut TcpStream, body: &[u8], shared: &Shared) -> std::io::
                 ("state", Json::str(job.state().label())),
             ]),
         ),
-        Err(e @ SubmitError::QueueFull { .. }) => write_response(
+        Err(e @ SubmitError::QueueFull { .. }) => write_error(
             stream,
-            503,
-            &[("Retry-After", "1")],
-            error_json(&e.to_string()),
+            &ApiError::new(503, "queue_full", e.to_string()).with_retry_after(1),
+            &[],
         ),
         Err(e @ SubmitError::Draining) => {
-            write_response(stream, 503, &[], error_json(&e.to_string()))
+            write_error(stream, &ApiError::new(503, "draining", e.to_string()), &[])
         }
     }
 }
 
-fn job_status(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<()> {
+fn job_status(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<u16> {
     match shared.registry.get(id) {
         Some(job) => write_response(stream, 200, &[], job.status().to_json()),
-        None => write_response(stream, 404, &[], error_json("no such job")),
+        None => write_error(stream, &ApiError::not_found("no such job"), &[]),
     }
 }
 
-fn cancel_job(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<()> {
+fn cancel_job(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<u16> {
     match shared.registry.get(id) {
-        None => write_response(stream, 404, &[], error_json("no such job")),
-        Some(job) if job.state().is_terminal() => {
-            write_response(stream, 409, &[], error_json("job already finished"))
-        }
+        None => write_error(stream, &ApiError::not_found("no such job"), &[]),
+        Some(job) if job.state().is_terminal() => write_error(
+            stream,
+            &ApiError::new(409, "conflict", "job already finished"),
+            &[],
+        ),
         Some(job) => {
             shared.registry.cancel(id);
             write_response(
@@ -610,7 +808,7 @@ fn cancel_job(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Re
 /// Returns the pre-flight lint report the submission gate evaluated for
 /// job `id`'s spec. Admitted jobs always show zero `errors`; the value is
 /// in the warnings/info detail and in auditing what the gate saw.
-fn lint_report(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<()> {
+fn lint_report(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<u16> {
     match shared.registry.get(id) {
         Some(job) => write_response(
             stream,
@@ -618,32 +816,52 @@ fn lint_report(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::R
             &[],
             lint_json(&shared.backend.preflight(&job.spec)),
         ),
-        None => write_response(stream, 404, &[], error_json("no such job")),
+        None => write_error(stream, &ApiError::not_found("no such job"), &[]),
     }
 }
 
-fn report(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<()> {
+fn report(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<u16> {
     let Some(job) = shared.registry.get(id) else {
-        return write_response(stream, 404, &[], error_json("no such job"));
+        return write_error(stream, &ApiError::not_found("no such job"), &[]);
     };
     match (job.state(), job.report()) {
         (JobState::Completed, Some(report)) => write_response(stream, 200, &[], report.to_json()),
-        (state, _) => write_response(
+        (state, _) => write_error(
             stream,
-            409,
+            &ApiError::new(
+                409,
+                "conflict",
+                format!("no report: job is {}", state.label()),
+            ),
             &[],
-            error_json(&format!("no report: job is {}", state.label())),
         ),
     }
+}
+
+/// Serves the spans captured under the job's trace scope as NDJSON in the
+/// `chrome://tracing` Trace Event Format. Best-effort by design: the
+/// global ring is bounded, so a long-running service eventually evicts
+/// old jobs' spans — recent jobs are the ones worth inspecting.
+fn job_trace(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<u16> {
+    if shared.registry.get(id).is_none() {
+        return write_error(stream, &ApiError::not_found("no such job"), &[]);
+    }
+    let scope = format!("job-{id}");
+    let mut body = String::new();
+    for event in symbist_obs::tracer().snapshot_scope(&scope) {
+        body.push_str(&event.to_json_line());
+        body.push('\n');
+    }
+    write_text_response(stream, 200, "application/x-ndjson", &body)
 }
 
 /// Streams the job's record log as NDJSON, following a live job until it
 /// reaches a terminal state. Lines use the campaign checkpoint format, so
 /// clients parse them with `parse_checkpoint_line` and a completed
 /// stream is byte-identical to the job's checkpoint modulo record order.
-fn stream_results(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<()> {
+fn stream_results(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<u16> {
     let Some(job) = shared.registry.get(id) else {
-        return write_response(stream, 404, &[], error_json("no such job"));
+        return write_error(stream, &ApiError::not_found("no such job"), &[]);
     };
     stream.write_all(
         b"HTTP/1.1 200 OK\r\nConnection: close\r\n\
@@ -659,14 +877,14 @@ fn stream_results(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io
         stream.flush()?;
         sent += records.len();
         if terminal && records.is_empty() {
-            return Ok(());
+            return Ok(200);
         }
         if records.is_empty() {
             // A drained registry leaves queued jobs queued (they resume
             // after restart) — following one would outlive the server, so
             // end the stream.
             if !shared.registry.accepting() && job.state() == JobState::Queued {
-                return Ok(());
+                return Ok(200);
             }
             // A failed write above is how we notice a gone client; the
             // wait ticks so a stalled job can't pin the handler forever

@@ -29,7 +29,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use symbist_defects::checkpoint::parse_checkpoint_line;
 use symbist_defects::{CampaignMonitor, CampaignResult, DefectRecord, UnresolvedCounts};
@@ -280,6 +280,9 @@ pub struct Job {
     /// Campaign checkpoint path (present when the registry has a data
     /// directory).
     pub checkpoint: Option<PathBuf>,
+    /// When the job entered the queue (re-set on recovery), the reference
+    /// point for the queue-wait histogram.
+    enqueued_at: Instant,
     inner: Mutex<JobInner>,
     changed: Condvar,
 }
@@ -290,6 +293,7 @@ impl Job {
             id,
             spec,
             checkpoint,
+            enqueued_at: Instant::now(),
             inner: Mutex::new(JobInner {
                 state: JobState::Queued,
                 progress: JobProgress::default(),
@@ -660,6 +664,7 @@ impl Registry {
         inner.jobs.insert(id, Arc::clone(&job));
         inner.queue.push_back(id);
         inner.stats.submitted += 1;
+        note_queue_depth(inner.queue.len());
         drop(inner);
         self.persist(&job, JobState::Queued);
         self.queue_ready.notify_one();
@@ -684,7 +689,14 @@ impl Registry {
                     continue;
                 }
                 inner.stats.running += 1;
+                note_queue_depth(inner.queue.len());
                 drop(inner);
+                symbist_obs::histogram!(
+                    "symbist_service_queue_wait_seconds",
+                    "Time a job spent queued before a worker claimed it",
+                    symbist_obs::SECONDS_EDGES
+                )
+                .record(job.enqueued_at.elapsed().as_secs_f64());
                 job.transition(JobState::Running);
                 self.persist(&job, JobState::Running);
                 return Some(job);
@@ -722,10 +734,22 @@ impl Registry {
         };
         let mut inner = self.lock();
         inner.stats.running = inner.stats.running.saturating_sub(1);
+        const HELP: &str = "Jobs finished, by terminal state";
         match job.state() {
-            JobState::Completed => inner.stats.completed += 1,
-            JobState::Failed => inner.stats.failed += 1,
-            JobState::Cancelled => inner.stats.cancelled += 1,
+            JobState::Completed => {
+                inner.stats.completed += 1;
+                symbist_obs::counter!(r#"symbist_service_jobs_total{state="completed"}"#, HELP)
+                    .inc();
+            }
+            JobState::Failed => {
+                inner.stats.failed += 1;
+                symbist_obs::counter!(r#"symbist_service_jobs_total{state="failed"}"#, HELP).inc();
+            }
+            JobState::Cancelled => {
+                inner.stats.cancelled += 1;
+                symbist_obs::counter!(r#"symbist_service_jobs_total{state="cancelled"}"#, HELP)
+                    .inc();
+            }
             _ => {}
         }
         drop(inner);
@@ -751,6 +775,12 @@ impl Registry {
                 let mut inner = self.lock();
                 inner.queue.retain(|queued| *queued != id);
                 inner.stats.cancelled += 1;
+                symbist_obs::counter!(
+                    r#"symbist_service_jobs_total{state="cancelled"}"#,
+                    "Jobs finished, by terminal state"
+                )
+                .inc();
+                note_queue_depth(inner.queue.len());
                 drop(inner);
                 self.persist(&job, JobState::Cancelled);
                 true
@@ -797,6 +827,15 @@ impl Registry {
             ..inner.stats
         }
     }
+}
+
+/// Publishes the queue depth gauge after any queue mutation.
+fn note_queue_depth(depth: usize) {
+    symbist_obs::gauge!(
+        "symbist_service_queue_depth",
+        "Jobs currently waiting in the FIFO queue"
+    )
+    .set(i64::try_from(depth).unwrap_or(i64::MAX));
 }
 
 #[cfg(test)]

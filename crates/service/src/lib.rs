@@ -39,7 +39,9 @@
 //!     ServiceConfig::default(),
 //!     Arc::new(SyntheticBackend::new(8)),
 //! ).unwrap();
-//! let client = Client::new(server.addr().to_string());
+//! let client = Client::builder()
+//!     .base_url(server.addr().to_string())
+//!     .build();
 //! let id = client.submit(&JobSpec::default()).unwrap();
 //! for record in client.stream_results(id).unwrap() {
 //!     println!("{:?}", record.unwrap());
@@ -61,7 +63,7 @@ pub mod spec;
 pub mod worker;
 
 pub use backend::{AdcBackend, CampaignBackend, SyntheticBackend};
-pub use client::{Client, ClientError, ResultStream};
+pub use client::{Client, ClientBuilder, ClientError, ResultStream, ServiceError};
 pub use http::{Server, ServiceConfig};
 pub use job::{
     Job, JobId, JobProgress, JobReport, JobState, JobStatus, Registry, RegistryStats, SubmitError,

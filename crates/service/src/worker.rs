@@ -29,7 +29,13 @@ impl WorkerPool {
         backend: Arc<dyn CampaignBackend>,
         threads: usize,
     ) -> WorkerPool {
-        let handles = (0..threads.max(1))
+        let threads = threads.max(1);
+        symbist_obs::gauge!(
+            "symbist_service_workers_total",
+            "Campaign worker threads in the pool"
+        )
+        .set(i64::try_from(threads).unwrap_or(i64::MAX));
+        let handles = (0..threads)
             .map(|i| {
                 let registry = Arc::clone(&registry);
                 let backend = Arc::clone(&backend);
@@ -61,10 +67,30 @@ fn worker_loop(registry: &Registry, backend: &dyn CampaignBackend) {
 
 /// Runs a claimed job to a terminal state.
 fn run_one(registry: &Registry, backend: &dyn CampaignBackend, job: &Job) {
+    // Scope the worker thread to this job so every span opened below —
+    // including those from campaign worker threads, which re-install the
+    // scope — is retrievable via `GET /v1/jobs/{id}/trace`.
+    let _scope = symbist_obs::enter_scope(&format!("job-{}", job.id));
+    let busy = symbist_obs::gauge!(
+        "symbist_service_workers_busy",
+        "Worker threads currently running a job"
+    );
+    busy.add(1);
+    let run_start = std::time::Instant::now();
     let monitor = JobMonitor::new(job);
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        backend.run(&job.spec, job.checkpoint.clone(), &monitor)
-    }));
+    let outcome = {
+        let _span = symbist_obs::span!("job_run");
+        catch_unwind(AssertUnwindSafe(|| {
+            backend.run(&job.spec, job.checkpoint.clone(), &monitor)
+        }))
+    };
+    symbist_obs::histogram!(
+        "symbist_service_job_run_seconds",
+        "Wall time a worker spent running one job",
+        symbist_obs::SECONDS_EDGES
+    )
+    .record(run_start.elapsed().as_secs_f64());
+    busy.add(-1);
     let outcome = match outcome {
         Ok(Ok(result)) => Ok(result),
         Ok(Err(CampaignError::Cancelled { completed, .. })) => {

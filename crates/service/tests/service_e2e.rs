@@ -1,9 +1,10 @@
 //! End-to-end acceptance tests for the campaign job service, exercised
 //! through the real TCP/HTTP stack: submit → poll → stream → report,
 //! queue-full `503` backpressure, handler-pool `429` refusal, live NDJSON
-//! streaming, cancellation, and the drain/restart resume contract (the
-//! service-level version of the campaign runner's kill-and-resume
-//! oracle).
+//! streaming, cancellation, the `/v1` routing contract (legacy 308
+//! redirects, uniform error envelopes, Prometheus metrics, trace export),
+//! and the drain/restart resume contract (the service-level version of
+//! the campaign runner's kill-and-resume oracle).
 #![allow(clippy::unwrap_used)] // integration tests assert by panicking
 
 use std::io::Write;
@@ -15,7 +16,7 @@ use std::time::{Duration, Instant};
 
 use symbist_defects::{CampaignResult, DefectRecord};
 use symbist_service::backend::{CampaignBackend, Gate, SyntheticBackend};
-use symbist_service::client::{Client, ClientError};
+use symbist_service::client::{Client, ClientError, ServiceError};
 use symbist_service::http::{Server, ServiceConfig};
 use symbist_service::json::Json;
 use symbist_service::spec::JobSpec;
@@ -24,7 +25,9 @@ const POLL: Duration = Duration::from_millis(10);
 
 fn start(config: ServiceConfig, backend: Arc<dyn CampaignBackend>) -> (Server, Client) {
     let server = Server::start(config, backend).expect("server starts");
-    let client = Client::new(server.addr().to_string());
+    let client = Client::builder()
+        .base_url(server.addr().to_string())
+        .build();
     (server, client)
 }
 
@@ -104,14 +107,14 @@ fn bad_specs_are_rejected_with_400() {
         },
     ] {
         match client.submit(&spec) {
-            Err(ClientError::Http { status: 400, .. }) => {}
-            other => panic!("expected 400, got {other:?}"),
+            Err(ClientError::Service(ServiceError::BadRequest(_))) => {}
+            other => panic!("expected bad_request, got {other:?}"),
         }
     }
     // Unknown routes and jobs.
     assert!(matches!(
         client.status(999),
-        Err(ClientError::Http { status: 404, .. })
+        Err(ClientError::Service(ServiceError::NotFound(_)))
     ));
     server.request_shutdown();
     server.wait();
@@ -144,14 +147,15 @@ fn queue_full_returns_503_backpressure() {
     let mut rejections = 0;
     for _ in 0..3 {
         match client.submit(&JobSpec::default()) {
-            Err(ClientError::Http {
-                status: 503,
+            Err(ClientError::Service(ServiceError::QueueFull {
                 message,
-            }) => {
+                retry_after,
+            })) => {
                 assert!(message.contains("queue full"), "{message}");
+                assert_eq!(retry_after, Some(1), "503 carries a retry hint");
                 rejections += 1;
             }
-            other => panic!("expected 503, got {other:?}"),
+            other => panic!("expected queue_full, got {other:?}"),
         }
     }
     assert_eq!(rejections, 3);
@@ -229,7 +233,7 @@ fn delete_cancels_a_running_job() {
     // Cancelling a finished job is a conflict.
     assert!(matches!(
         client.cancel(id),
-        Err(ClientError::Http { status: 409, .. })
+        Err(ClientError::Service(ServiceError::Conflict(_)))
     ));
     server.request_shutdown();
     server.wait();
@@ -269,8 +273,8 @@ fn saturated_handler_pool_returns_429() {
         .collect();
 
     match client.health() {
-        Err(ClientError::Http { status: 429, .. }) => {}
-        other => panic!("expected 429, got {other:?}"),
+        Err(ClientError::Service(ServiceError::Saturated { .. })) => {}
+        other => panic!("expected saturated, got {other:?}"),
     }
 
     // Completing the half-open requests restores service: the handler
@@ -383,23 +387,25 @@ fn draining_server_rejects_new_jobs_with_503() {
     // the wedged job holds the worker.
     server.registry().begin_drain();
     match client.submit(&JobSpec::default()) {
-        Err(ClientError::Http {
-            status: 503,
-            message,
-        }) => {
+        Err(ClientError::Service(ServiceError::Draining(message))) => {
             assert!(message.contains("draining"), "{message}");
         }
-        other => panic!("expected 503, got {other:?}"),
+        other => panic!("expected draining, got {other:?}"),
     }
     gate.release();
     server.request_shutdown();
     server.wait();
 }
 
-/// One raw HTTP exchange, returning the status code and body — used where
-/// the typed client collapses error bodies into a single message and the
-/// test needs the full JSON payload.
-fn raw_request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+/// One raw HTTP exchange, returning status, headers (lower-cased names),
+/// and body — used where the typed client hides what the wire carries
+/// (redirect headers, raw error envelopes).
+fn raw_request_full(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
     use std::io::{BufRead, BufReader, Read};
     let mut stream = TcpStream::connect(addr).expect("connect");
     let request = format!(
@@ -415,16 +421,48 @@ fn raw_request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str)
         .nth(1)
         .and_then(|s| s.parse().ok())
         .expect("status code");
+    let mut headers = Vec::new();
     loop {
         let mut header = String::new();
         reader.read_line(&mut header).expect("header");
-        if header.trim_end().is_empty() {
+        let header = header.trim_end();
+        if header.is_empty() {
             break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
         }
     }
     let mut body = String::new();
     reader.read_to_string(&mut body).expect("body");
+    (status, headers, body)
+}
+
+/// Status + body only; see [`raw_request_full`].
+fn raw_request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let (status, _, body) = raw_request_full(addr, method, path, body);
     (status, body)
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Parses `{"error": {...}}` and returns the envelope object, asserting
+/// the two mandatory fields are present and non-empty.
+fn parse_envelope(body: &str) -> Json {
+    let doc = Json::parse(body).unwrap_or_else(|e| panic!("body is JSON ({e}): {body}"));
+    let envelope = doc.get("error").expect("error envelope").clone();
+    let code = envelope.get("code").and_then(Json::as_str).expect("code");
+    let message = envelope
+        .get("message")
+        .and_then(Json::as_str)
+        .expect("message");
+    assert!(!code.is_empty() && !message.is_empty(), "{body}");
+    envelope
 }
 
 #[test]
@@ -442,14 +480,18 @@ fn preflight_errors_reject_with_422_without_queueing() {
     let backend = Arc::new(SyntheticBackend::new(3).with_lint_report(report));
     let (server, client) = start(ServiceConfig::default(), backend);
 
-    // The raw 422 body carries machine-readable diagnostics.
+    // The raw 422 envelope carries machine-readable diagnostics.
     let spec_body = JobSpec::default().to_json().to_string();
-    let (status, body) = raw_request(server.addr(), "POST", "/jobs", &spec_body);
+    let (status, body) = raw_request(server.addr(), "POST", "/v1/jobs", &spec_body);
     assert_eq!(status, 422, "{body}");
-    let json = Json::parse(&body).expect("422 body is JSON");
-    assert!(json.get("error").and_then(Json::as_str).is_some(), "{body}");
-    assert_eq!(json.get("errors").and_then(Json::as_u64), Some(1), "{body}");
-    let diags = json
+    let envelope = parse_envelope(&body);
+    assert_eq!(
+        envelope.get("code").and_then(Json::as_str),
+        Some("lint_failed")
+    );
+    let lint = envelope.get("diagnostics").expect("lint diagnostics");
+    assert_eq!(lint.get("errors").and_then(Json::as_u64), Some(1), "{body}");
+    let diags = lint
         .get("diagnostics")
         .and_then(Json::as_arr)
         .expect("diagnostics array");
@@ -463,13 +505,17 @@ fn preflight_errors_reject_with_422_without_queueing() {
         Some("error")
     );
 
-    // The typed client surfaces the same rejection.
+    // The typed client surfaces the same rejection, diagnostics included.
     match client.submit(&JobSpec::default()) {
-        Err(ClientError::Http {
-            status: 422,
+        Err(ClientError::Service(ServiceError::LintFailed {
             message,
-        }) => assert!(message.contains("pre-flight"), "{message}"),
-        other => panic!("expected 422, got {other:?}"),
+            diagnostics,
+        })) => {
+            assert!(message.contains("pre-flight"), "{message}");
+            let lint = diagnostics.expect("client keeps the lint report");
+            assert_eq!(lint.get("errors").and_then(Json::as_u64), Some(1));
+        }
+        other => panic!("expected lint_failed, got {other:?}"),
     }
 
     // The rejection happened at the front door: nothing was queued, no
@@ -500,8 +546,322 @@ fn lint_endpoint_reports_for_admitted_jobs() {
     // Unknown job ids 404 like every other job-scoped endpoint.
     assert!(matches!(
         client.lint(9_999),
-        Err(ClientError::Http { status: 404, .. })
+        Err(ClientError::Service(ServiceError::NotFound(_)))
     ));
+    server.request_shutdown();
+    server.wait();
+}
+
+// ------------------------------------------------------------- /v1 API
+
+#[test]
+fn legacy_paths_redirect_to_v1_with_deprecation_header() {
+    let (server, _client) = start(ServiceConfig::default(), Arc::new(SyntheticBackend::new(2)));
+    let addr = server.addr();
+
+    for (method, path) in [
+        ("GET", "/healthz"),
+        ("GET", "/stats"),
+        ("POST", "/jobs"),
+        ("GET", "/jobs/1"),
+        ("GET", "/jobs/1/results"),
+        ("GET", "/report/1"),
+        ("GET", "/lint/1"),
+        ("POST", "/shutdown"),
+    ] {
+        let (status, headers, body) = raw_request_full(addr, method, path, "");
+        assert_eq!(status, 308, "{method} {path}: {body}");
+        assert_eq!(
+            header(&headers, "location"),
+            Some(format!("/v1{path}").as_str()),
+            "{method} {path}"
+        );
+        assert_eq!(header(&headers, "deprecation"), Some("true"), "{path}");
+        let envelope = parse_envelope(&body);
+        assert_eq!(
+            envelope.get("code").and_then(Json::as_str),
+            Some("moved_permanently"),
+            "{body}"
+        );
+    }
+
+    // Unknown paths are a plain 404, not a "deprecated route" signal.
+    let (status, headers, body) = raw_request_full(addr, "GET", "/nope", "");
+    assert_eq!(status, 404, "{body}");
+    assert!(header(&headers, "location").is_none());
+    assert_eq!(
+        parse_envelope(&body).get("code").and_then(Json::as_str),
+        Some("not_found")
+    );
+
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn error_envelope_is_uniform_across_statuses() {
+    let (server, client) = start(ServiceConfig::default(), Arc::new(SyntheticBackend::new(2)));
+    let addr = server.addr();
+
+    // A finished job gives the 405/409 probes a real id to poke at.
+    let id = client.submit(&JobSpec::default()).expect("submit");
+    let (state, _) = client.wait_terminal(id, POLL).expect("terminal");
+    assert_eq!(state, "completed");
+
+    let job = format!("/v1/jobs/{id}");
+    let spec_body = JobSpec::default().to_json().to_string();
+    let cases: [(&str, &str, &str, u16, &str); 6] = [
+        ("POST", "/v1/jobs", "not json", 400, "bad_request"),
+        ("GET", "/v1/jobs/999", "", 404, "not_found"),
+        ("PUT", &job, "", 405, "method_not_allowed"),
+        ("DELETE", &job, "", 409, "conflict"),
+        ("DELETE", "/v1/report/1", "", 405, "method_not_allowed"),
+        ("GET", "/v1/what/is/this", "", 404, "not_found"),
+    ];
+    for (method, path, body, want_status, want_code) in cases {
+        let (status, body) = raw_request(addr, method, path, body);
+        assert_eq!(status, want_status, "{method} {path}: {body}");
+        let envelope = parse_envelope(&body);
+        assert_eq!(
+            envelope.get("code").and_then(Json::as_str),
+            Some(want_code),
+            "{method} {path}: {body}"
+        );
+    }
+
+    // Draining: the envelope carries the same shape at 503.
+    server.registry().begin_drain();
+    let (status, body) = raw_request(addr, "POST", "/v1/jobs", &spec_body);
+    assert_eq!(status, 503, "{body}");
+    assert_eq!(
+        parse_envelope(&body).get("code").and_then(Json::as_str),
+        Some("draining"),
+        "{body}"
+    );
+
+    server.request_shutdown();
+    server.wait();
+}
+
+/// Minimal Prometheus text-format validation: every sample line is
+/// `series value`, every series belongs to a `# TYPE`-declared family
+/// (histograms via their `_bucket`/`_sum`/`_count` suffixes), and every
+/// family kind is one we emit.
+fn assert_prometheus_valid(text: &str) {
+    use std::collections::HashSet;
+    let mut declared: HashSet<String> = HashSet::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("family name").to_string();
+            let kind = parts.next().expect("family kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown kind: {line}"
+            );
+            declared.insert(name);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("malformed sample line: {line}"));
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("non-numeric sample value: {line}"));
+        let name = series.split('{').next().expect("series name");
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name: {line}"
+        );
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| declared.contains(*b))
+            .unwrap_or(name);
+        assert!(declared.contains(base), "sample without # TYPE: {line}");
+    }
+}
+
+/// The first sample value of an exact series (labels included).
+fn metric_value(text: &str, series: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(series)?;
+        rest.strip_prefix(' ')?.trim().parse().ok()
+    })
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_with_monotone_counters() {
+    let (server, client) = start(ServiceConfig::default(), Arc::new(SyntheticBackend::new(3)));
+
+    // The synthetic backend never touches the circuit solver, so drive
+    // one real DC solve in-process: the obs registry is process-global,
+    // and the solver families must show up in the same exposition.
+    {
+        use symbist_circuit::dc::DcSolver;
+        use symbist_circuit::netlist::Netlist;
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource(a, Netlist::GND, 1.0);
+        nl.resistor(a, b, 1e3);
+        nl.resistor(b, Netlist::GND, 1e3);
+        DcSolver::new().solve(&nl).expect("dc solve");
+    }
+
+    let id = client.submit(&JobSpec::default()).expect("job 1");
+    client.wait_terminal(id, POLL).expect("terminal");
+    let first = client.metrics().expect("metrics after job 1");
+    assert_prometheus_valid(&first);
+
+    for family in [
+        // solver
+        "symbist_solver_dc_solves_total",
+        "symbist_solver_dc_solve_seconds",
+        "symbist_solver_solves_total",
+        "symbist_solver_newton_iterations",
+        // campaign
+        "symbist_campaign_runs_total",
+        "symbist_campaign_defects_total",
+        "symbist_campaign_defect_seconds",
+        // service
+        "symbist_service_queue_depth",
+        "symbist_service_queue_wait_seconds",
+        "symbist_service_jobs_total",
+        "symbist_service_job_run_seconds",
+        "symbist_service_requests_total",
+        "symbist_service_request_seconds",
+        "symbist_service_workers_total",
+    ] {
+        assert!(
+            first.contains(&format!("# TYPE {family} ")),
+            "missing family {family}"
+        );
+    }
+
+    // A second job strictly advances the counters (other parallel tests
+    // only ever increment, so >= is the race-free assertion).
+    let completed_1 = metric_value(&first, r#"symbist_service_jobs_total{state="completed"}"#)
+        .expect("completed counter");
+    let campaigns_1 = metric_value(&first, "symbist_campaign_runs_total").expect("campaign runs");
+    let id2 = client.submit(&JobSpec::default()).expect("job 2");
+    client.wait_terminal(id2, POLL).expect("terminal");
+    let second = client.metrics().expect("metrics after job 2");
+    assert_prometheus_valid(&second);
+    let completed_2 = metric_value(&second, r#"symbist_service_jobs_total{state="completed"}"#)
+        .expect("completed counter");
+    let campaigns_2 = metric_value(&second, "symbist_campaign_runs_total").expect("campaign runs");
+    assert!(
+        completed_2 >= completed_1 + 1.0,
+        "jobs_total did not advance: {completed_1} -> {completed_2}"
+    );
+    assert!(
+        campaigns_2 >= campaigns_1 + 1.0,
+        "campaign_runs_total did not advance: {campaigns_1} -> {campaigns_2}"
+    );
+
+    // Histogram invariant on a live family: _count equals the +Inf bucket.
+    let inf = metric_value(
+        &second,
+        r#"symbist_service_request_seconds_bucket{le="+Inf"}"#,
+    )
+    .expect("+Inf bucket");
+    let count =
+        metric_value(&second, "symbist_service_request_seconds_count").expect("histogram count");
+    assert!(
+        inf >= 1.0 && (inf - count).abs() < f64::EPSILON,
+        "{inf} vs {count}"
+    );
+
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn trace_endpoint_returns_job_scoped_chrome_events() {
+    let (server, client) = start(ServiceConfig::default(), Arc::new(SyntheticBackend::new(4)));
+
+    let id = client.submit(&JobSpec::default()).expect("submit");
+    let (state, _) = client.wait_terminal(id, POLL).expect("terminal");
+    assert_eq!(state, "completed");
+
+    let ndjson = client.trace(id).expect("trace body");
+    let events: Vec<Json> = ndjson
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("trace line is JSON ({e}): {l}")))
+        .collect();
+    assert!(!events.is_empty(), "terminal job has captured spans");
+    let mut names = Vec::new();
+    for event in &events {
+        // chrome://tracing complete-event shape.
+        assert_eq!(event.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(event.get("cat").and_then(Json::as_str), Some("symbist"));
+        assert!(event.get("ts").and_then(Json::as_u64).is_some());
+        assert!(event.get("dur").and_then(Json::as_u64).is_some());
+        assert!(event
+            .get("args")
+            .and_then(|a| a.get("span"))
+            .and_then(Json::as_u64)
+            .is_some());
+        // Scope filtering: only this job's events come back.
+        assert_eq!(
+            event
+                .get("args")
+                .and_then(|a| a.get("scope"))
+                .and_then(Json::as_str),
+            Some(format!("job-{id}").as_str())
+        );
+        names.push(
+            event
+                .get("name")
+                .and_then(Json::as_str)
+                .expect("event name")
+                .to_string(),
+        );
+    }
+    assert!(names.iter().any(|n| n == "job_run"), "{names:?}");
+    assert!(names.iter().any(|n| n == "campaign"), "{names:?}");
+
+    // Parent linkage: the campaign span nests under job_run.
+    let span_of = |name: &str| {
+        events.iter().find_map(|e| {
+            (e.get("name").and_then(Json::as_str) == Some(name))
+                .then(|| {
+                    e.get("args")
+                        .and_then(|a| a.get("span"))
+                        .and_then(Json::as_u64)
+                })
+                .flatten()
+        })
+    };
+    let parent_of = |name: &str| {
+        events.iter().find_map(|e| {
+            (e.get("name").and_then(Json::as_str) == Some(name))
+                .then(|| {
+                    e.get("args")
+                        .and_then(|a| a.get("parent"))
+                        .and_then(Json::as_u64)
+                })
+                .flatten()
+        })
+    };
+    assert_eq!(parent_of("campaign"), span_of("job_run"), "span nesting");
+
+    // Unknown jobs 404 with the typed envelope.
+    assert!(matches!(
+        client.trace(9_999),
+        Err(ClientError::Service(ServiceError::NotFound(_)))
+    ));
+
     server.request_shutdown();
     server.wait();
 }

@@ -33,7 +33,10 @@ fn main() {
         ..ServiceConfig::default()
     };
     let server = Server::start(config, Arc::new(backend)).expect("bind service");
-    let client = Client::new(server.addr().to_string());
+    let client = Client::builder()
+        .base_url(server.addr().to_string())
+        .timeout(Duration::from_secs(60))
+        .build();
     client.health().expect("service is healthy");
     println!("service listening on http://{}", server.addr());
 
