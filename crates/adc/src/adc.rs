@@ -828,6 +828,88 @@ mod tests {
         }
     }
 
+    /// Poisons `ref_cache` the only way a real campaign can: a worker
+    /// thread panics while holding the lock.
+    fn poison_ref_cache(a: &SarAdc) {
+        std::thread::scope(|s| {
+            let poisoner = s.spawn(|| {
+                let _guard = a.ref_cache.lock().unwrap();
+                panic!("poison the ref cache");
+            });
+            assert!(poisoner.join().is_err());
+        });
+        assert!(a.ref_cache.lock().is_err(), "lock must now be poisoned");
+    }
+
+    #[test]
+    fn poisoned_ref_cache_recovers_on_the_solve_path() {
+        let a = adc();
+        // Warm the cache so recovery reuses real entries, not an empty map.
+        let healthy_code = a.convert(0.1);
+        let healthy_obs = a.symbist_observations(0.05);
+        poison_ref_cache(&a);
+
+        // Every read/write site goes through `into_inner`, so a poisoned
+        // cache degrades to nothing: same codes, same observations.
+        assert_eq!(a.convert(0.1), healthy_code);
+        assert_eq!(a.symbist_observations(0.05), healthy_obs);
+    }
+
+    #[test]
+    fn clone_of_a_poisoned_adc_carries_a_healthy_cache() {
+        let a = adc();
+        let healthy_code = a.convert(0.0);
+        poison_ref_cache(&a);
+
+        // Clone reads the poisoned map via `into_inner` and wraps the
+        // copy in a *fresh* mutex: the poison flag must not propagate.
+        let b = a.clone();
+        assert!(b.ref_cache.lock().is_ok(), "clone must not inherit poison");
+        assert_eq!(b.convert(0.0), healthy_code);
+    }
+
+    #[test]
+    fn state_changes_still_invalidate_a_poisoned_cache() {
+        let mut a = adc();
+        let _ = a.convert(0.0); // warm
+        poison_ref_cache(&a);
+
+        // `inject` must both survive the poison and clear the now-stale
+        // entries — a defect solve served from the healthy-state cache
+        // would silently mask the defect.
+        a.inject(DefectSite {
+            component: 0,
+            kind: DefectKind::Short,
+        });
+        assert_eq!(
+            a.ref_cache.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            0,
+            "inject must clear the poisoned cache"
+        );
+        let _ = a.symbist_observations(0.0); // repopulates through the poison
+        assert!(!a
+            .ref_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty());
+
+        a.clear_defects();
+        assert_eq!(
+            a.ref_cache.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            0,
+            "clear_defects must clear the poisoned cache"
+        );
+
+        let mut rng = Rng::seed_from_u64(7);
+        let _ = a.convert(0.0); // warm again
+        a.apply_mismatch(&AdcMismatch::sample(&mut rng));
+        assert_eq!(
+            a.ref_cache.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            0,
+            "apply_mismatch must clear the poisoned cache"
+        );
+    }
+
     #[test]
     fn fig5_trace_has_32_conversion_cycles() {
         let a = adc();

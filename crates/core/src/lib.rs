@@ -62,6 +62,12 @@ pub mod stimulus;
 pub mod testtime;
 pub mod window;
 
+/// Deterministic, site-addressed fault injection (re-export of
+/// [`symbist_obs::fault`]): seeded [`faultplan::FaultPlan`]s drive
+/// replayable chaos runs through the campaign runner, job service, and
+/// coordinator.
+pub use symbist_obs::fault as faultplan;
+
 pub use calibrate::Calibration;
 pub use invariance::{deviation, CheckerWiring, InvarianceId};
 pub use session::{BistResult, Detection, Schedule, SymBist};

@@ -43,6 +43,7 @@ use symbist_adc::fault::{DefectSite, Faultable};
 use symbist_circuit::dc::{set_thread_solve_budget, SolveBudget};
 use symbist_circuit::error::CircuitError;
 use symbist_circuit::rng::Rng;
+use symbist_obs::fault::FaultAction;
 
 use crate::checkpoint::{checkpoint_line, parse_checkpoint_line};
 use crate::coverage::{lw_coverage_exhaustive, lw_coverage_sampled, Coverage};
@@ -193,6 +194,15 @@ pub enum CampaignError {
         /// Underlying I/O failure.
         reason: String,
     },
+    /// `index_range` was empty or exceeded the universe.
+    InvalidRange {
+        /// Inclusive lower catalog index.
+        lo: usize,
+        /// Exclusive upper catalog index.
+        hi: usize,
+        /// The universe size it must fit in.
+        universe: usize,
+    },
     /// The campaign's [`CampaignMonitor`] requested cancellation before
     /// every selected defect was simulated. Records completed so far are
     /// already flushed to the checkpoint (when one is configured), so a
@@ -216,6 +226,12 @@ impl fmt::Display for CampaignError {
                 write!(
                     f,
                     "sample size {requested} invalid for a universe of {universe} defects"
+                )
+            }
+            CampaignError::InvalidRange { lo, hi, universe } => {
+                write!(
+                    f,
+                    "index range [{lo}, {hi}) invalid for a universe of {universe} defects"
                 )
             }
             CampaignError::Checkpoint { path, reason } => {
@@ -266,6 +282,15 @@ pub struct CampaignOptions {
     /// closure triggers. Deterministic: the same defect and budget always
     /// exhaust at the same iteration. `None` = unlimited.
     pub newton_budget: Option<u64>,
+    /// Restricts the campaign to catalog indices in the half-open range
+    /// `[lo, hi)` — the shard boundary used by the coordinator. The
+    /// restriction is applied *after* sampling: an LWRS draw is taken over
+    /// the full universe with [`seed`](Self::seed) and then filtered to
+    /// the range, so N shards with disjoint covering ranges and identical
+    /// seeds reconstruct exactly the 1-process selection. A sampled shard
+    /// whose range contains no drawn index yields an empty (zero-record)
+    /// result. `None` = the whole universe.
+    pub index_range: Option<(usize, usize)>,
     /// JSONL checkpoint file. Completed records are appended (one JSON
     /// object per line, flushed per record); when the file already holds
     /// records for this universe/sample, those defects are skipped and
@@ -284,6 +309,7 @@ impl Default for CampaignOptions {
                 .unwrap_or(1),
             defect_deadline: None,
             newton_budget: None,
+            index_range: None,
             checkpoint: None,
         }
     }
@@ -593,8 +619,18 @@ where
     // worker thread so per-job trace slicing survives the fan-out.
     let trace_scope = symbist_obs::current_scope();
 
+    if let Some((lo, hi)) = options.index_range {
+        if lo >= hi || hi > universe.len() {
+            return Err(CampaignError::InvalidRange {
+                lo,
+                hi,
+                universe: universe.len(),
+            });
+        }
+    }
+
     // LWRS draw (or the full universe), as sorted indices into the universe.
-    let selected: Vec<usize> = match options.sample_size {
+    let mut selected: Vec<usize> = match options.sample_size {
         Some(n) => {
             if n == 0 || n > universe.len() {
                 return Err(CampaignError::InvalidSampleSize {
@@ -610,6 +646,12 @@ where
         }
         None => (0..universe.len()).collect(),
     };
+    // Shard restriction (after the draw, so disjoint ranges partition the
+    // exact 1-process selection — the coordinator's merge-determinism
+    // invariant).
+    if let Some((lo, hi)) = options.index_range {
+        selected.retain(|&i| i >= lo && i < hi);
+    }
 
     // Resume: reload completed records, then skip their positions.
     let preloaded: Vec<(usize, DefectRecord)> = match &options.checkpoint {
@@ -672,10 +714,23 @@ where
                 continue;
             }
             let defect = &universe.defects()[defect_index];
+            // Fault-injection site `campaign/defect:{index}`: `stall`
+            // zeroes the Newton budget (the solve exhausts immediately →
+            // `Unresolved(Timeout)`), `panic` unwinds inside the per-defect
+            // `catch_unwind` (→ `Unresolved(Panic)`).
+            let injected = if symbist_obs::fault::active() {
+                symbist_obs::fault::fire(&format!("campaign/defect:{defect_index}"))
+            } else {
+                None
+            };
             let t0 = Instant::now();
             let budget = SolveBudget {
                 deadline: options.defect_deadline.map(|d| t0 + d),
-                newton_iters: options.newton_budget,
+                newton_iters: if matches!(injected, Some(FaultAction::Stall)) {
+                    Some(0)
+                } else {
+                    options.newton_budget
+                },
             };
             let prev = if budget == SolveBudget::UNLIMITED {
                 None
@@ -684,6 +739,9 @@ where
             };
             let defect_span = symbist_obs::span!("defect_sim");
             let verdict = catch_unwind(AssertUnwindSafe(|| {
+                if matches!(injected, Some(FaultAction::Panic)) {
+                    panic!("fault-injected panic (campaign/defect:{defect_index})");
+                }
                 let mut instance = dut.clone();
                 instance.inject(defect.site);
                 test(&instance).into()
@@ -719,6 +777,33 @@ where
             };
             record_defect_metrics(&record);
             if let Some(writer) = &writer {
+                // Fault-injection site `campaign/checkpoint:{index}`:
+                // `torn` flushes a truncated record then panics (a process
+                // killed mid-append); `panic` unwinds before the write.
+                // Both escape the per-defect `catch_unwind` and fail the
+                // whole campaign, as a real worker death would.
+                if symbist_obs::fault::active() {
+                    match symbist_obs::fault::fire(&format!("campaign/checkpoint:{defect_index}")) {
+                        Some(FaultAction::Torn) => {
+                            let mut file = writer.lock().unwrap_or_else(|e| e.into_inner());
+                            let line = checkpoint_line(&record);
+                            let torn = &line[..line.len() / 2];
+                            let _ = file.write_all(torn.as_bytes()).and_then(|()| file.flush());
+                            drop(file);
+                            panic!(
+                                "fault-injected torn checkpoint write \
+                                 (campaign/checkpoint:{defect_index})"
+                            );
+                        }
+                        Some(FaultAction::Panic) => {
+                            panic!(
+                                "fault-injected panic in checkpoint flush \
+                                 (campaign/checkpoint:{defect_index})"
+                            );
+                        }
+                        _ => {}
+                    }
+                }
                 let ckpt_start = symbist_obs::enabled().then(Instant::now);
                 let mut file = writer.lock().unwrap_or_else(|e| e.into_inner());
                 let line = checkpoint_line(&record);
@@ -755,7 +840,13 @@ where
             let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("campaign workers never panic"))
+                .map(|h| {
+                    // Re-raise a campaign-worker panic (e.g. an injected
+                    // checkpoint fault) with its original payload so the
+                    // caller's catch_unwind sees the real message.
+                    h.join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                })
                 .collect()
         });
 
@@ -1049,6 +1140,71 @@ mod tests {
             err,
             CampaignError::InvalidSampleSize { requested: 0, .. }
         ));
+    }
+
+    #[test]
+    fn sharded_ranges_reconstruct_the_full_selection() {
+        // Three disjoint covering ranges — exhaustive and sampled — must
+        // union (position-sorted) to exactly the 1-process selection.
+        let dut = ToyDut::new(9);
+        let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        for sample_size in [None, Some(14)] {
+            let base = CampaignOptions {
+                sample_size,
+                seed: 11,
+                threads: 2,
+                ..Default::default()
+            };
+            let oracle = run_campaign(&dut, &uni, &base, toy_test).unwrap();
+            let n = uni.len();
+            let cuts = [0, n / 3, 2 * n / 3, n];
+            let mut merged: Vec<DefectRecord> = Vec::new();
+            for w in cuts.windows(2) {
+                let opts = CampaignOptions {
+                    index_range: Some((w[0], w[1])),
+                    ..base.clone()
+                };
+                let shard = run_campaign(&dut, &uni, &opts, toy_test).unwrap();
+                assert!(shard
+                    .records
+                    .iter()
+                    .all(|r| r.defect_index >= w[0] && r.defect_index < w[1]));
+                merged.extend(shard.records);
+            }
+            merged.sort_unstable_by_key(|r| r.defect_index);
+            let oracle_keys: Vec<(usize, bool)> = oracle
+                .records
+                .iter()
+                .map(|r| (r.defect_index, r.outcome.detected()))
+                .collect();
+            let merged_keys: Vec<(usize, bool)> = merged
+                .iter()
+                .map(|r| (r.defect_index, r.outcome.detected()))
+                .collect();
+            assert_eq!(oracle_keys, merged_keys, "sample_size {sample_size:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_index_range_is_an_error() {
+        let dut = ToyDut::new(2);
+        let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        for (lo, hi) in [(3, 2), (0, 0), (0, uni.len() + 1)] {
+            let err = run_campaign(
+                &dut,
+                &uni,
+                &CampaignOptions {
+                    index_range: Some((lo, hi)),
+                    ..Default::default()
+                },
+                toy_test,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, CampaignError::InvalidRange { .. }),
+                "got {err}"
+            );
+        }
     }
 
     #[test]

@@ -34,6 +34,20 @@ use crate::campaign::{DefectRecord, SimOutcome, TestOutcome, UnresolvedReason};
 
 /// Serializes one record as a single JSON line (no trailing newline).
 pub fn checkpoint_line(record: &DefectRecord) -> String {
+    line_with(record, true)
+}
+
+/// The deterministic projection of a record: the checkpoint line minus
+/// `wall_ns`, the only field that differs between two runs of the same
+/// defect. This is what the coordinator writes to its merged artifact and
+/// what the chaos gate compares byte-for-byte against the 1-process
+/// oracle — every remaining field (`defect_index`, site, bit-exact
+/// likelihood, outcome) is a pure function of the universe and the seed.
+pub fn merged_line(record: &DefectRecord) -> String {
+    line_with(record, false)
+}
+
+fn line_with(record: &DefectRecord, include_wall: bool) -> String {
     let mut s = String::with_capacity(160);
     let _ = write!(
         s,
@@ -62,7 +76,10 @@ pub fn checkpoint_line(record: &DefectRecord) -> String {
             );
         }
     }
-    let _ = write!(s, ",\"wall_ns\":{}}}", record.wall.as_nanos());
+    if include_wall {
+        let _ = write!(s, ",\"wall_ns\":{}", record.wall.as_nanos());
+    }
+    s.push('}');
     s
 }
 
@@ -212,6 +229,26 @@ mod tests {
         }
         // The reference line itself still parses.
         assert!(parse_checkpoint_line(&good).is_some());
+    }
+
+    #[test]
+    fn merged_line_is_checkpoint_line_minus_wall() {
+        for outcome in [
+            completed(true),
+            SimOutcome::Unresolved(UnresolvedReason::Timeout),
+        ] {
+            let mut a = record(outcome);
+            let mut b = a;
+            a.wall = Duration::from_nanos(1);
+            b.wall = Duration::from_secs(99);
+            // Wall differences vanish under the projection...
+            assert_eq!(merged_line(&a), merged_line(&b));
+            assert!(!merged_line(&a).contains("wall_ns"));
+            // ...and the projection is a strict prefix of the full line.
+            let full = checkpoint_line(&a);
+            let merged = merged_line(&a);
+            assert!(full.starts_with(&merged[..merged.len() - 1]));
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub use campaign::{
     run_campaign, run_campaign_monitored, CampaignError, CampaignMonitor, CampaignOptions,
     CampaignResult, DefectRecord, SimOutcome, TestOutcome, UnresolvedCounts, UnresolvedReason,
 };
+pub use checkpoint::{checkpoint_line, merged_line, parse_checkpoint_line};
 pub use coverage::Coverage;
 pub use likelihood::LikelihoodModel;
 pub use report::CoverageTable;

@@ -1,0 +1,265 @@
+//! Deterministic fault-injection acceptance tests for the campaign
+//! runner: the `campaign/defect:*` and `campaign/checkpoint:*` sites of
+//! `symbist_obs::fault` (re-exported as `symbist::faultplan`).
+//!
+//! The fault plan is process-global, so every test that installs one
+//! holds [`plan_lock`] for its whole body — tests in this binary run
+//! concurrently, and a leaked plan would inject chaos into a neighbour.
+#![allow(clippy::unwrap_used)] // integration tests assert by panicking
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use symbist_adc::fault::{
+    check_site, BlockKind, ComponentInfo, ComponentKind, DefectSite, Faultable,
+};
+use symbist_circuit::dc::DcSolver;
+use symbist_circuit::error::CircuitError;
+use symbist_circuit::netlist::Netlist;
+use symbist_defects::checkpoint::merged_line;
+use symbist_defects::likelihood::LikelihoodModel;
+use symbist_defects::{
+    run_campaign, CampaignOptions, DefectUniverse, TestOutcome, UnresolvedReason,
+};
+use symbist_obs::FaultPlan;
+
+/// Serializes tests that install a process-global fault plan.
+fn plan_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A minimal Faultable DUT; detection is scripted by the test closure.
+#[derive(Clone)]
+struct ToyDut {
+    catalog: Vec<ComponentInfo>,
+    injected: Option<DefectSite>,
+}
+
+impl ToyDut {
+    fn new(n: usize) -> Self {
+        let catalog = (0..n)
+            .map(|i| ComponentInfo {
+                block: BlockKind::ScArray,
+                name: format!("toy/c{i}"),
+                kind: ComponentKind::Resistor,
+                area: 1.0 + i as f64,
+            })
+            .collect();
+        Self {
+            catalog,
+            injected: None,
+        }
+    }
+}
+
+impl Faultable for ToyDut {
+    fn components(&self) -> &[ComponentInfo] {
+        &self.catalog
+    }
+    fn inject(&mut self, site: DefectSite) {
+        check_site(&self.catalog, site);
+        self.injected = Some(site);
+    }
+    fn clear_defects(&mut self) {
+        self.injected = None;
+    }
+    fn injected(&self) -> Option<DefectSite> {
+        self.injected
+    }
+}
+
+fn universe(n: usize) -> (ToyDut, DefectUniverse) {
+    let dut = ToyDut::new(n);
+    let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+    (dut, uni)
+}
+
+fn completed(detected: bool) -> TestOutcome {
+    TestOutcome {
+        detected,
+        detection_cycle: detected.then_some(3),
+        cycles_run: if detected { 3 } else { 192 },
+    }
+}
+
+fn temp_checkpoint(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!(
+        "symbist-fault-{}-{tag}-{n}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Single-threaded options so checkpoint/selection order is the catalog
+/// order and occurrence counts are deterministic.
+fn serial_options() -> CampaignOptions {
+    CampaignOptions {
+        threads: 1,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn injected_panic_becomes_an_unresolved_panic_record() {
+    let _serial = plan_lock();
+    let (dut, uni) = universe(2);
+    assert!(uni.len() > 4 && uni.len() < 10, "site addressing needs <10");
+    let plan = Arc::new(FaultPlan::parse("campaign/defect:3@1=panic").unwrap());
+    let _guard = symbist_obs::fault::install(plan);
+
+    let res = run_campaign(&dut, &uni, &serial_options(), |_: &ToyDut| completed(true))
+        .expect("an injected per-defect panic must stay isolated");
+
+    assert_eq!(res.simulated(), uni.len());
+    assert_eq!(res.unresolved(), 1);
+    let bad = res
+        .records
+        .iter()
+        .find(|r| r.outcome.is_unresolved())
+        .unwrap();
+    assert_eq!(bad.defect_index, 3);
+    assert_eq!(
+        bad.outcome.unresolved_reason(),
+        Some(UnresolvedReason::Panic)
+    );
+}
+
+#[test]
+fn injected_stall_exhausts_the_solve_budget_into_timeout() {
+    let _serial = plan_lock();
+    let (dut, uni) = universe(2);
+    let plan = Arc::new(FaultPlan::parse("campaign/defect:5@1=stall").unwrap());
+    let _guard = symbist_obs::fault::install(plan);
+
+    // Every defect drives a genuinely nonlinear solve. Without a budget it
+    // converges; the stall injection zeroes the Newton budget for defect 5
+    // only, so exactly that solve dies with BudgetExhausted → Timeout.
+    let solver_test = |_d: &ToyDut| -> Result<TestOutcome, CircuitError> {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let k = nl.node("k");
+        nl.vsource(a, Netlist::GND, 2.0);
+        nl.resistor(a, k, 100.0);
+        nl.diode(k, Netlist::GND, 1e-14, 1.0);
+        let _ = DcSolver::new().solve(&nl)?;
+        Ok(completed(false))
+    };
+    let res = run_campaign(&dut, &uni, &serial_options(), solver_test).unwrap();
+
+    assert_eq!(res.unresolved(), 1, "only the stalled defect is unresolved");
+    let stalled = res
+        .records
+        .iter()
+        .find(|r| r.outcome.is_unresolved())
+        .unwrap();
+    assert_eq!(stalled.defect_index, 5);
+    assert_eq!(
+        stalled.outcome.unresolved_reason(),
+        Some(UnresolvedReason::Timeout)
+    );
+}
+
+#[test]
+fn torn_checkpoint_write_fails_the_campaign_then_resume_is_bit_identical() {
+    let _serial = plan_lock();
+    let (dut, uni) = universe(2);
+    let test = |d: &ToyDut| completed(d.injected().map(|s| s.kind.is_short()).unwrap_or(false));
+
+    // Oracle: uninterrupted single-threaded run.
+    let oracle_path = temp_checkpoint("torn-oracle");
+    let oracle_opts = CampaignOptions {
+        checkpoint: Some(oracle_path.clone()),
+        ..serial_options()
+    };
+    let oracle = run_campaign(&dut, &uni, &oracle_opts, test).unwrap();
+
+    // Chaos run: the checkpoint append for defect 4 writes half a line,
+    // flushes, and dies — a worker killed mid-append. The panic escapes
+    // the per-defect isolation and fails the whole campaign.
+    let chaos_path = temp_checkpoint("torn-chaos");
+    let chaos_opts = CampaignOptions {
+        checkpoint: Some(chaos_path.clone()),
+        ..serial_options()
+    };
+    {
+        let plan = Arc::new(FaultPlan::parse("campaign/checkpoint:4@1=torn").unwrap());
+        let _guard = symbist_obs::fault::install(plan);
+        let died = catch_unwind(AssertUnwindSafe(|| {
+            run_campaign(&dut, &uni, &chaos_opts, test)
+        }));
+        assert!(died.is_err(), "a torn checkpoint write must be fatal");
+    }
+
+    // The file holds the four records before the casualty plus a torn
+    // final line the tolerant parser must skip.
+    let content = std::fs::read_to_string(&chaos_path).unwrap();
+    let complete_lines = content
+        .lines()
+        .filter(|l| symbist_defects::parse_checkpoint_line(l).is_some())
+        .count();
+    assert_eq!(complete_lines, 4);
+    assert!(
+        content.lines().count() == 5,
+        "the torn half-line must be present"
+    );
+
+    // Resume with the plan uninstalled: the four durable records are
+    // reused, the rest re-simulated, and the merged projection (every
+    // field except wall time) is byte-identical to the oracle.
+    let resumed = run_campaign(&dut, &uni, &chaos_opts, test).unwrap();
+    assert_eq!(resumed.resumed, 4, "torn line must not count as durable");
+    let project = |res: &symbist_defects::CampaignResult| -> Vec<String> {
+        res.records.iter().map(merged_line).collect()
+    };
+    assert_eq!(project(&resumed), project(&oracle));
+
+    let _ = std::fs::remove_file(&oracle_path);
+    let _ = std::fs::remove_file(&chaos_path);
+}
+
+#[test]
+fn checkpoint_flush_panic_fails_the_campaign_without_a_torn_line() {
+    let _serial = plan_lock();
+    let (dut, uni) = universe(2);
+    let test = |_: &ToyDut| completed(false);
+    let path = temp_checkpoint("flush-panic");
+    let opts = CampaignOptions {
+        checkpoint: Some(path.clone()),
+        ..serial_options()
+    };
+    {
+        let plan = Arc::new(FaultPlan::parse("campaign/checkpoint:2@1=panic").unwrap());
+        let _guard = symbist_obs::fault::install(plan);
+        let died = catch_unwind(AssertUnwindSafe(|| run_campaign(&dut, &uni, &opts, test)));
+        assert!(died.is_err(), "a checkpoint-flush panic must be fatal");
+    }
+    // Unlike `torn`, `panic` unwinds before touching the file: every line
+    // present is complete, and the casualty's record is simply absent.
+    let content = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(content.lines().count(), 2);
+    assert!(content
+        .lines()
+        .all(|l| symbist_defects::parse_checkpoint_line(l).is_some()));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn injections_are_counted_on_the_fault_metric() {
+    let _serial = plan_lock();
+    let (dut, uni) = universe(2);
+    let counter = symbist_obs::counter!(
+        r#"symbist_fault_injections_total{action="panic"}"#,
+        "Fault-plan injections fired, by action."
+    );
+    let before = counter.get();
+    let plan = Arc::new(FaultPlan::parse("campaign/defect:1@1=panic").unwrap());
+    let _guard = symbist_obs::fault::install(plan);
+    let _ = run_campaign(&dut, &uni, &serial_options(), |_: &ToyDut| completed(true)).unwrap();
+    assert_eq!(counter.get(), before + 1);
+}

@@ -52,9 +52,11 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub mod fault;
 pub mod metrics;
 pub mod span;
 
+pub use fault::{FaultAction, FaultPlan, FaultPlanGuard, FaultRule};
 pub use metrics::{
     registry, Counter, Gauge, Histogram, LocalHistogram, Registry, ITERATION_EDGES, SECONDS_EDGES,
 };

@@ -33,6 +33,12 @@ pub trait CampaignBackend: Send + Sync {
     /// rejected at submit time (`400`) instead of failing the job later.
     fn validate(&self, spec: &JobSpec) -> Result<(), SpecError>;
 
+    /// Size of this backend's full defect universe: the catalog-index
+    /// domain that `index_lo`/`index_hi` shard ranges address. Exposed on
+    /// `GET /v1/universe` so a coordinator can split the range before
+    /// submitting shard jobs.
+    fn universe_len(&self) -> usize;
+
     /// Static pre-flight analysis for a spec: the lint report of the DUT
     /// and universe the job would run against. The front-end rejects
     /// submissions whose report carries Error-level diagnostics (`422`)
@@ -78,6 +84,18 @@ fn check_sample(spec: &JobSpec, universe_len: usize) -> Result<(), SpecError> {
                 "sample_size {n} exceeds the {universe_len}-defect universe"
             )));
         }
+    }
+    Ok(())
+}
+
+/// Checks a spec's shard range against the universe it will run over.
+fn check_range(spec: &JobSpec, universe_len: usize) -> Result<(), SpecError> {
+    let lo = spec.index_lo.unwrap_or(0);
+    let hi = spec.index_hi.unwrap_or(universe_len);
+    if lo >= hi || hi > universe_len {
+        return Err(SpecError(format!(
+            "index range [{lo}, {hi}) invalid for the {universe_len}-defect universe"
+        )));
     }
     Ok(())
 }
@@ -156,7 +174,12 @@ impl CampaignBackend for AdcBackend {
                 spec.block.as_deref().unwrap_or("?")
             )));
         }
-        check_sample(spec, universe.len())
+        check_sample(spec, universe.len())?;
+        check_range(spec, universe.len())
+    }
+
+    fn universe_len(&self) -> usize {
+        self.universe.len()
     }
 
     fn run(
@@ -170,10 +193,11 @@ impl CampaignBackend for AdcBackend {
             Schedule::Sequential => &self.sequential,
             Schedule::Parallel => &self.parallel,
         };
+        let options = spec.campaign_options(checkpoint, universe.len());
         run_campaign_monitored(
             &self.adc,
             &universe,
-            &spec.campaign_options(checkpoint),
+            &options,
             |dut| engine.campaign_test(dut),
             monitor,
         )
@@ -322,7 +346,12 @@ impl CampaignBackend for SyntheticBackend {
             }
         }
         resolve_schedule(spec)?;
-        check_sample(spec, self.universe.len())
+        check_sample(spec, self.universe.len())?;
+        check_range(spec, self.universe.len())
+    }
+
+    fn universe_len(&self) -> usize {
+        self.universe.len()
     }
 
     fn run(
@@ -336,7 +365,7 @@ impl CampaignBackend for SyntheticBackend {
         run_campaign_monitored(
             &self.dut,
             &self.universe,
-            &spec.campaign_options(checkpoint),
+            &spec.campaign_options(checkpoint, self.universe.len()),
             move |dut: &SyntheticDut| {
                 if let Some(gate) = &gate {
                     gate.pass();

@@ -1,0 +1,134 @@
+//! Seeded exponential backoff with decorrelated jitter.
+//!
+//! The retry-sleep policy shared by the [`Client`](crate::client::Client)
+//! and the coordinator. The schedule is the AWS "decorrelated jitter"
+//! variant: each sleep is drawn uniformly from `[base, 3 × previous]` and
+//! clamped to `cap`, which grows roughly exponentially while desynchronizing
+//! concurrent retriers (a fleet of clients hammered by the same `503` does
+//! not thunder back in lockstep). The draw comes from the workspace's
+//! deterministic [`Rng`], so a seeded schedule is exactly reproducible in
+//! tests.
+//!
+//! A server-provided `Retry-After` is honored as a **floor**, never a cap:
+//! the jittered delay is raised to at least the server's figure (even past
+//! `cap`), but a generous jitter draw above the floor is kept. The
+//! previous client behavior — sleeping `min(retry_after, 2s)` flat —
+//! inverted that contract and retried *sooner* the more loaded the server
+//! said it was.
+
+use std::time::Duration;
+
+use symbist_circuit::rng::Rng;
+
+/// Decorrelated-jitter backoff schedule. Create one per logical operation
+/// (all attempts of one request), not per attempt.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    rng: Rng,
+}
+
+/// Default first-sleep lower bound.
+pub const DEFAULT_BASE: Duration = Duration::from_millis(50);
+/// Default jitter clamp (a `Retry-After` floor may still exceed it).
+pub const DEFAULT_CAP: Duration = Duration::from_secs(2);
+
+impl Backoff {
+    /// A schedule drawing from `[base, 3 × previous]`, clamped to `cap`.
+    pub fn new(seed: u64, base: Duration, cap: Duration) -> Backoff {
+        Backoff {
+            base,
+            cap: cap.max(base),
+            prev: base,
+            rng: Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next sleep. `floor` is the server's `Retry-After` hint: the
+    /// returned delay is at least that long, even beyond `cap`. The floor
+    /// does not feed back into the jitter state, so one pessimistic hint
+    /// does not permanently inflate the schedule.
+    pub fn next(&mut self, floor: Option<Duration>) -> Duration {
+        let hi = (self.prev.as_secs_f64() * 3.0).max(self.base.as_secs_f64());
+        let drawn = self
+            .rng
+            .uniform(self.base.as_secs_f64(), hi)
+            .min(self.cap.as_secs_f64());
+        let jittered = Duration::from_secs_f64(drawn.max(0.0));
+        self.prev = jittered;
+        match floor {
+            Some(floor) => jittered.max(floor),
+            None => jittered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(seed: u64, n: usize) -> Vec<Duration> {
+        let mut b = Backoff::new(seed, DEFAULT_BASE, DEFAULT_CAP);
+        (0..n).map(|_| b.next(None)).collect()
+    }
+
+    #[test]
+    fn seeded_schedule_is_reproducible() {
+        assert_eq!(schedule(42, 8), schedule(42, 8));
+        assert_ne!(schedule(42, 8), schedule(43, 8));
+    }
+
+    #[test]
+    fn delays_stay_within_base_and_cap() {
+        for seed in 0..20 {
+            for d in schedule(seed, 16) {
+                assert!(d >= DEFAULT_BASE, "below base: {d:?}");
+                assert!(d <= DEFAULT_CAP, "above cap: {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_grows_toward_the_cap() {
+        // Averaged over seeds, late sleeps must be much longer than the
+        // first ones — the "exponential" in exponential backoff.
+        let (mut first, mut late) = (0.0, 0.0);
+        for seed in 0..50 {
+            let s = schedule(seed, 10);
+            first += s[0].as_secs_f64();
+            late += s[9].as_secs_f64();
+        }
+        assert!(
+            late > first * 5.0,
+            "no growth: first {first:.3}s late {late:.3}s"
+        );
+    }
+
+    #[test]
+    fn retry_after_is_a_floor_not_a_cap() {
+        let mut b = Backoff::new(1, DEFAULT_BASE, DEFAULT_CAP);
+        // A floor above the cap wins outright…
+        let d = b.next(Some(Duration::from_secs(30)));
+        assert_eq!(d, Duration::from_secs(30));
+        // …without inflating the subsequent jitter state past the cap.
+        for _ in 0..8 {
+            assert!(b.next(None) <= DEFAULT_CAP);
+        }
+        // A floor below the current draw leaves the draw alone.
+        let mut lo = Backoff::new(2, DEFAULT_BASE, DEFAULT_CAP);
+        let tiny = Duration::from_nanos(1);
+        assert!(lo.next(Some(tiny)) >= DEFAULT_BASE);
+    }
+
+    #[test]
+    fn degenerate_base_and_cap_are_tolerated() {
+        let mut z = Backoff::new(3, Duration::ZERO, Duration::ZERO);
+        assert_eq!(z.next(None), Duration::ZERO);
+        // cap below base is raised to base rather than inverting the range.
+        let mut inv = Backoff::new(4, Duration::from_millis(10), Duration::from_millis(1));
+        let d = inv.next(None);
+        assert!(d <= Duration::from_millis(10));
+    }
+}

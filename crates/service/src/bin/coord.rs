@@ -1,0 +1,191 @@
+//! The SymBIST campaign coordinator: shards a defect universe across a
+//! fleet of `serve` workers and merges the results deterministically.
+//!
+//! ```sh
+//! cargo run --release -p symbist-service --bin coord -- \
+//!     --workers 127.0.0.1:7171,127.0.0.1:7172,127.0.0.1:7173 \
+//!     --shards 3 --data-dir ./coord-run
+//! ```
+//!
+//! Flags:
+//!
+//! * `--workers A,B,C` — comma-separated worker addresses (required)
+//! * `--shards N` — contiguous catalog-index shards (default: one per worker)
+//! * `--data-dir PATH` — shard checkpoints + `merged.jsonl` (default `./coord-data`)
+//! * `--sample N` — LWRS sample size (default: exhaustive)
+//! * `--seed N` — campaign seed forwarded to every shard (default 0)
+//! * `--threads N` — worker-side campaign threads per shard job (default 1;
+//!   keep 1 for bit-identical checkpoint *ordering*, any value for
+//!   bit-identical *merged* output)
+//! * `--newton-budget N` / `--deadline-ms N` / `--schedule NAME` —
+//!   forwarded spec knobs, as in `POST /v1/jobs`
+//! * `--lease-ms N` — progress-watermark lease (default 30000)
+//! * `--poll-ms N` — status poll cadence (default 50)
+//! * `--max-attempts N` — dispatch attempts per shard (default 5)
+//! * `--fault-plan SPEC` — install a coordinator-side fault plan (chaos
+//!   testing the coordinator itself; worker-side plans go on `serve`)
+//!
+//! Exit status is non-zero if any shard exhausts its attempts or the
+//! merge is incomplete; recovery activity is printed per shard.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use symbist_service::coord::{run_coordinator, CoordConfig};
+use symbist_service::spec::JobSpec;
+
+struct Args {
+    config: CoordConfig,
+    fault_plan: Option<String>,
+    shards_set: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config: CoordConfig::new(Vec::new(), 0, PathBuf::from("./coord-data")),
+        fault_plan: None,
+        shards_set: false,
+    };
+    args.config.spec = JobSpec {
+        threads: 1,
+        ..JobSpec::default()
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--workers" => {
+                args.config.workers = value("--workers")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--shards" => {
+                args.config.shards = parse_num(&value("--shards")?)?;
+                args.shards_set = true;
+            }
+            "--data-dir" => args.config.data_dir = PathBuf::from(value("--data-dir")?),
+            "--sample" => args.config.spec.sample_size = Some(parse_num(&value("--sample")?)?),
+            "--seed" => {
+                args.config.spec.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?
+            }
+            "--threads" => args.config.spec.threads = parse_num(&value("--threads")?)?,
+            "--newton-budget" => {
+                args.config.spec.newton_budget = Some(
+                    value("--newton-budget")?
+                        .parse()
+                        .map_err(|_| "bad --newton-budget".to_string())?,
+                )
+            }
+            "--deadline-ms" => {
+                args.config.spec.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "bad --deadline-ms".to_string())?,
+                )
+            }
+            "--schedule" => args.config.spec.schedule = Some(value("--schedule")?),
+            "--lease-ms" => {
+                args.config.lease_timeout =
+                    Duration::from_millis(parse_num(&value("--lease-ms")?)? as u64)
+            }
+            "--poll-ms" => {
+                args.config.poll_interval =
+                    Duration::from_millis(parse_num(&value("--poll-ms")?)? as u64)
+            }
+            "--max-attempts" => {
+                args.config.max_attempts = parse_num(&value("--max-attempts")?)? as u32
+            }
+            "--fault-plan" => args.fault_plan = Some(value("--fault-plan")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: coord --workers A,B,C [--shards N] [--data-dir PATH] \
+                     [--sample N] [--seed N] [--threads N] [--newton-budget N] \
+                     [--deadline-ms N] [--schedule NAME] [--lease-ms N] \
+                     [--poll-ms N] [--max-attempts N] [--fault-plan SPEC]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    if args.config.workers.is_empty() {
+        return Err("--workers is required (try --help)".into());
+    }
+    if !args.shards_set {
+        args.config.shards = args.config.workers.len();
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("not a number: {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _fault_guard = match &args.fault_plan {
+        Some(spec) => match symbist_obs::FaultPlan::parse(spec) {
+            Ok(plan) => {
+                eprintln!("coord: fault plan active: {plan}");
+                Some(symbist_obs::fault::install(Arc::new(plan)))
+            }
+            Err(e) => {
+                eprintln!("coord: bad --fault-plan: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    eprintln!(
+        "coord: {} shards across {} workers",
+        args.config.shards,
+        args.config.workers.len()
+    );
+    match run_coordinator(&args.config) {
+        Ok(outcome) => {
+            for shard in &outcome.shards {
+                eprintln!(
+                    "coord: shard {} [{}, {}): {} records, {} attempt(s), \
+                     {} lease expirie(s), {} recovered from checkpoint",
+                    shard.shard,
+                    shard.range.0,
+                    shard.range.1,
+                    shard.records,
+                    shard.attempts,
+                    shard.lease_expiries,
+                    shard.recovered,
+                );
+            }
+            let (lo, hi) = (&outcome.coverage_lower, &outcome.coverage_upper);
+            eprintln!(
+                "coord: merged {} records ({} re-dispatches) -> {}",
+                outcome.result.simulated(),
+                outcome.redispatches,
+                outcome.merged_path.display(),
+            );
+            eprintln!(
+                "coord: coverage lower {} upper {}",
+                lo.to_percent_string(),
+                hi.to_percent_string(),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("coord: failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -18,6 +18,10 @@
 //!   instead of the SAR ADC (fast; for demos and smoke tests)
 //! * `--trace-out PATH` — on exit, dump the captured trace ring as
 //!   `chrome://tracing`-compatible NDJSON to PATH
+//! * `--fault-plan SPEC` — install a deterministic fault-injection plan
+//!   (e.g. `seed=7;worker/kill:shard-1@4=panic`) for chaos testing; see
+//!   `symbist::faultplan`. Injections are counted on
+//!   `symbist_fault_injections_total`.
 //!
 //! The process exits after `POST /shutdown` finishes draining: running
 //! campaigns stop at the next defect boundary with every completed record
@@ -36,6 +40,7 @@ struct Args {
     calibration_samples: usize,
     synthetic: Option<usize>,
     trace_out: Option<PathBuf>,
+    fault_plan: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         calibration_samples: 10,
         synthetic: None,
         trace_out: None,
+        fault_plan: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -62,11 +68,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--synthetic" => args.synthetic = Some(parse_num(&value("--synthetic")?)?),
             "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--fault-plan" => args.fault_plan = Some(value("--fault-plan")?),
             "--help" | "-h" => {
                 return Err(
                     "usage: serve [--addr HOST:PORT] [--workers N] [--handlers N] \
                             [--queue N] [--data-dir PATH] [--calibration-samples N] \
-                            [--synthetic N] [--trace-out PATH]"
+                            [--synthetic N] [--trace-out PATH] [--fault-plan SPEC]"
                         .into(),
                 )
             }
@@ -87,6 +94,22 @@ fn main() -> ExitCode {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
+    };
+
+    // Keep the guard alive for the process lifetime: dropping it would
+    // uninstall the plan while workers are mid-campaign.
+    let _fault_guard = match &args.fault_plan {
+        Some(spec) => match symbist_obs::FaultPlan::parse(spec) {
+            Ok(plan) => {
+                eprintln!("serve: fault plan active: {plan}");
+                Some(symbist_obs::fault::install(Arc::new(plan)))
+            }
+            Err(e) => {
+                eprintln!("serve: bad --fault-plan: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
     };
 
     let backend: Arc<dyn CampaignBackend> = match args.synthetic {

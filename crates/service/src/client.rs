@@ -29,6 +29,7 @@ use std::time::Duration;
 use symbist_defects::checkpoint::parse_checkpoint_line;
 use symbist_defects::DefectRecord;
 
+use crate::backoff::{Backoff, DEFAULT_BASE, DEFAULT_CAP};
 use crate::job::JobId;
 use crate::json::Json;
 use crate::spec::JobSpec;
@@ -247,6 +248,9 @@ pub struct ClientBuilder {
     base_path: String,
     timeout: Duration,
     retries: u32,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+    backoff_seed: u64,
 }
 
 impl Default for ClientBuilder {
@@ -256,6 +260,9 @@ impl Default for ClientBuilder {
             base_path: "/v1".to_string(),
             timeout: Duration::from_secs(30),
             retries: 0,
+            backoff_base: DEFAULT_BASE,
+            backoff_cap: DEFAULT_CAP,
+            backoff_seed: 0x5EED0FF,
         }
     }
 }
@@ -293,6 +300,21 @@ impl ClientBuilder {
         self
     }
 
+    /// Tunes the retry backoff schedule: sleeps are drawn with
+    /// decorrelated jitter from `[base, cap]` (see [`Backoff`]), with the
+    /// server's `Retry-After` applied as a floor on top.
+    pub fn backoff(mut self, base: Duration, cap: Duration) -> ClientBuilder {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Seeds the jitter RNG so a retry schedule is reproducible in tests.
+    pub fn backoff_seed(mut self, seed: u64) -> ClientBuilder {
+        self.backoff_seed = seed;
+        self
+    }
+
     /// Builds the client.
     pub fn build(self) -> Client {
         Client {
@@ -300,6 +322,9 @@ impl ClientBuilder {
             base_path: self.base_path,
             timeout: self.timeout,
             retries: self.retries,
+            backoff_base: self.backoff_base,
+            backoff_cap: self.backoff_cap,
+            backoff_seed: self.backoff_seed,
         }
     }
 }
@@ -311,6 +336,9 @@ pub struct Client {
     base_path: String,
     timeout: Duration,
     retries: u32,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+    backoff_seed: u64,
 }
 
 impl Client {
@@ -376,7 +404,9 @@ impl Client {
 
     /// One request, with the builder's retry policy: only failures where
     /// the request never entered the service (connect errors, `429`) are
-    /// re-sent, with a short backoff honoring the server's `retry_after`.
+    /// re-sent. Sleeps follow the seeded decorrelated-jitter [`Backoff`]
+    /// schedule, with the server's `Retry-After` honored as a floor — a
+    /// loaded server's hint can only lengthen the wait, never shorten it.
     fn request(
         &self,
         method: &str,
@@ -384,6 +414,7 @@ impl Client {
         body: Option<&str>,
     ) -> Result<Response, ClientError> {
         let mut attempt = 0;
+        let mut backoff = Backoff::new(self.backoff_seed, self.backoff_base, self.backoff_cap);
         loop {
             let result = self.request_once(method, path, body);
             let retryable = match &result {
@@ -395,14 +426,13 @@ impl Client {
                 return result;
             }
             attempt += 1;
-            let backoff = match &result {
+            let floor = match &result {
                 Ok(response) => ServiceError::parse(response.status, &response.body)
                     .retry_after()
-                    .map(Duration::from_secs)
-                    .unwrap_or(Duration::from_millis(50)),
-                Err(_) => Duration::from_millis(50),
+                    .map(Duration::from_secs),
+                Err(_) => None,
             };
-            std::thread::sleep(backoff.min(Duration::from_secs(2)));
+            std::thread::sleep(backoff.next(floor));
         }
     }
 
@@ -425,6 +455,17 @@ impl Client {
         self.request("GET", &self.url("/metrics"), None)?
             .check()
             .map(|r| r.body)
+    }
+
+    /// `GET /v1/universe`: the size of the backend's full defect universe
+    /// (the catalog-index domain shard ranges address).
+    pub fn universe(&self) -> Result<u64, ClientError> {
+        self.request("GET", &self.url("/universe"), None)?
+            .check()?
+            .json()?
+            .get("defects")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("universe response missing defects".into()))
     }
 
     /// `POST /v1/jobs`: submits a spec, returning the new job id.
@@ -523,7 +564,13 @@ impl Client {
 
 fn read_status(reader: &mut BufReader<TcpStream>) -> Result<u16, ClientError> {
     let mut line = String::new();
-    reader.read_line(&mut line)?;
+    if reader.read_line(&mut line)? == 0 {
+        // Connection closed before any status line: a transport failure
+        // (retryable), not a protocol violation by the server.
+        return Err(ClientError::Io(std::io::Error::from(
+            std::io::ErrorKind::UnexpectedEof,
+        )));
+    }
     // "HTTP/1.1 200 OK"
     line.split_whitespace()
         .nth(1)

@@ -565,6 +565,26 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         }
         Err(ParseFailure::Drop) => return,
     };
+    // Fault-injection site `http/response:{METHOD} {path}`: `drop` kills
+    // the connection without a response (a worker dying mid-request);
+    // `reject` synthesizes the transient `503 queue_full` answer a loaded
+    // worker would give. Both exercise real client retry paths.
+    if symbist_obs::fault::active() {
+        match symbist_obs::fault::fire(&format!(
+            "http/response:{} {}",
+            request.method, request.path
+        )) {
+            Some(symbist_obs::FaultAction::Drop) => return,
+            Some(symbist_obs::FaultAction::Reject) => {
+                let error = ApiError::new(503, "queue_full", "fault-injected transient rejection")
+                    .with_retry_after(1);
+                let written = write_error(&mut stream, &error, &[]);
+                record_request_metrics(written, start);
+                return;
+            }
+            _ => {}
+        }
+    }
     let _span = symbist_obs::span!("http_request");
     let written = route(&mut stream, &request, shared);
     record_request_metrics(written, start);
@@ -670,6 +690,12 @@ fn route_v1(
                 ]),
             )
         }
+        ("GET", "/universe") => write_response(
+            stream,
+            200,
+            &[],
+            Json::obj([("defects", Json::num(shared.backend.universe_len() as f64))]),
+        ),
         ("GET", "/metrics") => write_text_response(
             stream,
             200,
@@ -863,6 +889,27 @@ fn stream_results(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io
     let Some(job) = shared.registry.get(id) else {
         return write_error(stream, &ApiError::not_found("no such job"), &[]);
     };
+    // A client that vanishes mid-stream (broken pipe on a write below) is
+    // routine, not an error: count it, release the handler slot, and move
+    // on — a follower's death must never look like a server failure.
+    match stream_results_body(stream, &job, shared) {
+        Ok(()) => Ok(200),
+        Err(_) => {
+            symbist_obs::counter!(
+                "symbist_service_stream_aborts_total",
+                "NDJSON result streams cut short by a client disconnect"
+            )
+            .inc();
+            Ok(200)
+        }
+    }
+}
+
+fn stream_results_body(
+    stream: &mut TcpStream,
+    job: &crate::job::Job,
+    shared: &Shared,
+) -> std::io::Result<()> {
     stream.write_all(
         b"HTTP/1.1 200 OK\r\nConnection: close\r\n\
           Content-Type: application/x-ndjson\r\n\r\n",
@@ -877,14 +924,14 @@ fn stream_results(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io
         stream.flush()?;
         sent += records.len();
         if terminal && records.is_empty() {
-            return Ok(200);
+            return Ok(());
         }
         if records.is_empty() {
             // A drained registry leaves queued jobs queued (they resume
             // after restart) — following one would outlive the server, so
             // end the stream.
             if !shared.registry.accepting() && job.state() == JobState::Queued {
-                return Ok(200);
+                return Ok(());
             }
             // A failed write above is how we notice a gone client; the
             // wait ticks so a stalled job can't pin the handler forever

@@ -127,8 +127,22 @@ pub struct JobReport {
 }
 
 impl JobReport {
-    /// Builds a report from a finished campaign result.
+    /// Builds a report from a finished campaign result. An empty result —
+    /// a sampled shard whose index range drew no defects — reports zero
+    /// coverage with no CI rather than panicking in the estimator.
     pub fn from_result(result: &CampaignResult) -> JobReport {
+        if result.simulated() == 0 {
+            return JobReport {
+                simulated: 0,
+                detected: 0,
+                unresolved: UnresolvedCounts::default(),
+                coverage_lower: 0.0,
+                ci_lower: None,
+                coverage_upper: 0.0,
+                ci_upper: None,
+                wall_s: result.total_wall.as_secs_f64(),
+            };
+        }
         let (lo, hi) = result.coverage_bounds();
         JobReport {
             simulated: result.simulated(),

@@ -55,7 +55,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod backend;
+pub mod backoff;
 pub mod client;
+pub mod coord;
 pub mod http;
 pub mod job;
 pub mod json;
@@ -63,7 +65,9 @@ pub mod spec;
 pub mod worker;
 
 pub use backend::{AdcBackend, CampaignBackend, SyntheticBackend};
+pub use backoff::Backoff;
 pub use client::{Client, ClientBuilder, ClientError, ResultStream, ServiceError};
+pub use coord::{CoordConfig, CoordError, CoordOutcome, ShardOutcome};
 pub use http::{Server, ServiceConfig};
 pub use job::{
     Job, JobId, JobProgress, JobReport, JobState, JobStatus, Registry, RegistryStats, SubmitError,

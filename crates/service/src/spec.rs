@@ -43,6 +43,11 @@ pub struct JobSpec {
     /// Comparator schedule label (`"sequential"` / `"parallel"`); backend
     /// specific, validated at submit time.
     pub schedule: Option<String>,
+    /// Inclusive lower catalog index of the shard this job covers (the
+    /// coordinator's range-sharding knob). `None` = 0.
+    pub index_lo: Option<usize>,
+    /// Exclusive upper catalog index of the shard. `None` = universe size.
+    pub index_hi: Option<usize>,
     /// Free-form label echoed back in status responses.
     pub tag: Option<String>,
 }
@@ -57,6 +62,8 @@ impl Default for JobSpec {
             newton_budget: None,
             deadline_ms: None,
             schedule: None,
+            index_lo: None,
+            index_hi: None,
             tag: None,
         }
     }
@@ -81,7 +88,7 @@ impl JobSpec {
         let Json::Obj(map) = json else {
             return Err(SpecError("job spec must be a JSON object".into()));
         };
-        const KNOWN: [&str; 8] = [
+        const KNOWN: [&str; 10] = [
             "block",
             "sample_size",
             "seed",
@@ -89,6 +96,8 @@ impl JobSpec {
             "newton_budget",
             "deadline_ms",
             "schedule",
+            "index_lo",
+            "index_hi",
             "tag",
         ];
         for key in map.keys() {
@@ -106,6 +115,15 @@ impl JobSpec {
         if sample_size == Some(0) {
             return Err(SpecError("\"sample_size\" must be nonzero".into()));
         }
+        let index_lo = opt_u64(json, "index_lo")?.map(|n| n as usize);
+        let index_hi = opt_u64(json, "index_hi")?.map(|n| n as usize);
+        if let (Some(lo), Some(hi)) = (index_lo, index_hi) {
+            if lo >= hi {
+                return Err(SpecError(format!(
+                    "\"index_lo\" ({lo}) must be below \"index_hi\" ({hi})"
+                )));
+            }
+        }
         Ok(JobSpec {
             block: opt_string(json, "block")?,
             sample_size,
@@ -114,6 +132,8 @@ impl JobSpec {
             newton_budget: opt_u64(json, "newton_budget")?,
             deadline_ms: opt_u64(json, "deadline_ms")?,
             schedule: opt_string(json, "schedule")?,
+            index_lo,
+            index_hi,
             tag: opt_string(json, "tag")?,
         })
     }
@@ -147,6 +167,12 @@ impl JobSpec {
         if let Some(s) = &self.schedule {
             pairs.push(("schedule", Json::str(s.clone())));
         }
+        if let Some(n) = self.index_lo {
+            pairs.push(("index_lo", Json::num(n as f64)));
+        }
+        if let Some(n) = self.index_hi {
+            pairs.push(("index_hi", Json::num(n as f64)));
+        }
         if let Some(t) = &self.tag {
             pairs.push(("tag", Json::str(t.clone())));
         }
@@ -155,13 +181,24 @@ impl JobSpec {
 
     /// Builds the [`CampaignOptions`] this spec describes, wiring in the
     /// job's checkpoint path so cancellation/drain loses no work.
-    pub fn campaign_options(&self, checkpoint: Option<PathBuf>) -> CampaignOptions {
+    /// `universe_len` resolves an open-ended shard range (`index_lo`
+    /// without `index_hi`) against the universe the job runs over.
+    pub fn campaign_options(
+        &self,
+        checkpoint: Option<PathBuf>,
+        universe_len: usize,
+    ) -> CampaignOptions {
+        let index_range = match (self.index_lo, self.index_hi) {
+            (None, None) => None,
+            (lo, hi) => Some((lo.unwrap_or(0), hi.unwrap_or(universe_len))),
+        };
         CampaignOptions {
             sample_size: self.sample_size,
             seed: self.seed,
             threads: self.threads,
             defect_deadline: self.deadline_ms.map(Duration::from_millis),
             newton_budget: self.newton_budget,
+            index_range,
             checkpoint,
         }
     }
@@ -208,6 +245,8 @@ mod tests {
             newton_budget: Some(200_000),
             deadline_ms: Some(5_000),
             schedule: Some("parallel".into()),
+            index_lo: Some(10),
+            index_hi: Some(90),
             tag: Some("nightly".into()),
         };
         let back = JobSpec::from_json(&spec.to_json()).unwrap();
@@ -244,15 +283,39 @@ mod tests {
             deadline_ms: Some(250),
             ..Default::default()
         };
-        let opts = spec.campaign_options(Some(PathBuf::from("/tmp/x.jsonl")));
+        let opts = spec.campaign_options(Some(PathBuf::from("/tmp/x.jsonl")), 100);
         assert_eq!(opts.sample_size, Some(12));
         assert_eq!(opts.seed, 9);
         assert_eq!(opts.threads, 3);
         assert_eq!(opts.newton_budget, Some(100));
         assert_eq!(opts.defect_deadline, Some(Duration::from_millis(250)));
+        assert_eq!(opts.index_range, None);
         assert_eq!(
             opts.checkpoint.as_deref(),
             Some(std::path::Path::new("/tmp/x.jsonl"))
         );
+    }
+
+    #[test]
+    fn shard_range_round_trips_and_validates() {
+        let spec = JobSpec {
+            index_lo: Some(10),
+            index_hi: Some(20),
+            ..Default::default()
+        };
+        let back = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(spec.campaign_options(None, 100).index_range, Some((10, 20)));
+        // Open-ended ranges resolve against the universe size.
+        let lo_only = JobSpec {
+            index_lo: Some(10),
+            ..Default::default()
+        };
+        assert_eq!(
+            lo_only.campaign_options(None, 100).index_range,
+            Some((10, 100))
+        );
+        // Inverted ranges are a parse error, not a failed job.
+        assert!(JobSpec::from_json_text(r#"{"index_lo": 5, "index_hi": 5}"#).is_err());
     }
 }

@@ -11,10 +11,43 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use symbist_defects::CampaignError;
+use symbist_defects::{CampaignError, CampaignMonitor, DefectRecord};
 
 use crate::backend::CampaignBackend;
 use crate::job::{Job, JobMonitor, Registry};
+
+/// Wraps the job monitor with the `worker/kill:{tag}` fault-injection
+/// site: a matching `panic` rule unwinds *after* the record is durable
+/// (checkpointed and published), so the job fails with exactly `k`
+/// records delivered — the deterministic "worker dies after k records"
+/// chaos scenario. The panic escapes the campaign's per-defect
+/// `catch_unwind` (monitors run outside it) and is caught by this
+/// worker's per-job `catch_unwind` below, failing the job but never the
+/// worker thread.
+struct FaultMonitor<'a> {
+    inner: JobMonitor<'a>,
+    site: String,
+}
+
+impl CampaignMonitor for FaultMonitor<'_> {
+    fn on_start(&self, selected: usize, resumed: usize) {
+        self.inner.on_start(selected, resumed);
+    }
+
+    fn on_record(&self, record: &DefectRecord, resumed: bool) {
+        self.inner.on_record(record, resumed);
+        if matches!(
+            symbist_obs::fault::fire(&self.site),
+            Some(symbist_obs::FaultAction::Panic)
+        ) {
+            panic!("fault-injected worker kill ({})", self.site);
+        }
+    }
+
+    fn cancelled(&self) -> bool {
+        self.inner.cancelled()
+    }
+}
 
 /// A pool of campaign worker threads.
 pub struct WorkerPool {
@@ -77,7 +110,10 @@ fn run_one(registry: &Registry, backend: &dyn CampaignBackend, job: &Job) {
     );
     busy.add(1);
     let run_start = std::time::Instant::now();
-    let monitor = JobMonitor::new(job);
+    let monitor = FaultMonitor {
+        inner: JobMonitor::new(job),
+        site: format!("worker/kill:{}", job.spec.tag.as_deref().unwrap_or("")),
+    };
     let outcome = {
         let _span = symbist_obs::span!("job_run");
         catch_unwind(AssertUnwindSafe(|| {
@@ -130,6 +166,9 @@ mod tests {
     impl CampaignBackend for PanickingBackend {
         fn validate(&self, _spec: &JobSpec) -> Result<(), crate::spec::SpecError> {
             Ok(())
+        }
+        fn universe_len(&self) -> usize {
+            0
         }
         fn run(
             &self,

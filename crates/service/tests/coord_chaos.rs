@@ -1,0 +1,277 @@
+//! The chaos gate: a 3-shard coordinator run with an active fault plan
+//! (worker killed mid-shard, torn checkpoint write, transient submit
+//! rejection) must produce a merged artifact **byte-identical** to the
+//! uninterrupted 1-process oracle, and identical L-W coverage ± CI down
+//! to the f64 bit pattern. CI runs this under a hard timeout.
+//!
+//! The fault plan is process-global, so every test holds [`serial`].
+#![allow(clippy::unwrap_used)] // integration tests assert by panicking
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use symbist_defects::checkpoint::merged_line;
+use symbist_defects::CampaignResult;
+use symbist_obs::FaultPlan;
+use symbist_service::backend::{CampaignBackend, Gate, SyntheticBackend};
+use symbist_service::coord::{run_coordinator, CoordConfig, CoordError};
+use symbist_service::http::{Server, ServiceConfig};
+use symbist_service::spec::JobSpec;
+
+/// Serializes the whole binary: fault plans are process-global.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("symbist-coord-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Starts `n` workers on the given backends and returns them with a
+/// test-tuned coordinator config pointed at their addresses.
+fn fleet(
+    backends: Vec<Arc<dyn CampaignBackend>>,
+    data_dirs: bool,
+    tag: &str,
+) -> (Vec<Server>, CoordConfig) {
+    let servers: Vec<Server> = backends
+        .into_iter()
+        .enumerate()
+        .map(|(i, backend)| {
+            let config = ServiceConfig {
+                data_dir: data_dirs.then(|| temp_dir(&format!("{tag}-w{i}"))),
+                ..ServiceConfig::default()
+            };
+            Server::start(config, backend).expect("worker starts")
+        })
+        .collect();
+    let workers = servers.iter().map(|s| s.addr().to_string()).collect();
+    let mut config = CoordConfig::new(workers, servers.len(), temp_dir(&format!("{tag}-coord")));
+    config.lease_timeout = Duration::from_secs(5);
+    config.poll_interval = Duration::from_millis(10);
+    config.backoff_base = Duration::from_millis(2);
+    config.backoff_cap = Duration::from_millis(20);
+    config.client_timeout = Duration::from_secs(10);
+    (servers, config)
+}
+
+fn shut_down(servers: Vec<Server>) {
+    for server in servers {
+        server.request_shutdown();
+        server.wait();
+    }
+}
+
+fn projection(result: &CampaignResult) -> Vec<String> {
+    result.records.iter().map(merged_line).collect()
+}
+
+/// Asserts the recombined coordinator outcome is bit-identical to the
+/// 1-process oracle: merged records byte-for-byte, coverage bounds (and
+/// CI half-widths, when sampled) to the exact f64 bit pattern.
+fn assert_bit_identical(outcome: &symbist_service::coord::CoordOutcome, oracle: &CampaignResult) {
+    assert_eq!(projection(&outcome.result), projection(oracle));
+    let artifact = std::fs::read_to_string(&outcome.merged_path).expect("merged artifact");
+    let mut expected = projection(oracle).join("\n");
+    expected.push('\n');
+    assert_eq!(artifact, expected, "merged.jsonl must equal the oracle");
+
+    let (oracle_lo, oracle_hi) = oracle.coverage_bounds();
+    assert_eq!(
+        outcome.coverage_lower.value.to_bits(),
+        oracle_lo.value.to_bits()
+    );
+    assert_eq!(
+        outcome.coverage_upper.value.to_bits(),
+        oracle_hi.value.to_bits()
+    );
+    assert_eq!(
+        outcome.coverage_lower.ci_half_width.map(f64::to_bits),
+        oracle_lo.ci_half_width.map(f64::to_bits)
+    );
+    assert_eq!(
+        outcome.coverage_upper.ci_half_width.map(f64::to_bits),
+        oracle_hi.ci_half_width.map(f64::to_bits)
+    );
+}
+
+#[test]
+fn three_shard_chaos_run_is_bit_identical_to_the_oracle() {
+    let _serial = serial();
+    let components = 6; // universe of 24 defects -> shards [0,8) [8,16) [16,24)
+    let spec = JobSpec::default();
+    let oracle = SyntheticBackend::new(components)
+        .run(&spec, None, &())
+        .expect("oracle campaign");
+
+    let backends: Vec<Arc<dyn CampaignBackend>> = (0..3)
+        .map(|_| Arc::new(SyntheticBackend::new(components)) as Arc<dyn CampaignBackend>)
+        .collect();
+    let (servers, mut config) = fleet(backends, true, "chaos");
+    config.spec = spec;
+
+    // The storm: the first submit bounces with a transient 503, the
+    // shard-1 worker dies after 4 durable records, and shard 2's job is
+    // killed by a torn checkpoint append at catalog index 20.
+    let plan = Arc::new(
+        FaultPlan::parse(
+            "seed=42;\
+             http/response:POST /v1/jobs@1=reject;\
+             worker/kill:shard-1@4=panic;\
+             campaign/checkpoint:20@1=torn",
+        )
+        .unwrap(),
+    );
+    let outcome = {
+        let _guard = symbist_obs::fault::install(plan);
+        run_coordinator(&config).expect("coordinator recovers from the storm")
+    };
+
+    assert_bit_identical(&outcome, &oracle);
+    assert_eq!(outcome.result.simulated(), 24);
+
+    // Recovery actually happened — and resumed, never restarted: the two
+    // killed shards were re-dispatched, and the records their first
+    // attempts delivered were kept (>= 4 from the worker kill, 4 from
+    // the torn-checkpoint job's pre-casualty stream).
+    assert!(
+        outcome.redispatches >= 2,
+        "worker kill + torn checkpoint both re-dispatch, got {}",
+        outcome.redispatches
+    );
+    for shard in &outcome.shards {
+        assert_eq!(shard.records, 8);
+    }
+    assert!(
+        outcome.shards.iter().all(|s| s.attempts >= 1),
+        "{:?}",
+        outcome.shards
+    );
+
+    // Recovery is observable on any worker's /v1/metrics (the obs
+    // registry is process-global in this test, as in a real worker the
+    // coordinator's own exposition would be).
+    let client = symbist_service::client::Client::builder()
+        .base_url(servers[0].addr().to_string())
+        .build();
+    let metrics = client.metrics().expect("metrics");
+    for family in [
+        "symbist_coord_dispatches_total",
+        "symbist_coord_redispatches_total",
+        "symbist_coord_retries_total",
+        "symbist_coord_merge_seconds",
+        "symbist_fault_injections_total",
+    ] {
+        assert!(
+            metrics.contains(&format!("# TYPE {family} ")),
+            "missing family {family}"
+        );
+    }
+
+    shut_down(servers);
+    let _ = std::fs::remove_dir_all(&config.data_dir);
+}
+
+#[test]
+fn lease_expiry_redispatches_away_from_a_wedged_worker() {
+    let _serial = serial();
+    let components = 4;
+    let spec = JobSpec::default();
+    let oracle = SyntheticBackend::new(components)
+        .run(&spec, None, &())
+        .expect("oracle campaign");
+
+    // Worker 0 wedges on a held gate: its job makes zero progress, so
+    // the shard's lease expires and the coordinator rotates to worker 1.
+    let gate = Gate::new();
+    gate.hold();
+    let backends: Vec<Arc<dyn CampaignBackend>> = vec![
+        Arc::new(SyntheticBackend::new(components).with_gate(Arc::clone(&gate))),
+        Arc::new(SyntheticBackend::new(components)),
+    ];
+    let (servers, mut config) = fleet(backends, false, "wedge");
+    config.spec = spec;
+    config.shards = 1; // one shard, so it provably lands on the wedge first
+    config.lease_timeout = Duration::from_millis(400);
+
+    let outcome = run_coordinator(&config).expect("coordinator escapes the wedge");
+    assert_bit_identical(&outcome, &oracle);
+    assert_eq!(outcome.shards.len(), 1);
+    assert!(outcome.shards[0].lease_expiries >= 1, "lease must expire");
+    assert_eq!(outcome.shards[0].attempts, 2, "exactly one re-dispatch");
+
+    gate.release(); // free the wedged campaign so worker 0 can drain
+    shut_down(servers);
+    let _ = std::fs::remove_dir_all(&config.data_dir);
+}
+
+#[test]
+fn sampled_campaign_recombines_with_identical_confidence_interval() {
+    let _serial = serial();
+    let components = 10; // universe of 40
+    let spec = JobSpec {
+        sample_size: Some(25),
+        seed: 99,
+        ..JobSpec::default()
+    };
+    let oracle = SyntheticBackend::new(components)
+        .run(&spec, None, &())
+        .expect("oracle campaign");
+    assert!(oracle.sampled && oracle.coverage().ci_half_width.is_some());
+
+    let backends: Vec<Arc<dyn CampaignBackend>> = (0..3)
+        .map(|_| Arc::new(SyntheticBackend::new(components)) as Arc<dyn CampaignBackend>)
+        .collect();
+    let (servers, mut config) = fleet(backends, false, "sampled");
+    config.spec = spec;
+
+    // Every shard re-draws the same LWRS selection from the seed and
+    // keeps its index range; disjoint covering ranges therefore
+    // reconstruct the exact 1-process sample.
+    let outcome = run_coordinator(&config).expect("sampled coordinator run");
+    assert_bit_identical(&outcome, &oracle);
+    assert_eq!(outcome.result.simulated(), 25);
+    assert!(outcome.result.sampled);
+
+    shut_down(servers);
+    let _ = std::fs::remove_dir_all(&config.data_dir);
+}
+
+#[test]
+fn coordinator_rejects_unshardable_specs_and_empty_fleets() {
+    let _serial = serial();
+    let empty = CoordConfig::new(Vec::new(), 2, temp_dir("bad-empty"));
+    assert!(matches!(
+        run_coordinator(&empty),
+        Err(CoordError::NoWorkers)
+    ));
+
+    let mut blocked = CoordConfig::new(vec!["127.0.0.1:1".into()], 2, temp_dir("bad-block"));
+    blocked.spec.block = Some("SC Array".into());
+    assert!(matches!(
+        run_coordinator(&blocked),
+        Err(CoordError::BadSpec(_))
+    ));
+
+    let mut ranged = CoordConfig::new(vec!["127.0.0.1:1".into()], 2, temp_dir("bad-range"));
+    ranged.spec.index_lo = Some(3);
+    assert!(matches!(
+        run_coordinator(&ranged),
+        Err(CoordError::BadSpec(_))
+    ));
+
+    // An unreachable fleet is a probe failure, not a hang: the transient
+    // retry budget is finite.
+    let mut config = CoordConfig::new(vec!["127.0.0.1:1".into()], 1, temp_dir("bad-probe"));
+    config.request_retries = 1;
+    config.backoff_base = Duration::from_millis(1);
+    config.backoff_cap = Duration::from_millis(2);
+    assert!(matches!(
+        run_coordinator(&config),
+        Err(CoordError::Probe { .. })
+    ));
+}
