@@ -81,9 +81,14 @@ pub struct ParsedNetlist {
 
 /// Parses an engineering-notation value (`10k`, `1.5meg`, `2p`, `0.5`).
 ///
+/// Only finite numeric literals are values: `nan`, `inf`, overflowing
+/// exponents (`1e999`), and bare suffixes with no mantissa (`k`) are all
+/// errors — netlists arrive over the wire, and a NaN that parses here
+/// would only blow up deep inside a solver.
+///
 /// # Errors
 ///
-/// Returns a message when the token is not a number.
+/// Returns a message when the token is not a finite number.
 pub fn parse_value(token: &str) -> Result<f64, String> {
     let t = token.trim().to_ascii_lowercase();
     // Longest suffix first: "meg" before "m".
@@ -102,13 +107,23 @@ pub fn parse_value(token: &str) -> Result<f64, String> {
         if let Some(num) = t.strip_suffix(suffix) {
             // Guard against stripping the exponent of "1e-3" ("g"/"t" can't
             // collide, but a bare "1e" + "g" could; require a parseable stem).
-            if let Ok(v) = num.parse::<f64>() {
+            if let Some(v) = parse_plain(num) {
                 return Ok(v * mult);
             }
         }
     }
-    t.parse::<f64>()
-        .map_err(|_| format!("cannot parse value '{token}'"))
+    parse_plain(&t).ok_or_else(|| format!("cannot parse value '{token}'"))
+}
+
+/// `f64::from_str` minus its non-numeric acceptances: `from_str` happily
+/// parses `nan`, `inf`, and `infinity`, none of which is a circuit value.
+/// Requiring a digit also makes a suffix-only token (`k`, and the empty
+/// stem it strips to) fail here instead of half-matching.
+fn parse_plain(s: &str) -> Option<f64> {
+    if !s.bytes().any(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse::<f64>().ok().filter(|v| v.is_finite())
 }
 
 fn kv(token: &str) -> Option<(&str, &str)> {
@@ -133,6 +148,18 @@ impl LineParser<'_> {
 
     fn value(&self, token: &str) -> Result<f64, ParseError> {
         parse_value(token).map_err(|m| self.err(m))
+    }
+
+    /// The [`Netlist`] constructors treat out-of-range device parameters
+    /// as caller bugs and panic; a netlist from the wire must surface
+    /// them as [`ParseError`]s instead, so every card checks its values
+    /// here first. (`parse_value` already guarantees finiteness.)
+    fn positive(&self, v: f64, what: &str) -> Result<f64, ParseError> {
+        if v > 0.0 {
+            Ok(v)
+        } else {
+            Err(self.err(format!("{what} must be > 0, got {v}")))
+        }
     }
 
     fn node(&mut self, name: &str) -> crate::netlist::NodeId {
@@ -186,14 +213,21 @@ impl LineParser<'_> {
             if args.len() < 7 {
                 return Err(self.err("PULSE needs (low high delay rise fall width period)"));
             }
+            let timing = |arg: &str, what: &str| -> Result<f64, ParseError> {
+                let v = self.value(arg)?;
+                if v < 0.0 {
+                    return Err(self.err(format!("pulse {what} must be >= 0, got {v}")));
+                }
+                Ok(v)
+            };
             return Ok(SourceWave::Pulse {
                 low: self.value(&args[0])?,
                 high: self.value(&args[1])?,
                 delay: self.value(&args[2])?,
-                rise: self.value(&args[3])?,
-                fall: self.value(&args[4])?,
-                width: self.value(&args[5])?,
-                period: self.value(&args[6])?,
+                rise: timing(&args[3], "rise")?,
+                fall: timing(&args[4], "fall")?,
+                width: timing(&args[5], "width")?,
+                period: timing(&args[6], "period")?,
             });
         }
         // DC: `DC 1.5` or a bare value.
@@ -215,11 +249,11 @@ impl LineParser<'_> {
         };
         let id = match kind {
             'R' => {
-                let [a, b, v] = tokens[1..=3] else {
+                if tokens.len() < 4 {
                     return Err(self.err("R needs: name n1 n2 value"));
-                };
-                let (a, b) = (self.node(a), self.node(b));
-                let ohms = self.value(v)?;
+                }
+                let (a, b) = (self.node(tokens[1]), self.node(tokens[2]));
+                let ohms = self.positive(self.value(tokens[3])?, "resistance")?;
                 self.netlist.resistor(a, b, ohms)
             }
             'C' => {
@@ -227,7 +261,7 @@ impl LineParser<'_> {
                     return Err(self.err("C needs: name n1 n2 value [IC=v]"));
                 }
                 let (a, b) = (self.node(tokens[1]), self.node(tokens[2]));
-                let farads = self.value(tokens[3])?;
+                let farads = self.positive(self.value(tokens[3])?, "capacitance")?;
                 match self.param(&tokens[4..], "IC", Some(f64::NAN)) {
                     Ok(ic) if !ic.is_nan() => self.netlist.capacitor_with_ic(a, b, farads, ic),
                     _ => self.netlist.capacitor(a, b, farads),
@@ -254,8 +288,11 @@ impl LineParser<'_> {
                     return Err(self.err("D needs: name anode cathode [IS= N=]"));
                 }
                 let (a, k) = (self.node(tokens[1]), self.node(tokens[2]));
-                let i_sat = self.param(&tokens[3..], "IS", Some(1e-14))?;
+                let i_sat = self.positive(self.param(&tokens[3..], "IS", Some(1e-14))?, "IS")?;
                 let ideality = self.param(&tokens[3..], "N", Some(1.0))?;
+                if ideality < 1.0 {
+                    return Err(self.err(format!("diode N must be >= 1, got {ideality}")));
+                }
                 self.netlist.diode(a, k, i_sat, ideality)
             }
             'M' => {
@@ -272,9 +309,12 @@ impl LineParser<'_> {
                     "PMOS" => MosPolarity::Pmos,
                     other => return Err(self.err(format!("unknown MOS model '{other}'"))),
                 };
-                let vth = self.param(&tokens[5..], "VTH", Some(0.4))?;
-                let kp = self.param(&tokens[5..], "KP", Some(2e-4))?;
+                let vth = self.positive(self.param(&tokens[5..], "VTH", Some(0.4))?, "VTH")?;
+                let kp = self.positive(self.param(&tokens[5..], "KP", Some(2e-4))?, "KP")?;
                 let lambda = self.param(&tokens[5..], "LAMBDA", Some(0.0))?;
+                if lambda < 0.0 {
+                    return Err(self.err(format!("LAMBDA must be >= 0, got {lambda}")));
+                }
                 self.netlist.mosfet(d, g, s, polarity, vth, kp, lambda)
             }
             'S' => {
@@ -287,8 +327,13 @@ impl LineParser<'_> {
                     "OFF" => false,
                     other => return Err(self.err(format!("switch state '{other}' (want ON/OFF)"))),
                 };
-                let r_on = self.param(&tokens[4..], "RON", Some(100.0))?;
-                let r_off = self.param(&tokens[4..], "ROFF", Some(1e12))?;
+                let r_on = self.positive(self.param(&tokens[4..], "RON", Some(100.0))?, "RON")?;
+                let r_off = self.positive(self.param(&tokens[4..], "ROFF", Some(1e12))?, "ROFF")?;
+                if r_on >= r_off {
+                    return Err(self.err(format!(
+                        "switch needs RON < ROFF, got RON={r_on} ROFF={r_off}"
+                    )));
+                }
                 let id = self.netlist.switch(a, b, r_on, r_off);
                 self.netlist.set_switch(id, closed);
                 id
@@ -356,7 +401,11 @@ impl LineParser<'_> {
 ///
 /// # Errors
 ///
-/// Returns the first [`ParseError`] encountered.
+/// Returns the first [`ParseError`] encountered. A deck with no cards or
+/// directives at all — empty, whitespace, or comments only — is an
+/// error, not an empty circuit: every caller that feeds this from user
+/// input (file, HTTP body) wants "you sent nothing" surfaced, and a
+/// genuinely empty `Netlist` is constructed directly, never parsed.
 pub fn parse_netlist(source: &str) -> Result<ParsedNetlist, ParseError> {
     // Merge '+' continuations, tracking original line numbers.
     let mut logical: Vec<(usize, String)> = Vec::new();
@@ -382,6 +431,12 @@ pub fn parse_netlist(source: &str) -> Result<ParsedNetlist, ParseError> {
         } else {
             logical.push((i + 1, trimmed.to_string()));
         }
+    }
+    if logical.is_empty() {
+        return Err(ParseError {
+            line: 1,
+            message: "empty netlist (no cards or directives)".into(),
+        });
     }
 
     let mut p = LineParser {
@@ -565,5 +620,62 @@ mod tests {
         assert_eq!(err.line, 1);
         let err = parse_netlist("R1 a 0 1k\nR1 a 0 2k").unwrap_err();
         assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn empty_decks_are_errors_not_empty_circuits() {
+        for deck in ["", "   \n\t\n", "* only a comment\n; and another", "+"] {
+            let err = parse_netlist(deck).unwrap_err();
+            assert!(
+                err.message.contains("empty netlist") || err.message.contains("continuation"),
+                "deck {deck:?} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_r_card_is_an_error_not_a_panic() {
+        for deck in ["R1", "R1 a", "R1 a 0"] {
+            let err = parse_netlist(deck).unwrap_err();
+            assert!(err.message.contains("R needs"), "deck {deck:?} gave {err}");
+        }
+    }
+
+    #[test]
+    fn non_finite_and_mantissaless_values_are_rejected() {
+        for bad in [
+            "nan", "NaN", "inf", "-inf", "infinity", "1e999", "k", "meg", "nank", "infp",
+        ] {
+            assert!(parse_value(bad).is_err(), "{bad:?} parsed");
+        }
+        // The rejections must not eat legitimate exponent forms.
+        assert!(close(parse_value("1e-3").unwrap(), 1e-3));
+        assert!(close(parse_value("-2.5e2").unwrap(), -250.0));
+    }
+
+    #[test]
+    fn out_of_range_device_params_are_parse_errors() {
+        // Each of these would trip a Netlist constructor assert (a panic,
+        // even in release) if the parser let it through.
+        let bad = [
+            ("R1 a 0 0", "resistance"),
+            ("R1 a 0 -1k", "resistance"),
+            ("C1 a 0 0", "capacitance"),
+            ("S1 a b ON RON=10 ROFF=10", "RON < ROFF"),
+            ("S1 a b ON RON=0", "RON"),
+            ("D1 a 0 IS=0", "IS"),
+            ("D1 a 0 N=0.5", "N must be >= 1"),
+            ("M1 d g 0 NMOS VTH=0", "VTH"),
+            ("M1 d g 0 NMOS KP=-1", "KP"),
+            ("M1 d g 0 NMOS LAMBDA=-0.1", "LAMBDA"),
+            ("V1 a 0 PULSE(0 1 0 -1n 1n 5n 10n)", "rise"),
+        ];
+        for (deck, needle) in bad {
+            let err = parse_netlist(deck).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "deck {deck:?} gave {err:?}, wanted {needle:?}"
+            );
+        }
     }
 }

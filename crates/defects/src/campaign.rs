@@ -203,6 +203,14 @@ pub enum CampaignError {
         /// The universe size it must fit in.
         universe: usize,
     },
+    /// The campaign could not be set up: its DUT reference did not
+    /// resolve or its engine failed to build. Distinct from spec
+    /// validation errors — those are caught at submit time; `Setup`
+    /// covers state that changed between admission and execution.
+    Setup {
+        /// What failed to resolve or build.
+        reason: String,
+    },
     /// The campaign's [`CampaignMonitor`] requested cancellation before
     /// every selected defect was simulated. Records completed so far are
     /// already flushed to the checkpoint (when one is configured), so a
@@ -236,6 +244,9 @@ impl fmt::Display for CampaignError {
             }
             CampaignError::Checkpoint { path, reason } => {
                 write!(f, "checkpoint {}: {reason}", path.display())
+            }
+            CampaignError::Setup { reason } => {
+                write!(f, "campaign setup failed: {reason}")
             }
             CampaignError::Cancelled {
                 completed,

@@ -1,0 +1,292 @@
+//! Programmatic SAR cap-array DUT family: conventional (any radix) and
+//! split-array structures, emitted as uploadable netlist text.
+//!
+//! This ports the classic `cap_array_generator` exemplar — binary /
+//! sub-radix-2 / split-capacitor weight arrays — onto the DC invariance
+//! checker. The DAC core is emulated as a **resistive weighted sum**: each
+//! bit element drives its node to `vref` or ground through a switch, and a
+//! resistor with conductance proportional to the bit weight joins it to
+//! the array's output bus, so
+//!
+//! ```text
+//! v(out) = Σ G_i·v_i / Σ G_i        (G_i ∝ w_i, v_i ∈ {vref, 0})
+//! ```
+//!
+//! which is term-for-term the charge-redistribution formula
+//! `Σ C_i·v_i / C_total` of a real capacitor array — but DC-solvable, so
+//! the whole defect campaign runs through [`crate::model::NetlistDut`]
+//! unmodified.
+//!
+//! Three copies of the array are emitted, wired the SymBIST way (paper
+//! §II–III):
+//!
+//! * **P** — drives the sample code,
+//! * **N** — drives the complement code → `v(outp) + v(outn) = vref`
+//!   (complementary invariance; exact by construction, since an element
+//!   holding `1` is the mirror image of one holding `0` under the
+//!   `vref ↔ gnd` swap),
+//! * **Q** — a shadow replica driving the *same* code → `v(outp) −
+//!   v(outq) = 0` (replica invariance).
+//!
+//! The point of the family is that **redundancy moves coverage**: with a
+//! sub-radix-2 weighting (`radix < 2`) the MSB carries a smaller fraction
+//! of the total conductance than in a binary array, so the same ±50 %
+//! defect produces a different output displacement relative to the
+//! calibrated window — per-invariance coverage shifts measurably between
+//! `radix = 2.0` and `radix = 1.8` (asserted in the integration tests).
+
+use crate::spec::{CalibrationSpec, DutSpec, InvarianceKind, InvarianceSpec};
+
+/// Physical arrangement of the weight array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapArrayStructure {
+    /// One flat array; element `i` (MSB first) has weight
+    /// `radix^(bits-1-i)`. `radix = 2.0` is the classic binary array;
+    /// `radix < 2` adds redundancy (the tail Σ of lower weights exceeds
+    /// each bit, so decision errors are recoverable).
+    Conventional {
+        /// Per-bit weight ratio, in `(1.0, 2.0]` for a SAR.
+        radix: f64,
+    },
+    /// Binary-weighted MSB and LSB sub-arrays joined by an attenuating
+    /// bridge resistor — the split-capacitor topology that keeps element
+    /// spread small. The bridge is one more physical component, i.e. one
+    /// more defect site the flat array does not have.
+    SplitArray {
+        /// Number of bits in the LSB sub-array (the rest are MSBs);
+        /// must leave at least one bit on each side.
+        low_bits: usize,
+    },
+}
+
+/// One member of the cap-array DUT family.
+#[derive(Debug, Clone)]
+pub struct CapArrayConfig {
+    /// Resolution in bits (≥ 2).
+    pub bits: usize,
+    /// Weight-array arrangement.
+    pub structure: CapArrayStructure,
+    /// Reference voltage driving the arrays.
+    pub vref: f64,
+    /// Resistance of a unit-weight element; weight `w` elements use
+    /// `unit_res / w`.
+    pub unit_res: f64,
+    /// The sampled code held by P and Q (N holds the complement),
+    /// MSB first. Length must equal `bits`.
+    pub code: Vec<bool>,
+    /// Window calibration for the generated spec.
+    pub calibration: CalibrationSpec,
+}
+
+impl CapArrayConfig {
+    /// A conventional array at the given radix with the alternating
+    /// `1010…` demo code (exercises both switch polarities in every
+    /// sub-array).
+    pub fn conventional(bits: usize, radix: f64) -> CapArrayConfig {
+        assert!(bits >= 2, "cap array needs at least 2 bits");
+        assert!(radix > 1.0, "radix must exceed 1.0");
+        CapArrayConfig {
+            bits,
+            structure: CapArrayStructure::Conventional { radix },
+            vref: 1.2,
+            unit_res: 100e3,
+            code: (0..bits).map(|i| i % 2 == 0).collect(),
+            calibration: CalibrationSpec {
+                samples: 60,
+                ..CalibrationSpec::default()
+            },
+        }
+    }
+
+    /// The classic binary-weighted array (`radix = 2`).
+    pub fn binary(bits: usize) -> CapArrayConfig {
+        Self::conventional(bits, 2.0)
+    }
+
+    /// A split-array variant: binary halves bridged by an attenuator.
+    pub fn split_array(bits: usize, low_bits: usize) -> CapArrayConfig {
+        assert!(
+            low_bits >= 1 && low_bits < bits,
+            "split needs >=1 bit on each side"
+        );
+        let mut config = Self::binary(bits);
+        config.structure = CapArrayStructure::SplitArray { low_bits };
+        config
+    }
+
+    /// Bit weights, MSB first. For the split array these are the *ideal*
+    /// binary weights; the bridge realizes the LSB attenuation physically.
+    pub fn weights(&self) -> Vec<f64> {
+        let radix = match self.structure {
+            CapArrayStructure::Conventional { radix } => radix,
+            CapArrayStructure::SplitArray { .. } => 2.0,
+        };
+        (0..self.bits)
+            .map(|i| radix.powi((self.bits - 1 - i) as i32))
+            .collect()
+    }
+
+    /// A registry-safe name encoding the family parameters, e.g.
+    /// `cap-array-b8-r1.8` or `cap-array-b8-split4`.
+    pub fn name(&self) -> String {
+        match self.structure {
+            CapArrayStructure::Conventional { radix } => {
+                format!("cap-array-b{}-r{radix}", self.bits)
+            }
+            CapArrayStructure::SplitArray { low_bits } => {
+                format!("cap-array-b{}-split{low_bits}", self.bits)
+            }
+        }
+    }
+
+    /// Emits the three-array netlist as parser-ready card text.
+    pub fn netlist(&self) -> String {
+        assert_eq!(self.code.len(), self.bits, "code length != bits");
+        let mut out = String::new();
+        out.push_str("* SymBIST cap-array DUT (resistive weighted-sum emulation)\n");
+        out.push_str(&format!("VREF vref 0 {}\n", self.vref));
+        let weights = self.weights();
+        for (tag, invert, bus) in [
+            ("P", false, "outp"),
+            ("N", true, "outn"),
+            ("Q", false, "outq"),
+        ] {
+            out.push_str(&format!("* array {tag}\n"));
+            for (i, w) in weights.iter().enumerate() {
+                let bit = self.code[i] ^ invert;
+                let node = format!("e{}{i}", tag.to_ascii_lowercase());
+                // Element node: driven to vref when the bit is set, to
+                // ground when clear — exactly one switch closed.
+                out.push_str(&format!(
+                    "SV{tag}{i} vref {node} {} RON=1\n",
+                    if bit { "ON" } else { "OFF" }
+                ));
+                out.push_str(&format!(
+                    "SG{tag}{i} {node} 0 {} RON=1\n",
+                    if bit { "OFF" } else { "ON" }
+                ));
+                let element_bus = match self.structure {
+                    CapArrayStructure::SplitArray { low_bits } if i >= self.bits - low_bits => {
+                        format!("lsb{}", tag.to_ascii_lowercase())
+                    }
+                    _ => bus.to_string(),
+                };
+                out.push_str(&format!(
+                    "R{tag}{i} {node} {element_bus} {}\n",
+                    self.unit_res / w
+                ));
+            }
+            if let CapArrayStructure::SplitArray { low_bits } = self.structure {
+                // Attenuating bridge: sized like the split-capacitor
+                // bridge C·2^L/(2^L−1), i.e. slightly below one unit.
+                let l = low_bits as i32;
+                let bridge = self.unit_res * (2f64.powi(l) - 1.0) / 2f64.powi(l);
+                out.push_str(&format!(
+                    "RA{tag} lsb{} {bus} {bridge}\n",
+                    tag.to_ascii_lowercase()
+                ));
+            }
+        }
+        out
+    }
+
+    /// The full upload spec: netlist plus the two SymBIST invariances
+    /// (complementary P/N sum at `α = vref`, replica P/Q difference).
+    pub fn dut_spec(&self) -> DutSpec {
+        DutSpec {
+            name: self.name(),
+            tenant: "default".into(),
+            netlist: self.netlist(),
+            invariances: vec![
+                InvarianceSpec {
+                    name: "fd-sum".into(),
+                    a: "outp".into(),
+                    b: "outn".into(),
+                    kind: InvarianceKind::Complementary { alpha: self.vref },
+                },
+                InvarianceSpec {
+                    name: "shadow".into(),
+                    a: "outp".into(),
+                    b: "outq".into(),
+                    kind: InvarianceKind::Replica,
+                },
+            ],
+            calibration: self.calibration.clone(),
+            likelihood: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{check_dut, DutModel};
+    use symbist_adc::fault::Faultable;
+
+    #[test]
+    fn binary_weights_are_powers_of_two() {
+        let config = CapArrayConfig::binary(4);
+        assert_eq!(config.weights(), [8.0, 4.0, 2.0, 1.0]);
+        let sub = CapArrayConfig::conventional(4, 1.8);
+        assert!(sub.weights()[0] < 8.0);
+        // Sub-radix redundancy: every bit is covered by the tail below it.
+        let w = sub.weights();
+        for i in 0..w.len() - 1 {
+            assert!(w[i] < w[i + 1..].iter().sum::<f64>() + 1.0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn generated_netlist_builds_and_passes_healthy() {
+        for config in [
+            CapArrayConfig::binary(4),
+            CapArrayConfig::conventional(4, 1.8),
+            CapArrayConfig::split_array(4, 2),
+        ] {
+            let spec = config.dut_spec();
+            let model = DutModel::build(spec).expect("netlist builds");
+            let bist = model.calibrate().expect("calibrates");
+            let outcome = check_dut(&bist, &model.dut).expect("solves");
+            assert!(!outcome.detected, "healthy {} flagged", config.name());
+        }
+    }
+
+    #[test]
+    fn catalog_covers_all_three_arrays() {
+        let config = CapArrayConfig::binary(3);
+        let model = DutModel::build(config.dut_spec()).unwrap();
+        // Per bit per array: 2 switches + 1 resistor; 3 arrays.
+        assert_eq!(model.dut.components().len(), 3 * 3 * 3);
+        let split = CapArrayConfig::split_array(3, 1);
+        let split_model = DutModel::build(split.dut_spec()).unwrap();
+        // The bridge adds one resistor per array: 3 extra defect sites.
+        assert_eq!(split_model.dut.components().len(), 3 * 3 * 3 + 3);
+    }
+
+    #[test]
+    fn family_names_are_distinct_and_registry_safe() {
+        let names = [
+            CapArrayConfig::binary(8).name(),
+            CapArrayConfig::conventional(8, 1.8).name(),
+            CapArrayConfig::split_array(8, 4).name(),
+        ];
+        assert_eq!(names[0], "cap-array-b8-r2");
+        assert_eq!(names[1], "cap-array-b8-r1.8");
+        assert_eq!(names[2], "cap-array-b8-split4");
+        for name in &names {
+            assert!(name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-')));
+        }
+    }
+
+    #[test]
+    fn radix_changes_content_hash_but_code_format_does_not() {
+        let a = CapArrayConfig::binary(4).dut_spec();
+        let b = CapArrayConfig::conventional(4, 1.8).dut_spec();
+        assert_ne!(a.content_hash(), b.content_hash());
+        // Same config is deterministic.
+        let a2 = CapArrayConfig::binary(4).dut_spec();
+        assert_eq!(a.content_hash(), a2.content_hash());
+    }
+}

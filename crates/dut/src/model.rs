@@ -1,0 +1,441 @@
+//! Generic faultable DUT models built from parsed netlists.
+//!
+//! [`NetlistDut`] implements [`Faultable`] over any parsed netlist, so the
+//! likelihood-weighted campaign machinery in `symbist-defects` runs
+//! unmodified over uploaded DUTs. The defect model is the paper's (§V),
+//! applied at the netlist level:
+//!
+//! * **shorts** — a 10 Ω resistor in parallel with the component (for MOS,
+//!   across the named terminal pair),
+//! * **opens** — the component replaced by (or rerouted through) a weak
+//!   ~1 GΩ pull: resistors and switches become 1 GΩ, diodes become a 1 GΩ
+//!   bridge, MOS terminals are broken onto a fresh node (the floating gate
+//!   is weakly pulled to ground — the classic worst case),
+//! * **±50 %** — passive value scaled by 0.5 / 1.5.
+//!
+//! Capacitor opens and ±50 % shifts are applied faithfully but are
+//! invisible to a DC invariance check — they are *honest escapes*, exactly
+//! the blind spot the paper's transient signatures exist to cover.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use symbist::generic::{GenericBist, NodeInvariance};
+use symbist_adc::fault::{
+    check_site, BlockKind, ComponentInfo, ComponentKind, DefectKind, DefectSite, Faultable,
+};
+use symbist_circuit::error::CircuitError;
+use symbist_circuit::mc::MismatchSpec;
+use symbist_circuit::netlist::{Device, DeviceId, Netlist};
+use symbist_circuit::parser::parse_netlist;
+use symbist_circuit::rng::Rng;
+use symbist_defects::{DefectUniverse, LikelihoodModel, TestOutcome};
+
+use crate::spec::{DutSpec, DutSpecError, InvarianceKind};
+
+/// Short-circuit resistance (paper §V).
+pub const SHORT_OHMS: f64 = 10.0;
+
+/// Weak pull replacing an ideal open (paper §V).
+pub const OPEN_OHMS: f64 = 1e9;
+
+/// A [`Faultable`] DUT over a parsed netlist template.
+///
+/// Cloning is cheap (the catalog is shared); each clone carries its own
+/// injected-defect slot, which is what the campaign runner's per-thread
+/// DUT clones require.
+#[derive(Debug, Clone)]
+pub struct NetlistDut {
+    template: Arc<Netlist>,
+    catalog: Arc<Vec<ComponentInfo>>,
+    /// Catalog index → device id within the template.
+    devices: Arc<Vec<DeviceId>>,
+    injected: Option<DefectSite>,
+}
+
+impl NetlistDut {
+    /// Builds the catalog from a netlist: every R, C, switch (as a
+    /// resistor-class component), diode, and MOSFET card becomes one
+    /// component in card order; sources and controlled sources are test
+    /// infrastructure, not defect sites. `names` maps device ids back to
+    /// card names for reports.
+    pub fn new(netlist: Netlist, names: &HashMap<String, DeviceId>) -> NetlistDut {
+        let by_id: HashMap<DeviceId, &str> =
+            names.iter().map(|(n, id)| (*id, n.as_str())).collect();
+        let mut catalog = Vec::new();
+        let mut devices = Vec::new();
+        for (id, device) in netlist.iter() {
+            let kind = match device {
+                Device::Resistor { .. } | Device::Switch { .. } => ComponentKind::Resistor,
+                Device::Capacitor { .. } => ComponentKind::Capacitor,
+                Device::Diode { .. } => ComponentKind::Diode,
+                Device::Mosfet { .. } => ComponentKind::Mosfet,
+                _ => continue,
+            };
+            catalog.push(ComponentInfo {
+                // Generic DUTs carry no Table-I block structure; every
+                // component lands in one nominal block so block-filtered
+                // job specs stay an ADC-only feature.
+                block: BlockKind::ScArray,
+                name: by_id
+                    .get(&id)
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| format!("dev#{}", id.index())),
+                kind,
+                area: kind.default_area(),
+            });
+            devices.push(id);
+        }
+        NetlistDut {
+            template: Arc::new(netlist),
+            catalog: Arc::new(catalog),
+            devices: Arc::new(devices),
+            injected: None,
+        }
+    }
+
+    /// The healthy template netlist.
+    pub fn template(&self) -> &Netlist {
+        &self.template
+    }
+
+    /// Materializes the netlist instance this DUT currently describes:
+    /// the template with the injected defect (if any) applied.
+    pub fn instantiate(&self) -> Netlist {
+        let mut nl = (*self.template).clone();
+        let Some(site) = self.injected else {
+            return nl;
+        };
+        let dev_id = self.devices[site.component];
+        match (nl.device(dev_id).clone(), site.kind) {
+            // Passive / switch shorts: 10 Ω in parallel dominates.
+            (Device::Resistor { a, b, .. }, DefectKind::Short)
+            | (Device::Capacitor { a, b, .. }, DefectKind::Short)
+            | (Device::Switch { a, b, .. }, DefectKind::Short) => {
+                nl.resistor(a, b, SHORT_OHMS);
+            }
+            (Device::Resistor { a, b, .. }, DefectKind::Open)
+            | (Device::Switch { a, b, .. }, DefectKind::Open) => {
+                *nl.device_mut(dev_id) = Device::Resistor {
+                    a,
+                    b,
+                    ohms: OPEN_OHMS,
+                };
+            }
+            (Device::Resistor { .. }, k @ (DefectKind::ParamLow | DefectKind::ParamHigh)) => {
+                if let Device::Resistor { ohms, .. } = nl.device_mut(dev_id) {
+                    *ohms *= param_scale(k);
+                }
+            }
+            (Device::Switch { .. }, k @ (DefectKind::ParamLow | DefectKind::ParamHigh)) => {
+                if let Device::Switch { r_on, .. } = nl.device_mut(dev_id) {
+                    *r_on *= param_scale(k);
+                }
+            }
+            // Capacitor opens / ±50%: faithful but DC-invisible.
+            (Device::Capacitor { .. }, DefectKind::Open) => {
+                if let Device::Capacitor { farads, .. } = nl.device_mut(dev_id) {
+                    *farads *= 1e-6;
+                }
+            }
+            (Device::Capacitor { .. }, k @ (DefectKind::ParamLow | DefectKind::ParamHigh)) => {
+                if let Device::Capacitor { farads, .. } = nl.device_mut(dev_id) {
+                    *farads *= param_scale(k);
+                }
+            }
+            (Device::Diode { anode, cathode, .. }, DefectKind::Short) => {
+                nl.resistor(anode, cathode, SHORT_OHMS);
+            }
+            (Device::Diode { anode, cathode, .. }, DefectKind::Open) => {
+                *nl.device_mut(dev_id) = Device::Resistor {
+                    a: anode,
+                    b: cathode,
+                    ohms: OPEN_OHMS,
+                };
+            }
+            (Device::Mosfet { d, g, .. }, DefectKind::ShortGd) => {
+                nl.resistor(g, d, SHORT_OHMS);
+            }
+            (Device::Mosfet { g, s, .. }, DefectKind::ShortGs) => {
+                nl.resistor(g, s, SHORT_OHMS);
+            }
+            (Device::Mosfet { d, s, .. }, DefectKind::ShortDs) => {
+                nl.resistor(d, s, SHORT_OHMS);
+            }
+            (Device::Mosfet { .. }, DefectKind::OpenGate) => {
+                // Floating gate, weakly pulled to ground (the MOS gate
+                // draws no DC current, so a series break alone would be
+                // invisible; the grounded-gate worst case is not).
+                let floating = nl.fresh_node();
+                if let Device::Mosfet { g, .. } = nl.device_mut(dev_id) {
+                    *g = floating;
+                }
+                nl.resistor(floating, Netlist::GND, OPEN_OHMS);
+            }
+            (Device::Mosfet { d, .. }, DefectKind::OpenDrain) => {
+                let broken = nl.fresh_node();
+                if let Device::Mosfet { d: dd, .. } = nl.device_mut(dev_id) {
+                    *dd = broken;
+                }
+                nl.resistor(broken, d, OPEN_OHMS);
+            }
+            (Device::Mosfet { s, .. }, DefectKind::OpenSource) => {
+                let broken = nl.fresh_node();
+                if let Device::Mosfet { s: ss, .. } = nl.device_mut(dev_id) {
+                    *ss = broken;
+                }
+                nl.resistor(broken, s, OPEN_OHMS);
+            }
+            (device, kind) => unreachable!(
+                "defect {kind} on {device:?} survived check_site — catalog out of sync"
+            ),
+        }
+        nl
+    }
+}
+
+impl Faultable for NetlistDut {
+    fn components(&self) -> &[ComponentInfo] {
+        &self.catalog
+    }
+
+    fn inject(&mut self, site: DefectSite) {
+        check_site(&self.catalog, site);
+        self.injected = Some(site);
+    }
+
+    fn clear_defects(&mut self) {
+        self.injected = None;
+    }
+
+    fn injected(&self) -> Option<DefectSite> {
+        self.injected
+    }
+}
+
+/// A fully-resolved DUT: parsed netlist, component catalog, defect
+/// universe, and invariances bound to node ids — everything a campaign
+/// backend needs, derived deterministically from the [`DutSpec`].
+#[derive(Debug, Clone)]
+pub struct DutModel {
+    /// The validated spec this model was built from.
+    pub spec: DutSpec,
+    /// The faultable DUT (healthy; campaign workers clone and inject).
+    pub dut: NetlistDut,
+    /// The enumerated defect universe.
+    pub universe: DefectUniverse,
+    /// Invariances resolved onto template node ids.
+    pub invariances: Vec<NodeInvariance>,
+}
+
+impl DutModel {
+    /// Parses the netlist, builds the catalog and universe, and resolves
+    /// invariance node names.
+    ///
+    /// # Errors
+    ///
+    /// Netlist parse failures and unknown invariance nodes come back as
+    /// [`DutSpecError`] (the upload layer maps them to a 400); an empty
+    /// component catalog is also an error since it would yield an empty
+    /// universe.
+    pub fn build(spec: DutSpec) -> Result<DutModel, DutSpecError> {
+        let parsed = parse_netlist(&spec.netlist)
+            .map_err(|e| DutSpecError(format!("netlist does not parse: {e}")))?;
+        let dut = NetlistDut::new(parsed.netlist, &parsed.devices);
+        if dut.components().is_empty() {
+            return Err(DutSpecError(
+                "netlist has no faultable components (R/C/S/D/M cards)".into(),
+            ));
+        }
+        let mut invariances = Vec::with_capacity(spec.invariances.len());
+        for inv in &spec.invariances {
+            let resolve = |node: &str| {
+                dut.template().find_node(node).ok_or_else(|| {
+                    DutSpecError(format!(
+                        "invariance \"{}\" references unknown node \"{node}\"",
+                        inv.name
+                    ))
+                })
+            };
+            let (a, b) = (resolve(&inv.a)?, resolve(&inv.b)?);
+            invariances.push(match inv.kind {
+                InvarianceKind::Complementary { alpha } => {
+                    NodeInvariance::complementary(inv.name.clone(), a, b, alpha)
+                }
+                InvarianceKind::Replica => NodeInvariance::replica(inv.name.clone(), a, b),
+            });
+        }
+        let model = spec
+            .likelihood
+            .as_ref()
+            .map(|lw| LikelihoodModel {
+                short_weight: lw.short_weight,
+                open_weight: lw.open_weight,
+                param_weight: lw.param_weight,
+            })
+            .unwrap_or_default();
+        let universe = DefectUniverse::enumerate(&dut, &model);
+        Ok(DutModel {
+            spec,
+            dut,
+            universe,
+            invariances,
+        })
+    }
+
+    /// Calibrates the window comparators (`δ = k·σ`) over the spec's
+    /// Monte-Carlo mismatch model. Deterministic: the same spec calibrates
+    /// bit-identical windows in every process, which is what lets sharded
+    /// coordinator workers each calibrate locally yet merge byte-identical
+    /// records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC-solve failures of the Monte-Carlo instances.
+    pub fn calibrate(&self) -> Result<GenericBist, CircuitError> {
+        let cal = &self.spec.calibration;
+        let template = self.dut.template();
+        let mut mismatch = MismatchSpec::empty();
+        if cal.resistor_sigma > 0.0 {
+            mismatch.vary_all_resistors(template, cal.resistor_sigma);
+        }
+        if cal.capacitor_sigma > 0.0 {
+            mismatch.vary_all_capacitors(template, cal.capacitor_sigma);
+        }
+        if cal.vth_sigma > 0.0 {
+            mismatch.vary_all_vth(template, cal.vth_sigma);
+        }
+        let mut rng = Rng::seed_from_u64(cal.seed);
+        GenericBist::calibrate(
+            self.invariances.clone(),
+            cal.k,
+            cal.samples,
+            &mut rng,
+            |rng| mismatch.perturb(template, rng),
+        )
+    }
+}
+
+fn param_scale(kind: DefectKind) -> f64 {
+    match kind {
+        DefectKind::ParamLow => 0.5,
+        DefectKind::ParamHigh => 1.5,
+        _ => unreachable!("param_scale on non-param defect {kind}"),
+    }
+}
+
+/// Runs one invariance check on a (possibly defective) DUT instance and
+/// maps it onto the campaign's [`TestOutcome`]: each invariance is one
+/// "cycle", and the first violated invariance is the detection cycle — so
+/// per-invariance detection attribution survives into campaign records
+/// and checkpoint files unchanged.
+///
+/// # Errors
+///
+/// Propagates solver failures; the campaign runner converts them to
+/// `Unresolved(NoConvergence)` records.
+pub fn check_dut(bist: &GenericBist, dut: &NetlistDut) -> Result<TestOutcome, CircuitError> {
+    let check = bist.check(&dut.instantiate())?;
+    let first_violation = check.details.iter().position(|(_, ok)| !ok);
+    Ok(TestOutcome {
+        detected: !check.pass,
+        detection_cycle: first_violation.map(|i| i as u32 + 1),
+        cycles_run: check.details.len() as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn divider_spec() -> DutSpec {
+        DutSpec::from_json_text(
+            r#"{
+            "name": "divider",
+            "netlist": "V1 vref 0 1.2\nRP1 vref outp 1k\nRP2 outp 0 1k\nRN1 vref outn 1k\nRN2 outn 0 1k",
+            "invariances": [
+                {"name": "sum", "kind": "complementary", "a": "outp", "b": "outn", "alpha": 1.2},
+                {"name": "rep", "kind": "replica", "a": "outp", "b": "outn"}
+            ],
+            "calibration": {"samples": 40, "resistor_sigma": 0.005}
+        }"#,
+        )
+        .expect("spec parses")
+    }
+
+    #[test]
+    fn catalog_follows_card_order() {
+        let model = DutModel::build(divider_spec()).unwrap();
+        let names: Vec<&str> = model
+            .dut
+            .components()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, ["RP1", "RP2", "RN1", "RN2"]);
+        // 4 resistors × 4 applicable defects.
+        assert_eq!(model.universe.len(), 16);
+    }
+
+    #[test]
+    fn unknown_invariance_node_is_an_error() {
+        let mut spec = divider_spec();
+        spec.invariances[0].b = "outz".into();
+        let err = DutModel::build(spec).unwrap_err();
+        assert!(err.0.contains("outz"), "{err}");
+    }
+
+    #[test]
+    fn healthy_dut_passes_and_defects_are_detected() {
+        let model = DutModel::build(divider_spec()).unwrap();
+        let bist = model.calibrate().unwrap();
+        assert!(!check_dut(&bist, &model.dut).unwrap().detected);
+        // A +50% shift on one divider leg breaks both invariances.
+        let mut faulty = model.dut.clone();
+        faulty.inject(DefectSite {
+            component: 0,
+            kind: DefectKind::ParamHigh,
+        });
+        let outcome = check_dut(&bist, &faulty).unwrap();
+        assert!(outcome.detected);
+        assert_eq!(outcome.cycles_run, 2);
+        assert_eq!(outcome.detection_cycle, Some(1));
+        // Clearing restores the healthy verdict on the same clone.
+        faulty.clear_defects();
+        assert!(!check_dut(&bist, &faulty).unwrap().detected);
+    }
+
+    #[test]
+    fn short_and_open_apply_the_paper_model() {
+        let model = DutModel::build(divider_spec()).unwrap();
+        let mut dut = model.dut.clone();
+        dut.inject(DefectSite {
+            component: 1,
+            kind: DefectKind::Short,
+        });
+        let nl = dut.instantiate();
+        // Parallel 10 Ω added: one more device than the template.
+        assert_eq!(nl.device_count(), model.dut.template().device_count() + 1);
+        dut.inject(DefectSite {
+            component: 1,
+            kind: DefectKind::Open,
+        });
+        let nl = dut.instantiate();
+        assert_eq!(nl.device_count(), model.dut.template().device_count());
+        let dev = model.dut.devices[1];
+        match nl.device(dev) {
+            Device::Resistor { ohms, .. } => assert_eq!(*ohms, OPEN_OHMS),
+            other => panic!("expected open resistor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn calibration_is_deterministic_across_builds() {
+        let a = DutModel::build(divider_spec()).unwrap();
+        let b = DutModel::build(divider_spec()).unwrap();
+        let da = a.calibrate().unwrap().deltas();
+        let db = b.calibrate().unwrap().deltas();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&da), bits(&db));
+    }
+}

@@ -1,0 +1,249 @@
+//! Durability and content-addressing contract of the [`DutRegistry`]:
+//! hash stability across semantically-identical reorderings, the "lint
+//! once" cache observable through `symbist_dut_lint_cache_hits_total`,
+//! JSONL persistence across reopen, and torn-line tolerance after a kill
+//! mid-append (the same crash model the campaign checkpoints survive).
+#![allow(clippy::unwrap_used)] // integration tests assert by panicking
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use symbist_dut::{
+    CalibrationSpec, DutRegistry, DutRegistryConfig, DutSpec, InvarianceKind, InvarianceSpec,
+    UploadError,
+};
+
+/// Fresh scratch directory per test (the suite runs concurrently).
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("symbist-dut-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A 4-resistor bridge with a complementary pair: P and N arms mirror
+/// each other, so v(p) + v(n) = 1.0 under the 1 V supply.
+fn bridge_spec(name: &str) -> DutSpec {
+    DutSpec {
+        name: name.to_string(),
+        tenant: "default".to_string(),
+        netlist: "\
+            VDD vdd 0 1.0\n\
+            RP1 vdd p 10k\n\
+            RP2 p 0 10k\n\
+            RN1 vdd n 10k\n\
+            RN2 n 0 10k\n"
+            .to_string(),
+        invariances: vec![InvarianceSpec {
+            name: "fd-sum".into(),
+            a: "p".into(),
+            b: "n".into(),
+            kind: InvarianceKind::Complementary { alpha: 1.0 },
+        }],
+        calibration: CalibrationSpec {
+            samples: 8,
+            ..CalibrationSpec::default()
+        },
+        likelihood: None,
+    }
+}
+
+fn open(dir: &Path) -> DutRegistry {
+    DutRegistry::open(DutRegistryConfig {
+        dir: Some(dir.to_path_buf()),
+        ..DutRegistryConfig::default()
+    })
+    .expect("registry opens")
+}
+
+#[test]
+fn content_hash_is_stable_across_cosmetics_but_not_reorderings() {
+    let base = bridge_spec("bridge");
+
+    // Comments, blank lines, extra whitespace, and '+' continuations are
+    // canonicalized away: same content, same id.
+    let mut cosmetic = base.clone();
+    cosmetic.netlist = "\
+        * the same bridge, formatted differently\n\
+        VDD   vdd 0    1.0\n\n\
+        RP1 vdd p\n\
+        +   10k   ; split across lines\n\
+        RP2 p 0 10k\n\
+        RN1 vdd n 10k\n\
+        RN2 n 0 10k\n"
+        .to_string();
+    assert_eq!(base.id(), cosmetic.id(), "cosmetic reformat changed the id");
+
+    // Tenant is quota bookkeeping, not content.
+    let mut other_tenant = base.clone();
+    other_tenant.tenant = "acme".into();
+    assert_eq!(base.id(), other_tenant.id());
+
+    // Card order is NOT cosmetic: it numbers the defect catalog, so a
+    // reordered deck is a semantically distinct DUT.
+    let mut reordered = base.clone();
+    reordered.netlist = "\
+        VDD vdd 0 1.0\n\
+        RN1 vdd n 10k\n\
+        RN2 n 0 10k\n\
+        RP1 vdd p 10k\n\
+        RP2 p 0 10k\n"
+        .to_string();
+    assert_ne!(base.id(), reordered.id(), "reordering kept the id");
+
+    // The calibration seed selects the window; it is part of the content.
+    let mut reseeded = base.clone();
+    reseeded.calibration.seed ^= 1;
+    assert_ne!(base.id(), reseeded.id());
+}
+
+#[test]
+fn identical_reupload_answers_from_the_lint_cache() {
+    let dir = temp_dir("lintcache");
+    let registry = open(&dir);
+    let hits = || {
+        symbist_obs::counter!(
+            "symbist_dut_lint_cache_hits_total",
+            "re-uploads of identical content answered from the lint cache"
+        )
+        .get()
+    };
+
+    let first = registry.upload(bridge_spec("bridge")).unwrap();
+    assert!(first.created());
+    let before = hits();
+
+    // Same content from a different tenant: cached entry, counted hit,
+    // no second registry slot consumed.
+    let mut dup = bridge_spec("bridge");
+    dup.tenant = "acme".into();
+    let second = registry.upload(dup).unwrap();
+    assert!(!second.created());
+    assert_eq!(second.entry().id, first.entry().id);
+    assert_eq!(hits(), before + 1, "cache hit was not counted");
+    assert_eq!(registry.len(), 1);
+
+    // The cached lint report is the original's, verbatim.
+    assert_eq!(
+        format!("{:?}", second.entry().lint),
+        format!("{:?}", first.entry().lint)
+    );
+}
+
+#[test]
+fn registry_reloads_after_reopen() {
+    let dir = temp_dir("reopen");
+    let id = {
+        let registry = open(&dir);
+        let a = registry.upload(bridge_spec("alpha")).unwrap();
+        registry.upload(bridge_spec("beta")).unwrap();
+        a.entry().id.clone()
+    };
+
+    let reopened = open(&dir);
+    assert_eq!(reopened.len(), 2);
+    let entry = reopened.get(&id).expect("entry survived reopen");
+    assert_eq!(entry.spec().name, "alpha");
+    assert!(reopened.get("beta").is_some(), "name lookup survived");
+    // The reloaded entry is fully functional: its universe re-enumerated
+    // and its lint re-evaluated from the persisted spec.
+    assert_ne!(entry.model.universe.len(), 0);
+}
+
+#[test]
+fn torn_tail_from_a_kill_mid_append_is_tolerated_and_compacted() {
+    let dir = temp_dir("torn");
+    {
+        let registry = open(&dir);
+        registry.upload(bridge_spec("alpha")).unwrap();
+        registry.upload(bridge_spec("beta")).unwrap();
+    }
+    let file = dir.join("duts.jsonl");
+    let intact = std::fs::read_to_string(&file).unwrap();
+    assert_eq!(intact.lines().count(), 2);
+
+    // Simulate a kill mid-append: the last line is half-written.
+    let torn_line = format!("{}\n", registry_like_garbage());
+    let mut torn = intact.clone();
+    torn.push_str(&torn_line[..torn_line.len() / 2]);
+    std::fs::write(&file, &torn).unwrap();
+
+    let reopened = open(&dir);
+    assert_eq!(reopened.len(), 2, "intact entries lost to a torn tail");
+    assert!(reopened.get("alpha").is_some());
+    assert!(reopened.get("beta").is_some());
+
+    // Reload compacted the file: the torn tail is gone from disk, so the
+    // corruption cannot compound across restarts.
+    let after = std::fs::read_to_string(&file).unwrap();
+    assert_eq!(after.lines().count(), 2);
+    for line in after.lines() {
+        assert!(line.trim_start().starts_with('{'), "non-JSON line kept");
+    }
+
+    // And the compacted registry still accepts appends.
+    reopened.upload(bridge_spec("gamma")).unwrap();
+    assert_eq!(open(&dir).len(), 3);
+}
+
+fn registry_like_garbage() -> String {
+    r#"{"seq":99,"spec":{"name":"half-written","tenant":"default","netlist":"VDD vdd 0 1.0\nR1 vdd x 1k\nR2 x 0 1k""#
+        .to_string()
+}
+
+#[test]
+fn quota_errors_leave_disk_and_memory_unchanged() {
+    let dir = temp_dir("quota");
+    let registry = DutRegistry::open(DutRegistryConfig {
+        dir: Some(dir.clone()),
+        max_per_tenant: 1,
+    })
+    .expect("registry opens");
+    registry.upload(bridge_spec("alpha")).unwrap();
+
+    let mut second = bridge_spec("beta");
+    second.calibration.seed ^= 7; // distinct content
+    match registry.upload(second) {
+        Err(UploadError::Quota { tenant, limit }) => {
+            assert_eq!(tenant, "default");
+            assert_eq!(limit, 1);
+        }
+        other => panic!("expected quota rejection, got {other:?}"),
+    }
+    assert_eq!(registry.len(), 1);
+    let on_disk = std::fs::read_to_string(dir.join("duts.jsonl")).unwrap();
+    assert_eq!(on_disk.lines().count(), 1, "rejected upload hit the disk");
+}
+
+#[test]
+fn torn_file_with_interleaved_garbage_keeps_every_parseable_line() {
+    let dir = temp_dir("interleave");
+    {
+        let registry = open(&dir);
+        registry.upload(bridge_spec("alpha")).unwrap();
+        registry.upload(bridge_spec("beta")).unwrap();
+    }
+    let file = dir.join("duts.jsonl");
+    let lines: Vec<String> = std::fs::read_to_string(&file)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    // Garbage between valid lines (a partially overwritten sector), not
+    // just at the tail.
+    let mut f = std::fs::File::create(&file).unwrap();
+    writeln!(f, "{}", lines[0]).unwrap();
+    writeln!(f, "not json at all").unwrap();
+    writeln!(f, "{}", lines[1]).unwrap();
+    drop(f);
+
+    let reopened = open(&dir);
+    assert_eq!(reopened.len(), 2);
+    assert_eq!(
+        std::fs::read_to_string(&file).unwrap().lines().count(),
+        2,
+        "compaction left the garbage line"
+    );
+}

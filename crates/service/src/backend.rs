@@ -57,6 +57,14 @@ pub trait CampaignBackend: Send + Sync {
         checkpoint: Option<PathBuf>,
         monitor: &dyn CampaignMonitor,
     ) -> Result<CampaignResult, CampaignError>;
+
+    /// The DUT registry behind this backend, if it serves one. The HTTP
+    /// front-end routes `/v1/duts` through this; backends without a
+    /// registry (the synthetic test backend, a bare ADC server) answer
+    /// `404` there. The default is `None`.
+    fn dut_registry(&self) -> Option<&Arc<symbist_dut::DutRegistry>> {
+        None
+    }
 }
 
 /// Resolves a spec's block label against the backend's catalog.
@@ -77,7 +85,7 @@ fn resolve_block(spec: &JobSpec) -> Result<Option<BlockKind>, SpecError> {
 }
 
 /// Checks the sampled/exhaustive choice against a universe size.
-fn check_sample(spec: &JobSpec, universe_len: usize) -> Result<(), SpecError> {
+pub(crate) fn check_sample(spec: &JobSpec, universe_len: usize) -> Result<(), SpecError> {
     if let Some(n) = spec.sample_size {
         if n > universe_len {
             return Err(SpecError(format!(
@@ -89,7 +97,7 @@ fn check_sample(spec: &JobSpec, universe_len: usize) -> Result<(), SpecError> {
 }
 
 /// Checks a spec's shard range against the universe it will run over.
-fn check_range(spec: &JobSpec, universe_len: usize) -> Result<(), SpecError> {
+pub(crate) fn check_range(spec: &JobSpec, universe_len: usize) -> Result<(), SpecError> {
     let lo = spec.index_lo.unwrap_or(0);
     let hi = spec.index_hi.unwrap_or(universe_len);
     if lo >= hi || hi > universe_len {

@@ -19,6 +19,10 @@
 //!   bit-identical *merged* output)
 //! * `--newton-budget N` / `--deadline-ms N` / `--schedule NAME` —
 //!   forwarded spec knobs, as in `POST /v1/jobs`
+//! * `--dut ID-OR-NAME` — shard a DUT the workers already have registered
+//! * `--dut-spec PATH` — read a JSON DUT spec, `POST /v1/duts` it to
+//!   every worker (content addressing makes the id identical fleet-wide),
+//!   and shard that DUT; mutually exclusive with `--dut`
 //! * `--lease-ms N` — progress-watermark lease (default 30000)
 //! * `--poll-ms N` — status poll cadence (default 50)
 //! * `--max-attempts N` — dispatch attempts per shard (default 5)
@@ -90,6 +94,14 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--schedule" => args.config.spec.schedule = Some(value("--schedule")?),
+            "--dut" => args.config.spec.dut = Some(value("--dut")?),
+            "--dut-spec" => {
+                let path = value("--dut-spec")?;
+                args.config.dut_spec = Some(
+                    std::fs::read_to_string(&path)
+                        .map_err(|e| format!("cannot read --dut-spec {path:?}: {e}"))?,
+                )
+            }
             "--lease-ms" => {
                 args.config.lease_timeout =
                     Duration::from_millis(parse_num(&value("--lease-ms")?)? as u64)
@@ -106,8 +118,9 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: coord --workers A,B,C [--shards N] [--data-dir PATH] \
                      [--sample N] [--seed N] [--threads N] [--newton-budget N] \
-                     [--deadline-ms N] [--schedule NAME] [--lease-ms N] \
-                     [--poll-ms N] [--max-attempts N] [--fault-plan SPEC]"
+                     [--deadline-ms N] [--schedule NAME] [--dut ID-OR-NAME] \
+                     [--dut-spec PATH] [--lease-ms N] [--poll-ms N] \
+                     [--max-attempts N] [--fault-plan SPEC]"
                         .into(),
                 )
             }

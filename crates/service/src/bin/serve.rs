@@ -16,6 +16,10 @@
 //!   calibration at startup (default 10, as in the paper experiments)
 //! * `--synthetic N` — serve the scripted N-component synthetic backend
 //!   instead of the SAR ADC (fast; for demos and smoke tests)
+//! * `--dut-quota N` — max registered DUTs per tenant on `POST /v1/duts`
+//!   (default 64). The registry persists as `duts.jsonl` under
+//!   `--data-dir` and reloads on restart; without a data dir it is
+//!   in-memory only.
 //! * `--trace-out PATH` — on exit, dump the captured trace ring as
 //!   `chrome://tracing`-compatible NDJSON to PATH
 //! * `--fault-plan SPEC` — install a deterministic fault-injection plan
@@ -32,13 +36,16 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use symbist::experiments::ExperimentConfig;
+use symbist_dut::{DutRegistry, DutRegistryConfig};
 use symbist_service::backend::{AdcBackend, CampaignBackend, SyntheticBackend};
+use symbist_service::dut_backend::GenericBackend;
 use symbist_service::http::{Server, ServiceConfig};
 
 struct Args {
     config: ServiceConfig,
     calibration_samples: usize,
     synthetic: Option<usize>,
+    dut_quota: usize,
     trace_out: Option<PathBuf>,
     fault_plan: Option<String>,
 }
@@ -51,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         },
         calibration_samples: 10,
         synthetic: None,
+        dut_quota: DutRegistryConfig::default().max_per_tenant,
         trace_out: None,
         fault_plan: None,
     };
@@ -67,13 +75,15 @@ fn parse_args() -> Result<Args, String> {
                 args.calibration_samples = parse_num(&value("--calibration-samples")?)?
             }
             "--synthetic" => args.synthetic = Some(parse_num(&value("--synthetic")?)?),
+            "--dut-quota" => args.dut_quota = parse_num(&value("--dut-quota")?)?,
             "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--fault-plan" => args.fault_plan = Some(value("--fault-plan")?),
             "--help" | "-h" => {
                 return Err(
                     "usage: serve [--addr HOST:PORT] [--workers N] [--handlers N] \
                             [--queue N] [--data-dir PATH] [--calibration-samples N] \
-                            [--synthetic N] [--trace-out PATH] [--fault-plan SPEC]"
+                            [--synthetic N] [--dut-quota N] [--trace-out PATH] \
+                            [--fault-plan SPEC]"
                         .into(),
                 )
             }
@@ -135,6 +145,25 @@ fn main() -> ExitCode {
             Arc::new(backend)
         }
     };
+
+    // Every server carries a DUT registry: `POST /v1/duts` registers
+    // arbitrary netlist DUTs, and specs with a `dut` field run generic
+    // invariance campaigns against them. Specs without one still reach
+    // the inner backend verbatim.
+    let registry = match DutRegistry::open(DutRegistryConfig {
+        dir: args.config.data_dir.clone(),
+        max_per_tenant: args.dut_quota,
+    }) {
+        Ok(registry) => Arc::new(registry),
+        Err(e) => {
+            eprintln!("serve: failed to open DUT registry: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !registry.is_empty() {
+        eprintln!("serve: DUT registry reloaded {} entries", registry.len());
+    }
+    let backend: Arc<dyn CampaignBackend> = Arc::new(GenericBackend::new(backend, registry));
 
     let server = match Server::start(args.config, backend) {
         Ok(server) => server,

@@ -28,6 +28,7 @@ use std::time::Duration;
 
 use symbist_defects::checkpoint::parse_checkpoint_line;
 use symbist_defects::DefectRecord;
+use symbist_dut::DutSpec;
 
 use crate::backoff::{Backoff, DEFAULT_BASE, DEFAULT_CAP};
 use crate::job::JobId;
@@ -50,6 +51,10 @@ pub enum ServiceError {
     Conflict(String),
     /// `413 payload_too_large`.
     PayloadTooLarge(String),
+    /// `403 quota_exceeded`: the tenant's DUT-registry quota is full.
+    /// Deliberately not `429`: a quota does not heal by waiting, so the
+    /// client must never auto-retry it.
+    QuotaExceeded(String),
     /// `422 lint_failed`: the pre-flight lint gate rejected the spec;
     /// `diagnostics` holds the lint report.
     LintFailed {
@@ -96,6 +101,7 @@ impl ServiceError {
             ServiceError::MethodNotAllowed(_) => 405,
             ServiceError::Conflict(_) => 409,
             ServiceError::PayloadTooLarge(_) => 413,
+            ServiceError::QuotaExceeded(_) => 403,
             ServiceError::LintFailed { .. } => 422,
             ServiceError::Saturated { .. } => 429,
             ServiceError::QueueFull { .. } | ServiceError::Draining(_) => 503,
@@ -143,6 +149,7 @@ impl ServiceError {
             "method_not_allowed" => ServiceError::MethodNotAllowed(message),
             "conflict" => ServiceError::Conflict(message),
             "payload_too_large" => ServiceError::PayloadTooLarge(message),
+            "quota_exceeded" => ServiceError::QuotaExceeded(message),
             "lint_failed" => ServiceError::LintFailed {
                 message,
                 diagnostics,
@@ -174,6 +181,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::MethodNotAllowed(m) => write!(f, "method not allowed: {m}"),
             ServiceError::Conflict(m) => write!(f, "conflict: {m}"),
             ServiceError::PayloadTooLarge(m) => write!(f, "payload too large: {m}"),
+            ServiceError::QuotaExceeded(m) => write!(f, "quota exceeded: {m}"),
             ServiceError::LintFailed { message, .. } => write!(f, "lint failed: {message}"),
             ServiceError::Saturated { message, .. } => write!(f, "saturated: {message}"),
             ServiceError::QueueFull { message, .. } => write!(f, "queue full: {message}"),
@@ -518,6 +526,49 @@ impl Client {
         self.request("GET", &self.url(&format!("/jobs/{id}/trace")), None)?
             .check()
             .map(|r| r.body)
+    }
+
+    /// `POST /v1/duts`: registers a DUT (netlist + invariance spec) and
+    /// returns the response document (`id`, `created`, `defects`, ...).
+    ///
+    /// Uploads are content-addressed and idempotent, so the builder's
+    /// retry policy — transport errors and `429` only, failures where the
+    /// request provably never entered the service — is safe here too: a
+    /// retry that races a success just returns the existing entry.
+    /// Definitive rejections (`422 lint_failed`, `403 quota_exceeded`,
+    /// `400 bad_request`) are never retried.
+    pub fn upload_dut(&self, spec: &DutSpec) -> Result<Json, ClientError> {
+        self.upload_dut_json(&spec.to_json().to_string())
+    }
+
+    /// `POST /v1/duts` with a pre-serialized JSON spec body (e.g. read
+    /// from a file); see [`Client::upload_dut`].
+    pub fn upload_dut_json(&self, body: &str) -> Result<Json, ClientError> {
+        self.request("POST", &self.url("/duts"), Some(body))?
+            .check()?
+            .json()
+    }
+
+    /// `GET /v1/duts/{id-or-name}`: one registered DUT's document,
+    /// including its cached lint report.
+    pub fn get_dut(&self, reference: &str) -> Result<Json, ClientError> {
+        self.request("GET", &self.url(&format!("/duts/{reference}")), None)?
+            .check()?
+            .json()
+    }
+
+    /// `GET /v1/duts`: summaries of every registered DUT, upload order.
+    pub fn list_duts(&self) -> Result<Vec<Json>, ClientError> {
+        let doc = self
+            .request("GET", &self.url("/duts"), None)?
+            .check()?
+            .json()?;
+        match doc.get("duts") {
+            Some(Json::Arr(items)) => Ok(items.clone()),
+            _ => Err(ClientError::Protocol(
+                "duts response missing duts array".into(),
+            )),
+        }
     }
 
     /// `POST /v1/shutdown`: asks the server to drain and exit.

@@ -60,8 +60,15 @@ pub struct CoordConfig {
     pub shards: usize,
     /// Base job spec cloned per shard (the coordinator owns `index_lo`/
     /// `index_hi` and `tag`; `block` must be `None` — shard ranges address
-    /// the full universe).
+    /// the full universe). Set `spec.dut` to shard a DUT the workers
+    /// already have registered; leave it `None` for the baked-in ADC.
     pub spec: JobSpec,
+    /// A DUT spec as JSON text to `POST /v1/duts` to **every** worker
+    /// before sharding. Content addressing guarantees all workers derive
+    /// the same id from the same text; the coordinator verifies they
+    /// agree, then shards with `spec.dut` set to that id. Mutually
+    /// exclusive with a pre-set `spec.dut`.
+    pub dut_spec: Option<String>,
     /// Lease duration: a shard whose progress watermark does not advance
     /// for this long is declared dead and re-dispatched.
     pub lease_timeout: Duration,
@@ -91,6 +98,7 @@ impl CoordConfig {
             workers,
             shards,
             spec: JobSpec::default(),
+            dut_spec: None,
             lease_timeout: Duration::from_secs(30),
             poll_interval: Duration::from_millis(50),
             max_attempts: 5,
@@ -113,6 +121,17 @@ pub enum CoordError {
     /// The base spec cannot be sharded (e.g. a `block` restriction, or a
     /// pre-set index range).
     BadSpec(String),
+    /// Workers derived different content ids from the same uploaded DUT
+    /// spec — they are running incompatible registry builds, so their
+    /// shard records could not describe the same catalog.
+    DutMismatch {
+        /// Content id derived by the first worker.
+        expected: String,
+        /// The disagreeing worker's address.
+        worker: String,
+        /// What that worker derived.
+        got: String,
+    },
     /// Workers disagree on the universe size — they are not serving the
     /// same DUT build, so a merge would be meaningless.
     UniverseMismatch {
@@ -154,6 +173,14 @@ impl fmt::Display for CoordError {
         match self {
             CoordError::NoWorkers => write!(f, "no workers configured"),
             CoordError::BadSpec(m) => write!(f, "spec cannot be sharded: {m}"),
+            CoordError::DutMismatch {
+                expected,
+                worker,
+                got,
+            } => write!(
+                f,
+                "DUT id mismatch: worker {worker} derived {got}, expected {expected}"
+            ),
             CoordError::UniverseMismatch {
                 expected,
                 worker,
@@ -309,6 +336,11 @@ pub fn run_coordinator(config: &CoordConfig) -> Result<CoordOutcome, CoordError>
     if config.shards == 0 {
         return Err(CoordError::BadSpec("shards must be at least 1".into()));
     }
+    if config.dut_spec.is_some() && config.spec.dut.is_some() {
+        return Err(CoordError::BadSpec(
+            "dut_spec and spec.dut are mutually exclusive (the upload decides the id)".into(),
+        ));
+    }
     std::fs::create_dir_all(&config.data_dir)?;
 
     let clients: Vec<Client> = config
@@ -325,17 +357,69 @@ pub fn run_coordinator(config: &CoordConfig) -> Result<CoordOutcome, CoordError>
         })
         .collect();
 
+    // DUT distribution: upload the spec text to every worker. The id is
+    // a pure function of the content (FNV over the canonical netlist +
+    // invariances), so agreement is an integrity check on the fleet, not
+    // a coordination protocol — a worker already holding the content
+    // answers from its registry without consuming a quota slot.
+    let mut spec = config.spec.clone();
+    if let Some(text) = &config.dut_spec {
+        let mut expected: Option<String> = None;
+        for (client, addr) in clients.iter().zip(&config.workers) {
+            let mut backoff = Backoff::new(config.seed, config.backoff_base, config.backoff_cap);
+            let doc = with_retries(config.request_retries, &mut backoff, || {
+                client.upload_dut_json(text)
+            })
+            .map_err(|e| CoordError::Probe {
+                worker: addr.clone(),
+                reason: format!("DUT upload: {e}"),
+            })?;
+            let id = doc
+                .get("id")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            match &expected {
+                None => expected = Some(id),
+                Some(first) if *first != id => {
+                    return Err(CoordError::DutMismatch {
+                        expected: first.clone(),
+                        worker: addr.clone(),
+                        got: id,
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        spec.dut = expected;
+    }
+    let generic_dut = spec
+        .dut
+        .as_deref()
+        .filter(|d| *d != symbist_dut::BUILTIN_ADC_DUT)
+        .map(str::to_string);
+
     // Probe: every worker must serve the same universe, or a merge of
-    // their shards would silently mix incompatible catalogs.
+    // their shards would silently mix incompatible catalogs. Registered
+    // DUTs expose their universe size on `GET /v1/duts/{id}`; the
+    // baked-in ADC on `GET /v1/universe`.
     let mut universe = 0u64;
     for (client, addr) in clients.iter().zip(&config.workers) {
         let mut backoff = Backoff::new(config.seed, config.backoff_base, config.backoff_cap);
-        let n = with_retries(config.request_retries, &mut backoff, || client.universe()).map_err(
-            |e| CoordError::Probe {
+        let probe = || match &generic_dut {
+            Some(id) => client
+                .get_dut(id)?
+                .get("defects")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ClientError::Protocol("DUT document missing defects".into())),
+            None => client.universe(),
+        };
+        let n = with_retries(config.request_retries, &mut backoff, probe).map_err(|e| {
+            CoordError::Probe {
                 worker: addr.clone(),
                 reason: e.to_string(),
-            },
-        )?;
+            }
+        })?;
         if universe == 0 {
             universe = n;
         } else if n != universe {
@@ -347,7 +431,7 @@ pub fn run_coordinator(config: &CoordConfig) -> Result<CoordOutcome, CoordError>
         }
     }
     let n = universe as usize;
-    if let Some(sample) = config.spec.sample_size {
+    if let Some(sample) = spec.sample_size {
         if sample > n {
             return Err(CoordError::BadSpec(format!(
                 "sample_size {sample} exceeds the {n}-defect universe"
@@ -374,7 +458,8 @@ pub fn run_coordinator(config: &CoordConfig) -> Result<CoordOutcome, CoordError>
             .map(|shard| {
                 let clients = &clients;
                 let redispatches = &redispatches;
-                scope.spawn(move || run_shard(config, clients, *shard, redispatches))
+                let spec = &spec;
+                scope.spawn(move || run_shard(config, spec, clients, *shard, redispatches))
             })
             .collect();
         handles
@@ -395,7 +480,7 @@ pub fn run_coordinator(config: &CoordConfig) -> Result<CoordOutcome, CoordError>
     // Completeness: exhaustive runs must cover every index of every
     // shard range. (Sampled selections are validated per shard: a shard
     // only reports success once its job completed and streamed fully.)
-    if config.spec.sample_size.is_none() {
+    if spec.sample_size.is_none() {
         let expected: usize = shards.iter().map(|s| s.hi - s.lo).sum();
         if merged.len() != expected {
             return Err(CoordError::Incomplete {
@@ -411,7 +496,7 @@ pub fn run_coordinator(config: &CoordConfig) -> Result<CoordOutcome, CoordError>
         records,
         universe_size: n,
         universe_likelihood,
-        sampled: config.spec.sample_size.is_some(),
+        sampled: spec.sample_size.is_some(),
         resumed: outcomes.iter().map(|o| o.recovered).sum(),
         total_wall: start.elapsed(),
     };
@@ -452,6 +537,7 @@ type ShardYield = (ShardOutcome, BTreeMap<usize, DefectRecord>);
 /// (re-dispatch on death) until its records are all in.
 fn run_shard(
     config: &CoordConfig,
+    base_spec: &JobSpec,
     clients: &[Client],
     shard: Shard,
     redispatches: &AtomicU32,
@@ -491,7 +577,7 @@ fn run_shard(
         // Exhaustive shards resume from the contiguous done-prefix; a
         // sampled shard resubmits its full range (the worker re-draws the
         // identical selection from the seed) and the coordinator dedups.
-        let resume_lo = if config.spec.sample_size.is_none() {
+        let resume_lo = if base_spec.sample_size.is_none() {
             let mut lo = shard.lo;
             while lo < shard.hi && received.contains_key(&lo) {
                 lo += 1;
@@ -505,7 +591,7 @@ fn run_shard(
         };
 
         let client = &clients[(shard.number + attempt as usize) % clients.len()];
-        let mut spec = config.spec.clone();
+        let mut spec = base_spec.clone();
         spec.index_lo = Some(resume_lo);
         spec.index_hi = Some(shard.hi);
         spec.tag = Some(tag.clone());
@@ -544,7 +630,7 @@ fn run_shard(
 
         match end {
             AttemptEnd::Completed => {
-                let done = config.spec.sample_size.is_some()
+                let done = base_spec.sample_size.is_some()
                     || (shard.lo..shard.hi).all(|i| received.contains_key(&i));
                 if done {
                     let outcome = ShardOutcome {
@@ -572,8 +658,7 @@ fn run_shard(
 
     // Exhaustive shards can also finish purely from checkpoint recovery
     // (the `break` above).
-    if config.spec.sample_size.is_none() && (shard.lo..shard.hi).all(|i| received.contains_key(&i))
-    {
+    if base_spec.sample_size.is_none() && (shard.lo..shard.hi).all(|i| received.contains_key(&i)) {
         let outcome = ShardOutcome {
             shard: shard.number,
             range: (shard.lo, shard.hi),

@@ -1,0 +1,216 @@
+//! [`GenericBackend`]: the backend decorator that adds registered-DUT
+//! campaigns to any existing backend.
+//!
+//! The service core never learns what a DUT is — it sees one
+//! [`CampaignBackend`]. `GenericBackend` wraps the production backend
+//! (the baked-in SAR ADC) plus a [`DutRegistry`], and dispatches on the
+//! spec's `dut` field:
+//!
+//! * `None` or `"sar-adc"` — **delegate verbatim** to the inner backend.
+//!   The registry path adds zero code between the spec and the legacy
+//!   campaign, which is what makes the ADC Table-1 campaign bit-identical
+//!   whether or not the server carries a registry.
+//! * anything else — resolve against the registry (content id or latest
+//!   name), run the generic DC-invariance campaign over the entry's
+//!   netlist, universe, and cached calibrated engine.
+//!
+//! Generic campaigns are deterministic from the spec alone (the engine is
+//! calibrated from the upload's seed, the LWRS draw from the job's seed),
+//! so a coordinator can shard one across workers that each calibrate
+//! locally and still merge byte-identical records.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use symbist_defects::{run_campaign_monitored, CampaignError, CampaignMonitor, CampaignResult};
+use symbist_dut::{check_dut, DutEntry, DutRegistry, BUILTIN_ADC_DUT};
+use symbist_lint::LintReport;
+
+use crate::backend::{check_range, check_sample, CampaignBackend};
+use crate::spec::{JobSpec, SpecError};
+
+/// Decorates an inner backend with registered-DUT campaign support.
+pub struct GenericBackend {
+    inner: Arc<dyn CampaignBackend>,
+    registry: Arc<DutRegistry>,
+}
+
+impl GenericBackend {
+    /// Wraps `inner` (which keeps serving specs without a `dut` field)
+    /// and serves every registered DUT from `registry`.
+    pub fn new(inner: Arc<dyn CampaignBackend>, registry: Arc<DutRegistry>) -> GenericBackend {
+        GenericBackend { inner, registry }
+    }
+
+    /// Whether a spec addresses the inner (baked-in) backend.
+    fn is_builtin(spec: &JobSpec) -> bool {
+        matches!(spec.dut.as_deref(), None | Some(BUILTIN_ADC_DUT))
+    }
+
+    fn resolve(&self, reference: &str) -> Result<Arc<DutEntry>, SpecError> {
+        self.registry.get(reference).ok_or_else(|| {
+            SpecError(format!(
+                "unknown DUT \"{reference}\" (not a registered id or name; \
+                 POST /v1/duts to register)"
+            ))
+        })
+    }
+}
+
+impl CampaignBackend for GenericBackend {
+    fn validate(&self, spec: &JobSpec) -> Result<(), SpecError> {
+        if Self::is_builtin(spec) {
+            return self.inner.validate(spec);
+        }
+        let reference = spec.dut.as_deref().unwrap_or_default();
+        let entry = self.resolve(reference)?;
+        // Block filters index the ADC's Table-I structure; a generic
+        // netlist has no blocks, so a filter would silently select
+        // everything — reject instead of guessing.
+        if spec.block.is_some() {
+            return Err(SpecError(format!(
+                "\"block\" filters apply only to the baked-in ADC; \
+                 DUT \"{reference}\" has no block structure"
+            )));
+        }
+        // Same for comparator schedules: the generic engine checks every
+        // declared invariance per defect; there is no schedule to pick.
+        if spec.schedule.is_some() {
+            return Err(SpecError(format!(
+                "\"schedule\" applies only to the baked-in ADC; \
+                 DUT \"{reference}\" runs all declared invariances"
+            )));
+        }
+        let universe_len = entry.model.universe.len();
+        check_sample(spec, universe_len)?;
+        check_range(spec, universe_len)
+    }
+
+    fn universe_len(&self) -> usize {
+        // `GET /v1/universe` describes the baked-in backend; registered
+        // DUTs expose their universe size on `GET /v1/duts/{id}`.
+        self.inner.universe_len()
+    }
+
+    fn preflight(&self, spec: &JobSpec) -> LintReport {
+        if Self::is_builtin(spec) {
+            return self.inner.preflight(spec);
+        }
+        // The report cached at upload ("lint once"); an unresolvable
+        // reference yields the empty report — `validate` already turned
+        // it into a 400 before preflight runs.
+        match spec.dut.as_deref().and_then(|r| self.registry.get(r)) {
+            Some(entry) => entry.lint.clone(),
+            None => LintReport::default(),
+        }
+    }
+
+    fn run(
+        &self,
+        spec: &JobSpec,
+        checkpoint: Option<PathBuf>,
+        monitor: &dyn CampaignMonitor,
+    ) -> Result<CampaignResult, CampaignError> {
+        if Self::is_builtin(spec) {
+            return self.inner.run(spec, checkpoint, monitor);
+        }
+        let reference = spec.dut.as_deref().unwrap_or_default();
+        let entry = self
+            .resolve(reference)
+            .map_err(|e| CampaignError::Setup { reason: e.0 })?;
+        let engine = self
+            .registry
+            .engine_for(&entry)
+            .map_err(|e| CampaignError::Setup { reason: e.0 })?;
+        symbist_obs::counter!(
+            "symbist_dut_campaigns_total",
+            "campaigns run against registered DUTs"
+        )
+        .inc();
+        let options = spec.campaign_options(checkpoint, entry.model.universe.len());
+        run_campaign_monitored(
+            &entry.model.dut,
+            &entry.model.universe,
+            &options,
+            |dut| check_dut(&engine, dut),
+            monitor,
+        )
+    }
+
+    fn dut_registry(&self) -> Option<&Arc<DutRegistry>> {
+        Some(&self.registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SyntheticBackend;
+    use symbist_dut::{CapArrayConfig, DutRegistryConfig};
+
+    fn harness() -> (GenericBackend, String) {
+        let registry = Arc::new(DutRegistry::open(DutRegistryConfig::default()).unwrap());
+        let upload = registry
+            .upload(CapArrayConfig::binary(3).dut_spec())
+            .unwrap();
+        let id = upload.entry().id.clone();
+        let backend = GenericBackend::new(Arc::new(SyntheticBackend::new(4)), registry);
+        (backend, id)
+    }
+
+    #[test]
+    fn builtin_specs_delegate_to_inner() {
+        let (backend, _) = harness();
+        // No `dut`, and the reserved name, both hit the synthetic inner.
+        for dut in [None, Some(BUILTIN_ADC_DUT.to_string())] {
+            let spec = JobSpec {
+                dut,
+                ..JobSpec::default()
+            };
+            backend.validate(&spec).unwrap();
+            let result = backend.run(&spec, None, &()).unwrap();
+            assert_eq!(result.simulated(), backend.inner.universe_len());
+        }
+    }
+
+    #[test]
+    fn generic_spec_runs_the_registered_universe() {
+        let (backend, id) = harness();
+        let spec = JobSpec {
+            dut: Some(id),
+            ..JobSpec::default()
+        };
+        backend.validate(&spec).unwrap();
+        let result = backend.run(&spec, None, &()).unwrap();
+        // 3 bits × 3 arrays × (2 switches + 1 resistor) × 4 defect kinds.
+        assert_eq!(result.simulated(), 27 * 4);
+        // By name resolves to the same entry.
+        let by_name = JobSpec {
+            dut: Some("cap-array-b3-r2".into()),
+            ..JobSpec::default()
+        };
+        backend.validate(&by_name).unwrap();
+    }
+
+    #[test]
+    fn generic_specs_reject_adc_only_knobs_and_unknown_duts() {
+        let (backend, id) = harness();
+        let unknown = JobSpec {
+            dut: Some("nope".into()),
+            ..JobSpec::default()
+        };
+        assert!(backend.validate(&unknown).is_err());
+        let blocked = JobSpec {
+            dut: Some(id.clone()),
+            block: Some("SC Array".into()),
+            ..JobSpec::default()
+        };
+        assert!(backend.validate(&blocked).is_err());
+        let scheduled = JobSpec {
+            dut: Some(id),
+            schedule: Some("parallel".into()),
+            ..JobSpec::default()
+        };
+        assert!(backend.validate(&scheduled).is_err());
+    }
+}

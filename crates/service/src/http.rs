@@ -27,6 +27,9 @@
 //! | Method/path                 | Purpose                                  |
 //! |-----------------------------|------------------------------------------|
 //! | `POST /v1/jobs`             | Submit a campaign job (JSON spec)        |
+//! | `POST /v1/duts`             | Register a DUT (netlist + invariances)   |
+//! | `GET /v1/duts`              | List registered DUTs                     |
+//! | `GET /v1/duts/{id}`         | DUT detail (universe size, lint report)  |
 //! | `GET /v1/jobs/{id}`         | Job status + live progress               |
 //! | `GET /v1/jobs/{id}/results` | NDJSON record stream (follows live jobs) |
 //! | `GET /v1/jobs/{id}/trace`   | Per-job trace spans (chrome NDJSON)      |
@@ -57,6 +60,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use symbist_defects::checkpoint::checkpoint_line;
+
+use symbist_dut::{DutEntry, DutSpec, InvarianceKind, UploadError};
 
 use crate::backend::CampaignBackend;
 use crate::job::{JobId, JobState, Registry, SubmitError};
@@ -360,6 +365,7 @@ fn status_reason(status: u16) -> &'static str {
         202 => "Accepted",
         308 => "Permanent Redirect",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
@@ -379,7 +385,12 @@ fn status_reason(status: u16) -> &'static str {
 /// never on `message` text. The codes in use: `bad_request`, `not_found`,
 /// `method_not_allowed`, `conflict`, `payload_too_large`, `lint_failed`,
 /// `saturated`, `header_too_large`, `queue_full`, `draining`,
-/// `moved_permanently`.
+/// `moved_permanently`, `quota_exceeded`, `internal`.
+///
+/// `quota_exceeded` is deliberately a `403`, not a `429`: the client's
+/// retry policy treats `429` as transient saturation and retries with
+/// backoff, but a full registry quota does not heal by waiting — it heals
+/// by an operator raising the limit or retiring DUTs.
 #[derive(Debug, Clone)]
 pub struct ApiError {
     /// HTTP status code.
@@ -703,6 +714,8 @@ fn route_v1(
             &symbist_obs::registry().render_prometheus(),
         ),
         ("POST", "/jobs") => submit_job(stream, &request.body, shared),
+        ("POST", "/duts") => upload_dut(stream, &request.body, shared),
+        ("GET", "/duts") => list_duts(stream, shared),
         ("POST", "/shutdown") => {
             shared.request_shutdown();
             write_response(
@@ -732,6 +745,13 @@ fn route_job(
         return match (method, tail) {
             ("GET", None) => lint_report(stream, id, shared),
             _ => write_error(stream, &ApiError::method_not_allowed(), &[]),
+        };
+    }
+    if let Some(reference) = path.strip_prefix("/duts/") {
+        return match (method, reference.contains('/')) {
+            ("GET", false) => get_dut(stream, reference, shared),
+            (_, false) => write_error(stream, &ApiError::method_not_allowed(), &[]),
+            _ => write_error(stream, &ApiError::not_found("no such route"), &[]),
         };
     }
     let Some((id, tail)) = parse_job_path(path, "/jobs/") else {
@@ -798,6 +818,144 @@ fn submit_job(stream: &mut TcpStream, body: &[u8], shared: &Shared) -> std::io::
         Err(e @ SubmitError::Draining) => {
             write_error(stream, &ApiError::new(503, "draining", e.to_string()), &[])
         }
+    }
+}
+
+/// One registered DUT as the `/v1/duts` wire shape. `detail` adds the
+/// cached lint report (list responses stay small).
+fn dut_json(entry: &DutEntry, detail: bool) -> Json {
+    let spec = entry.spec();
+    let invariances: Vec<Json> = spec
+        .invariances
+        .iter()
+        .map(|inv| {
+            Json::obj([
+                ("name", Json::str(inv.name.clone())),
+                (
+                    "kind",
+                    Json::str(match inv.kind {
+                        InvarianceKind::Complementary { .. } => "complementary",
+                        InvarianceKind::Replica => "replica",
+                    }),
+                ),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
+        ("id", Json::str(entry.id.clone())),
+        ("name", Json::str(spec.name.clone())),
+        ("tenant", Json::str(spec.tenant.clone())),
+        ("seq", Json::num(entry.seq as f64)),
+        ("defects", Json::num(entry.model.universe.len() as f64)),
+        (
+            "components",
+            Json::num(entry.model.dut.template().device_count() as f64),
+        ),
+        ("invariances", Json::Arr(invariances)),
+    ];
+    if detail {
+        fields.push(("lint", lint_json(&entry.lint)));
+    }
+    Json::obj(fields)
+}
+
+/// `POST /v1/duts`: parse → content-hash dedup → lint gate → quota →
+/// persist. `201` for new content, `200` with the cached entry (and its
+/// cached lint report) for an identical re-upload.
+fn upload_dut(stream: &mut TcpStream, body: &[u8], shared: &Shared) -> std::io::Result<u16> {
+    let Some(registry) = shared.backend.dut_registry() else {
+        return write_error(
+            stream,
+            &ApiError::not_found("this server has no DUT registry"),
+            &[],
+        );
+    };
+    let text = match std::str::from_utf8(body) {
+        Ok(text) if !text.trim().is_empty() => text,
+        _ => {
+            return write_error(
+                stream,
+                &ApiError::new(400, "bad_request", "expected a JSON DUT spec body"),
+                &[],
+            )
+        }
+    };
+    let spec = match DutSpec::from_json_text(text) {
+        Ok(spec) => spec,
+        Err(e) => return write_error(stream, &ApiError::new(400, "bad_request", e.0), &[]),
+    };
+    match registry.upload(spec) {
+        Ok(outcome) => {
+            let status = if outcome.created() { 201 } else { 200 };
+            let entry = outcome.entry();
+            let mut body = dut_json(entry, true);
+            if let Json::Obj(map) = &mut body {
+                map.insert("created".into(), Json::Bool(outcome.created()));
+            }
+            write_response(stream, status, &[], body)
+        }
+        Err(UploadError::Lint(report)) => {
+            let error = ApiError::new(
+                422,
+                "lint_failed",
+                "DUT rejected by lint preflight: the netlist or its defect \
+                 universe is structurally broken",
+            )
+            .with_diagnostics(lint_json(&report));
+            write_error(stream, &error, &[])
+        }
+        Err(e @ UploadError::Quota { .. }) => {
+            // 403, not 429: quota exhaustion is not transient, so the
+            // client's backoff-and-retry loop must not touch it.
+            write_error(
+                stream,
+                &ApiError::new(403, "quota_exceeded", e.to_string()),
+                &[],
+            )
+        }
+        Err(UploadError::Io(e)) => write_error(
+            stream,
+            &ApiError::new(500, "internal", format!("registry persistence failed: {e}")),
+            &[],
+        ),
+        Err(e) => write_error(
+            stream,
+            &ApiError::new(400, "bad_request", e.to_string()),
+            &[],
+        ),
+    }
+}
+
+/// `GET /v1/duts`: every registered DUT, in upload order.
+fn list_duts(stream: &mut TcpStream, shared: &Shared) -> std::io::Result<u16> {
+    let Some(registry) = shared.backend.dut_registry() else {
+        return write_error(
+            stream,
+            &ApiError::not_found("this server has no DUT registry"),
+            &[],
+        );
+    };
+    let duts: Vec<Json> = registry
+        .list()
+        .iter()
+        .map(|entry| dut_json(entry, false))
+        .collect();
+    write_response(stream, 200, &[], Json::obj([("duts", Json::Arr(duts))]))
+}
+
+/// `GET /v1/duts/{id-or-name}`: full detail including the cached lint
+/// report and the universe size a coordinator needs to shard over it.
+fn get_dut(stream: &mut TcpStream, reference: &str, shared: &Shared) -> std::io::Result<u16> {
+    let Some(registry) = shared.backend.dut_registry() else {
+        return write_error(
+            stream,
+            &ApiError::not_found("this server has no DUT registry"),
+            &[],
+        );
+    };
+    match registry.get(reference) {
+        Some(entry) => write_response(stream, 200, &[], dut_json(&entry, true)),
+        None => write_error(stream, &ApiError::not_found("no such DUT"), &[]),
     }
 }
 

@@ -1,513 +1,9 @@
 //! A minimal JSON value type, parser, and serializer.
 //!
-//! Hand-rolled in keeping with the workspace's zero-dependency policy (the
-//! defect-campaign checkpoint serializer set the precedent). The parser is
-//! a straightforward recursive-descent over the full JSON grammar — unlike
-//! the checkpoint loader's flat field scanner, job specs and API responses
-//! contain nested objects and arbitrary strings, so a real parser is
-//! required. It is strict (trailing garbage, unterminated literals, and
-//! over-deep nesting are errors) because a job spec that does not parse
-//! must be rejected with a 400, never guessed at.
+//! The implementation lives in [`symbist_dut::json`] — it moved down the
+//! dependency graph when the DUT registry grew its own need to parse and
+//! persist specs — and is re-exported here verbatim so the service's
+//! public API (and every `symbist_service::json::Json` import) is
+//! unchanged.
 
-use std::collections::BTreeMap;
-use std::fmt;
-
-/// Nesting depth cap: a spec is a couple of levels deep; anything beyond
-/// this is hostile or corrupt input, not a campaign spec.
-const MAX_DEPTH: usize = 32;
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any JSON number (stored as `f64`; integers are exact to 2^53,
-    /// far beyond any job id or defect count this service handles).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object. Keys are sorted (BTreeMap) so serialization is
-    /// deterministic — the persistence layer rewrites job metadata files
-    /// and byte-stable output keeps them diffable.
-    Obj(BTreeMap<String, Json>),
-}
-
-/// Why a JSON document failed to parse.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError {
-    /// Byte offset of the failure.
-    pub offset: usize,
-    /// Human-readable reason.
-    pub reason: String,
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid JSON at byte {}: {}", self.offset, self.reason)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-impl Json {
-    /// Parses a complete JSON document (rejecting trailing garbage).
-    pub fn parse(input: &str) -> Result<Json, JsonError> {
-        let mut p = Parser {
-            bytes: input.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let value = p.value(0)?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing characters after JSON value"));
-        }
-        Ok(value)
-    }
-
-    /// Object field lookup; `None` for non-objects and missing keys.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(map) => map.get(key),
-            _ => None,
-        }
-    }
-
-    /// The value as a string slice, if it is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The value as an `f64`, if it is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The value as a non-negative integer, if it is a number with an
-    /// exact `u64` representation.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
-            _ => None,
-        }
-    }
-
-    /// The value as a bool, if it is a bool.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// The value as an array slice, if it is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// `true` for `Json::Null`.
-    pub fn is_null(&self) -> bool {
-        matches!(self, Json::Null)
-    }
-
-    /// Convenience constructor for an object from key/value pairs.
-    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Convenience constructor for a string value.
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// Convenience constructor for a numeric value.
-    pub fn num(n: impl Into<f64>) -> Json {
-        Json::Num(n.into())
-    }
-}
-
-impl fmt::Display for Json {
-    /// Serializes the value as compact JSON. `f64` values use Rust's
-    /// shortest-roundtrip formatting, so numbers survive a
-    /// serialize → parse round trip bit-identically (the same guarantee
-    /// the checkpoint format relies on). Non-finite numbers serialize as
-    /// `null` (JSON has no NaN/Inf).
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Json::Null => f.write_str("null"),
-            Json::Bool(b) => write!(f, "{b}"),
-            Json::Num(n) if n.is_finite() => write!(f, "{n}"),
-            Json::Num(_) => f.write_str("null"),
-            Json::Str(s) => write_json_string(f, s),
-            Json::Arr(items) => {
-                f.write_str("[")?;
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    write!(f, "{item}")?;
-                }
-                f.write_str("]")
-            }
-            Json::Obj(map) => {
-                f.write_str("{")?;
-                for (i, (k, v)) in map.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    write_json_string(f, k)?;
-                    write!(f, ":{v}")?;
-                }
-                f.write_str("}")
-            }
-        }
-    }
-}
-
-fn write_json_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
-    f.write_str("\"")?;
-    for ch in s.chars() {
-        match ch {
-            '"' => f.write_str("\\\"")?,
-            '\\' => f.write_str("\\\\")?,
-            '\n' => f.write_str("\\n")?,
-            '\r' => f.write_str("\\r")?,
-            '\t' => f.write_str("\\t")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-            c => f.write_fmt(format_args!("{c}"))?,
-        }
-    }
-    f.write_str("\"")
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, reason: &str) -> JsonError {
-        JsonError {
-            offset: self.pos,
-            reason: reason.to_string(),
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected '{}'", b as char)))
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(self.err(&format!("expected '{word}'")))
-        }
-    }
-
-    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
-        if depth > MAX_DEPTH {
-            return Err(self.err("nesting too deep"));
-        }
-        match self.peek() {
-            Some(b'{') => self.object(depth),
-            Some(b'[') => self.array(depth),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            Some(_) => Err(self.err("unexpected character")),
-            None => Err(self.err("unexpected end of input")),
-        }
-    }
-
-    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value(depth + 1)?;
-            map.insert(key, value);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(map));
-                }
-                _ => return Err(self.err("expected ',' or '}' in object")),
-            }
-        }
-    }
-
-    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value(depth + 1)?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']' in array")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            let cp = self.unicode_escape()?;
-                            out.push(cp);
-                            continue; // unicode_escape advanced pos itself
-                        }
-                        _ => return Err(self.err("invalid escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Advance over one UTF-8 scalar. The input is a &str,
-                    // so byte boundaries are valid; copy bytes until the
-                    // next char boundary.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let ch = s.chars().next().expect("non-empty");
-                    if (ch as u32) < 0x20 {
-                        return Err(self.err("unescaped control character"));
-                    }
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
-                }
-            }
-        }
-    }
-
-    /// Parses the 4 hex digits after `\u` (pos is on the `u`), including
-    /// surrogate pairs. Leaves pos after the escape.
-    fn unicode_escape(&mut self) -> Result<char, JsonError> {
-        self.pos += 1; // consume 'u'
-        let hi = self.hex4()?;
-        if (0xD800..0xDC00).contains(&hi) {
-            // High surrogate: require a following \uXXXX low surrogate.
-            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
-                self.pos += 2;
-                let lo = self.hex4()?;
-                if !(0xDC00..0xE000).contains(&lo) {
-                    return Err(self.err("invalid low surrogate"));
-                }
-                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
-                return char::from_u32(cp).ok_or_else(|| self.err("invalid surrogate pair"));
-            }
-            return Err(self.err("lone high surrogate"));
-        }
-        char::from_u32(hi).ok_or_else(|| self.err("invalid unicode escape"))
-    }
-
-    fn hex4(&mut self) -> Result<u32, JsonError> {
-        let mut v = 0u32;
-        for _ in 0..4 {
-            let d = match self.peek() {
-                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
-                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
-                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
-                _ => return Err(self.err("expected hex digit")),
-            };
-            v = v * 16 + d;
-            self.pos += 1;
-        }
-        Ok(v)
-    }
-
-    fn number(&mut self) -> Result<Json, JsonError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-            self.pos += 1;
-        }
-        if self.peek() == Some(b'.') {
-            self.pos += 1;
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
-            }
-        }
-        if matches!(self.peek(), Some(b'e' | b'E')) {
-            self.pos += 1;
-            if matches!(self.peek(), Some(b'+' | b'-')) {
-                self.pos += 1;
-            }
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid number"))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("invalid number"))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_scalars() {
-        assert_eq!(Json::parse("null").unwrap(), Json::Null);
-        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
-        assert_eq!(Json::parse(" false ").unwrap(), Json::Bool(false));
-        assert_eq!(Json::parse("42").unwrap(), Json::Num(42.0));
-        assert_eq!(Json::parse("-1.5e3").unwrap(), Json::Num(-1500.0));
-        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::Str("hi".into()));
-    }
-
-    #[test]
-    fn parses_nested_structures() {
-        let v = Json::parse(r#"{"a":[1,2,{"b":null}],"c":{"d":"e"}}"#).unwrap();
-        assert_eq!(
-            v.get("c").and_then(|c| c.get("d")).and_then(Json::as_str),
-            Some("e")
-        );
-        assert_eq!(v.get("a").and_then(Json::as_arr).map(|a| a.len()), Some(3));
-    }
-
-    #[test]
-    fn string_escapes_round_trip() {
-        for s in [
-            "plain",
-            "with \"quotes\"",
-            "tab\tnl\n",
-            "uni → ∞",
-            "back\\slash",
-        ] {
-            let json = Json::Str(s.to_string()).to_string();
-            assert_eq!(
-                Json::parse(&json).unwrap(),
-                Json::Str(s.to_string()),
-                "{json}"
-            );
-        }
-    }
-
-    #[test]
-    fn unicode_escapes_and_surrogates() {
-        assert_eq!(Json::parse(r#""A""#).unwrap(), Json::Str("A".into()));
-        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
-        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone surrogate");
-    }
-
-    #[test]
-    fn rejects_malformed_input() {
-        for bad in [
-            "",
-            "{",
-            "}",
-            "[1,",
-            "{\"a\"}",
-            "{\"a\":1,}",
-            "tru",
-            "1.2.3",
-            "\"unterminated",
-            "{\"a\":1} trailing",
-            "nan",
-        ] {
-            assert!(Json::parse(bad).is_err(), "accepted: {bad}");
-        }
-    }
-
-    #[test]
-    fn rejects_deep_nesting() {
-        let deep = "[".repeat(100) + &"]".repeat(100);
-        assert!(Json::parse(&deep).is_err());
-    }
-
-    #[test]
-    fn numbers_round_trip_bit_identically() {
-        for n in [0.1 + 0.2, 1.0 / 3.0, 2.5e-17, 9007199254740991.0] {
-            let back = Json::parse(&Json::Num(n).to_string()).unwrap();
-            assert_eq!(back.as_f64().unwrap().to_bits(), n.to_bits());
-        }
-    }
-
-    #[test]
-    fn u64_conversion_is_exact_or_none() {
-        assert_eq!(Json::Num(42.0).as_u64(), Some(42));
-        assert_eq!(Json::Num(-1.0).as_u64(), None);
-        assert_eq!(Json::Num(1.5).as_u64(), None);
-    }
-
-    #[test]
-    fn serialization_is_deterministic() {
-        let a = Json::parse(r#"{"z":1,"a":2,"m":[true,null]}"#).unwrap();
-        assert_eq!(a.to_string(), r#"{"a":2,"m":[true,null],"z":1}"#);
-    }
-}
+pub use symbist_dut::json::*;

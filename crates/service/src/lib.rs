@@ -58,6 +58,7 @@ pub mod backend;
 pub mod backoff;
 pub mod client;
 pub mod coord;
+pub mod dut_backend;
 pub mod http;
 pub mod job;
 pub mod json;
@@ -68,6 +69,7 @@ pub use backend::{AdcBackend, CampaignBackend, SyntheticBackend};
 pub use backoff::Backoff;
 pub use client::{Client, ClientBuilder, ClientError, ResultStream, ServiceError};
 pub use coord::{CoordConfig, CoordError, CoordOutcome, ShardOutcome};
+pub use dut_backend::GenericBackend;
 pub use http::{Server, ServiceConfig};
 pub use job::{
     Job, JobId, JobProgress, JobReport, JobState, JobStatus, Registry, RegistryStats, SubmitError,

@@ -50,6 +50,10 @@ pub struct JobSpec {
     pub index_hi: Option<usize>,
     /// Free-form label echoed back in status responses.
     pub tag: Option<String>,
+    /// Which DUT to campaign over: a registered DUT's content id or name,
+    /// or `"sar-adc"` for the baked-in ADC. `None` selects the baked-in
+    /// DUT (backward compatible with every pre-registry spec).
+    pub dut: Option<String>,
 }
 
 impl Default for JobSpec {
@@ -65,6 +69,7 @@ impl Default for JobSpec {
             index_lo: None,
             index_hi: None,
             tag: None,
+            dut: None,
         }
     }
 }
@@ -88,7 +93,7 @@ impl JobSpec {
         let Json::Obj(map) = json else {
             return Err(SpecError("job spec must be a JSON object".into()));
         };
-        const KNOWN: [&str; 10] = [
+        const KNOWN: [&str; 11] = [
             "block",
             "sample_size",
             "seed",
@@ -99,11 +104,16 @@ impl JobSpec {
             "index_lo",
             "index_hi",
             "tag",
+            "dut",
         ];
-        for key in map.keys() {
-            if !KNOWN.contains(&key.as_str()) {
-                return Err(SpecError(format!("unknown spec field \"{key}\"")));
-            }
+        let unknown = Json::unknown_keys(map, &KNOWN);
+        if !unknown.is_empty() {
+            // Every offending key in one 400, so a client fixing typos
+            // fixes them all in one round trip.
+            return Err(SpecError(format!(
+                "unknown spec field(s): {}",
+                unknown.join(", ")
+            )));
         }
         let defaults = JobSpec::default();
         let threads = match opt_u64(json, "threads")? {
@@ -135,6 +145,7 @@ impl JobSpec {
             index_lo,
             index_hi,
             tag: opt_string(json, "tag")?,
+            dut: opt_string(json, "dut")?,
         })
     }
 
@@ -175,6 +186,9 @@ impl JobSpec {
         }
         if let Some(t) = &self.tag {
             pairs.push(("tag", Json::str(t.clone())));
+        }
+        if let Some(d) = &self.dut {
+            pairs.push(("dut", Json::str(d.clone())));
         }
         Json::obj(pairs)
     }
@@ -248,6 +262,7 @@ mod tests {
             index_lo: Some(10),
             index_hi: Some(90),
             tag: Some("nightly".into()),
+            dut: Some("cap-array-b8-r1.8".into()),
         };
         let back = JobSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
@@ -257,6 +272,15 @@ mod tests {
     fn unknown_fields_are_rejected() {
         let err = JobSpec::from_json_text(r#"{"smaple_size": 40}"#).unwrap_err();
         assert!(err.0.contains("smaple_size"), "{err}");
+    }
+
+    #[test]
+    fn all_unknown_fields_are_listed_at_once() {
+        let err =
+            JobSpec::from_json_text(r#"{"smaple_size": 40, "sede": 7, "threads": 2}"#).unwrap_err();
+        assert!(err.0.contains("smaple_size"), "{err}");
+        assert!(err.0.contains("sede"), "{err}");
+        assert!(!err.0.contains("threads"), "{err}");
     }
 
     #[test]
