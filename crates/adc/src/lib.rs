@@ -42,6 +42,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod adc;
+pub mod analysis;
 pub mod bandgap;
 pub mod baseline;
 mod builder;
@@ -55,6 +56,7 @@ pub mod symmetry;
 pub mod vcm;
 
 pub use adc::{AdcMismatch, SarAdc, TestObservation};
+pub use analysis::{AdcStaticModel, StaticObservation};
 pub use config::AdcConfig;
 pub use fault::{BlockKind, ComponentInfo, ComponentKind, DefectKind, DefectSite, Faultable};
 pub use symmetry::{seeds_by_name, subdac_fd_pair, FdPair};

@@ -201,7 +201,10 @@ impl ScArray {
             Side::P => 0,
             Side::N => PER_SIDE,
         };
-        let role_idx = ROLES.iter().position(|r| *r == role).unwrap();
+        let role_idx = ROLES
+            .iter()
+            .position(|r| *r == role)
+            .expect("role is a member of ROLES");
         match self.defect {
             Some((idx, kind)) if idx == base + role_idx => Some(kind),
             _ => None,

@@ -49,7 +49,7 @@ pub fn seeds_by_name(p: &Netlist, n: &Netlist) -> Vec<(NodeId, NodeId)> {
 
 /// Mid-scale select code at which the P and N muxes of a sub-DAC select
 /// the *same* tap (16 = 32 − 16), making the two halves isomorphic.
-const SYMMETRIC_CODE: u8 = 16;
+pub(crate) const SYMMETRIC_CODE: u8 = 16;
 
 /// Builds the declared FD pair of one sub-DAC: ladder + P mux vs.
 /// ladder + N mux, both at the mid-scale code where tap selection is

@@ -4,7 +4,15 @@
 //!
 //! ```sh
 //! cargo run --release -p symbist-bench --bin table1
+//! cargo run --release -p symbist-bench --bin table1 -- --class-representatives
 //! ```
+//!
+//! `--class-representatives` replaces the LWRS-sampled campaign with the
+//! static analyzer's (orbit × defect kind) class partition: one simulated
+//! representative per class, a seeded sibling audit on a fraction of the
+//! multi-member classes, and per-class extrapolation to the full-universe
+//! L-W coverage. Representative/sibling disagreements (class violations)
+//! are reported — a nonzero count fails the run.
 //!
 //! Pass `--trace-out PATH` to dump the campaign's captured spans as
 //! `chrome://tracing`-compatible NDJSON when the run finishes.
@@ -12,32 +20,133 @@
 use std::fs;
 use std::path::PathBuf;
 
-use symbist::experiments::{table1, Table1Options};
+use symbist::experiments::{table1, ExperimentConfig, Table1Options};
+use symbist_adc::SarAdc;
 use symbist_bench::standard_config;
+use symbist_defects::{run_class_campaign, ClassCampaignOptions, DefectUniverse, LikelihoodModel};
+use symbist_lint::analyze_adc_with_universe;
 
-fn parse_trace_out() -> Option<PathBuf> {
-    let mut trace_out = None;
+struct Args {
+    trace_out: Option<PathBuf>,
+    class_representatives: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        trace_out: None,
+        class_representatives: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        if flag == "--trace-out" {
-            match it.next() {
-                Some(path) => trace_out = Some(PathBuf::from(path)),
+        match flag.as_str() {
+            "--trace-out" => match it.next() {
+                Some(path) => args.trace_out = Some(PathBuf::from(path)),
                 None => {
                     eprintln!("--trace-out requires a value");
                     std::process::exit(2);
                 }
+            },
+            "--class-representatives" => args.class_representatives = true,
+            _ => {
+                eprintln!(
+                    "unknown flag {flag:?} \
+                     (usage: table1 [--class-representatives] [--trace-out PATH])"
+                );
+                std::process::exit(2);
             }
-        } else {
-            eprintln!("unknown flag {flag:?} (usage: table1 [--trace-out PATH])");
-            std::process::exit(2);
         }
     }
-    trace_out
+    args
+}
+
+/// The `--class-representatives` mode: simulate one defect per static
+/// equivalence class and extrapolate, instead of LWRS sampling.
+fn class_representatives(xc: &ExperimentConfig) -> bool {
+    let engine = xc.build_engine();
+    let adc = SarAdc::new(xc.adc.clone());
+    let universe = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
+    eprintln!(
+        "Partitioning the {}-defect universe into symmetry classes...",
+        universe.len()
+    );
+    let analysis = analyze_adc_with_universe(&adc, &universe);
+    if analysis.diagnostics.has_errors() {
+        eprintln!(
+            "static analysis failed — refusing to extrapolate from a broken partition:\n{}",
+            analysis.diagnostics.render_text()
+        );
+        return false;
+    }
+    let partition = analysis.partition();
+    eprintln!(
+        "{} classes ({} multi-member); running the representative campaign...",
+        partition.len(),
+        analysis.multi_member_classes(),
+    );
+    let res = run_class_campaign(
+        &adc,
+        &universe,
+        &partition,
+        &ClassCampaignOptions {
+            seed: xc.seed,
+            threads: xc.threads,
+            ..Default::default()
+        },
+        |dut| engine.campaign_test(dut),
+    )
+    .expect("analyzer partition is an exact cover");
+
+    println!("\nTABLE I (class-representative mode): extrapolated L-W coverage\n");
+    let (lo, hi) = res.coverage_bounds();
+    println!(
+        "Simulated {} of {} defects ({} representatives + {} sibling audits); \
+         {} simulations saved.",
+        res.simulated,
+        res.universe_size,
+        res.representatives(),
+        res.cross_checked(),
+        res.defects_saved(),
+    );
+    println!(
+        "Extrapolated coverage: {} (upper bound {}); campaign wall time {:.1} s.",
+        lo.to_percent_string(),
+        hi.to_percent_string(),
+        res.total_wall.as_secs_f64()
+    );
+    println!(
+        "Class violations (representative vs sibling verdict): {}",
+        res.violation_count()
+    );
+    for v in res.violations() {
+        let rep = &universe.defects()[v.representative];
+        let sib = &universe.defects()[v.sibling.expect("violations have siblings")];
+        println!(
+            "  class {}: {} ({}) detected={} vs {} detected={}",
+            v.class_index,
+            rep.component_name,
+            rep.site.kind,
+            v.outcome.detected(),
+            sib.component_name,
+            v.sibling_outcome.map(|o| o.detected()).unwrap_or(false),
+        );
+    }
+    res.violation_count() == 0
 }
 
 fn main() {
-    let trace_out = parse_trace_out();
+    let args = parse_args();
     let xc = standard_config();
+    if args.class_representatives {
+        let clean = class_representatives(&xc);
+        if let Some(path) = args.trace_out {
+            write_trace(&path);
+        }
+        if !clean {
+            std::process::exit(1);
+        }
+        return;
+    }
+    let trace_out = args.trace_out;
     let opts = Table1Options::default();
     eprintln!(
         "Running the Table I campaign (k = {}, {} calibration samples, {} threads)...",
@@ -71,10 +180,14 @@ Complete A/M-S part 86.96%±3.67%."
     eprintln!("\nWrote table1.csv");
 
     if let Some(path) = trace_out {
-        let tracer = symbist_obs::tracer();
-        let mut out = Vec::new();
-        tracer.write_ndjson(&mut out).expect("serialize trace");
-        fs::write(&path, out).expect("write trace file");
-        eprintln!("Wrote {} trace events to {}", tracer.len(), path.display());
+        write_trace(&path);
     }
+}
+
+fn write_trace(path: &std::path::Path) {
+    let tracer = symbist_obs::tracer();
+    let mut out = Vec::new();
+    tracer.write_ndjson(&mut out).expect("serialize trace");
+    fs::write(path, out).expect("write trace file");
+    eprintln!("Wrote {} trace events to {}", tracer.len(), path.display());
 }

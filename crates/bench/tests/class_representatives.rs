@@ -1,0 +1,126 @@
+//! Cross-validates the class-representative campaign against an
+//! exhaustive campaign on a restricted slice of the Table-I universe:
+//! extrapolating one simulated representative per (orbit × defect kind)
+//! class must reproduce the exhaustive L-W coverage while simulating
+//! measurably fewer defects.
+//!
+//! Restricted to the SC-array and Vcm-generator blocks so the test stays
+//! in tier-1 runtime; the full-universe figure is exercised by the
+//! `table1 --class-representatives` binary and the CI static-analysis
+//! gate.
+
+use std::collections::HashMap;
+
+use symbist::experiments::ExperimentConfig;
+use symbist_adc::{BlockKind, SarAdc};
+use symbist_defects::{
+    run_campaign, run_class_campaign, CampaignOptions, ClassCampaignOptions, DefectUniverse,
+    LikelihoodModel,
+};
+use symbist_lint::analyze_adc_with_universe;
+
+#[test]
+fn class_representatives_agree_with_exhaustive_campaign() {
+    let xc = ExperimentConfig {
+        calibration_samples: 8,
+        ..Default::default()
+    };
+    let engine = xc.build_engine();
+    let adc = SarAdc::new(xc.adc.clone());
+    let universe = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
+    let analysis = analyze_adc_with_universe(&adc, &universe);
+    assert!(
+        !analysis.diagnostics.has_errors(),
+        "{}",
+        analysis.diagnostics.render_text()
+    );
+    let partition = analysis.partition();
+
+    // Restrict to two blocks: defect classes never straddle a block
+    // boundary (an orbit lives on one component's devices), so slicing
+    // the partition down to the kept indices is still an exact cover.
+    let keep: Vec<usize> = (0..universe.len())
+        .filter(|&i| {
+            matches!(
+                universe.defects()[i].block,
+                BlockKind::ScArray | BlockKind::VcmGenerator
+            )
+        })
+        .collect();
+    let sub_index: HashMap<usize, usize> = keep.iter().enumerate().map(|(s, &f)| (f, s)).collect();
+    let sub = DefectUniverse::from_defects(
+        keep.iter()
+            .map(|&f| universe.defects()[f].clone())
+            .collect(),
+    );
+    let sub_partition: Vec<Vec<usize>> = partition
+        .iter()
+        .map(|class| {
+            let kept: Vec<usize> = class
+                .iter()
+                .filter_map(|d| sub_index.get(d).copied())
+                .collect();
+            assert!(
+                kept.is_empty() || kept.len() == class.len(),
+                "class straddles the block restriction"
+            );
+            kept
+        })
+        .filter(|c| !c.is_empty())
+        .collect();
+
+    let exhaustive = run_campaign(
+        &adc,
+        &sub,
+        &CampaignOptions {
+            seed: xc.seed,
+            threads: xc.threads,
+            ..Default::default()
+        },
+        |dut| engine.campaign_test(dut),
+    )
+    .expect("exhaustive sub-campaign is well-formed");
+    let class = run_class_campaign(
+        &adc,
+        &sub,
+        &sub_partition,
+        &ClassCampaignOptions {
+            seed: xc.seed,
+            threads: xc.threads,
+            ..Default::default()
+        },
+        |dut| engine.campaign_test(dut),
+    )
+    .expect("analyzer partition restricts to an exact cover");
+
+    // The representative campaign must be measurably cheaper...
+    assert!(
+        class.simulated < sub.len(),
+        "simulated {} of {} — no savings",
+        class.simulated,
+        sub.len()
+    );
+    assert!(class.defects_saved() > 0);
+    // ...the sibling audit must not refute any class...
+    assert_eq!(
+        class.violation_count(),
+        0,
+        "violations: {:?}",
+        class.violations().collect::<Vec<_>>()
+    );
+    // ...and the extrapolated coverage must agree with the exhaustive
+    // figure. Both campaigns completed (or not) the same defect families,
+    // so compare lower bounds against lower bounds.
+    let lo = class.coverage().value;
+    let xlo = exhaustive.coverage().value;
+    assert!(
+        (lo - xlo).abs() < 0.05,
+        "extrapolated {lo} vs exhaustive {xlo}"
+    );
+    let hi = class.coverage_upper().value;
+    let xhi = exhaustive.coverage_upper().value;
+    assert!(
+        (hi - xhi).abs() < 0.05,
+        "extrapolated upper {hi} vs exhaustive upper {xhi}"
+    );
+}

@@ -1,0 +1,684 @@
+//! Class-representative defect campaigns: simulate one defect per
+//! equivalence class and extrapolate, instead of simulating the universe.
+//!
+//! The static analyzer (`symbist-lint` stage two) partitions a
+//! [`DefectUniverse`] into `(symmetry orbit × defect kind)` classes whose
+//! members are provably equivalent under a netlist automorphism: injecting
+//! any member produces an isomorphic defective circuit, so every member
+//! has the same detection outcome. A class-representative campaign
+//! exploits that — it simulates the **lowest-index member of each class**,
+//! assigns the representative's outcome to every member, and reports the
+//! extrapolated Likelihood-Weighted coverage over the *full* universe.
+//!
+//! The equivalence claim is a static prediction about a numerical
+//! simulation, so the campaign cross-checks it: for a seeded random
+//! fraction of the multi-member classes it additionally simulates one
+//! **random sibling** and compares verdicts. A representative/sibling
+//! disagreement (a *class violation*) means the partition lied — an
+//! analyzer bug, a model/netlist mismatch, or a test whose outcome
+//! depends on something the orbit computation cannot see (e.g. numerical
+//! noise at a threshold). Violations are counted, surfaced per class, and
+//! exported via the `symbist_analysis_class_violations_total` metric —
+//! and a refuted class stops extrapolating: its simulated members keep
+//! their own verdicts while its unsimulated members turn unknown,
+//! widening the reported coverage bounds instead of propagating a claim
+//! the audit just disproved.
+//!
+//! The cross-check is *sampled* because full auditing can erase the whole
+//! point: on a DUT whose classes are mostly mirror *pairs* (the SAR ADC),
+//! auditing every class simulates both members — exactly the exhaustive
+//! campaign. At the default 10 % audit rate a clean run costs
+//! `#classes + ~0.1·#multi-member classes` simulations instead of
+//! `|universe|`.
+//!
+//! This module deliberately knows nothing about the analyzer: the
+//! partition arrives as plain index lists (see
+//! `AnalysisReport::partition()` in `symbist-lint`), keeping the
+//! dependency arrow pointing lint → defects.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use symbist_adc::fault::Faultable;
+use symbist_circuit::rng::Rng;
+
+use crate::campaign::{run_campaign, CampaignError, CampaignOptions, SimOutcome};
+use crate::coverage::{lw_coverage_exhaustive, Coverage};
+use crate::universe::DefectUniverse;
+
+/// Configuration for [`run_class_campaign`].
+#[derive(Debug, Clone)]
+pub struct ClassCampaignOptions {
+    /// Seed for the per-class sibling draw (and the underlying
+    /// sub-campaign). Two runs with the same seed, universe, and partition
+    /// simulate exactly the same defects.
+    pub seed: u64,
+    /// Fraction of multi-member classes to audit with a sibling
+    /// simulation, clamped to `[0, 1]`. `0.0` disables the cross-check;
+    /// `1.0` audits every class (which, on a universe of mirror pairs,
+    /// degenerates into the exhaustive campaign). Each multi-member class
+    /// is independently selected with this probability from the seeded
+    /// stream.
+    pub cross_check_fraction: f64,
+    /// Worker threads for the sub-campaign (clamped to at least 1).
+    pub threads: usize,
+    /// Per-defect wall-clock budget, as in
+    /// [`CampaignOptions::defect_deadline`].
+    pub defect_deadline: Option<Duration>,
+    /// Per-defect Newton iteration budget, as in
+    /// [`CampaignOptions::newton_budget`].
+    pub newton_budget: Option<u64>,
+}
+
+impl Default for ClassCampaignOptions {
+    fn default() -> Self {
+        Self {
+            seed: 0x0C1A_55E5,
+            cross_check_fraction: 0.1,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            defect_deadline: None,
+            newton_budget: None,
+        }
+    }
+}
+
+/// Errors produced by [`run_class_campaign`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClassCampaignError {
+    /// The partition is not an exact cover of the universe: an index is
+    /// out of range, duplicated across classes, missing, or a class is
+    /// empty.
+    InvalidPartition {
+        /// Human-readable description of the structural problem.
+        reason: String,
+    },
+    /// The underlying representative sub-campaign failed.
+    Campaign(CampaignError),
+}
+
+impl fmt::Display for ClassCampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassCampaignError::InvalidPartition { reason } => {
+                write!(f, "invalid defect-class partition: {reason}")
+            }
+            ClassCampaignError::Campaign(e) => write!(f, "class sub-campaign failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClassCampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClassCampaignError::InvalidPartition { .. } => None,
+            ClassCampaignError::Campaign(e) => Some(e),
+        }
+    }
+}
+
+impl From<CampaignError> for ClassCampaignError {
+    fn from(e: CampaignError) -> Self {
+        ClassCampaignError::Campaign(e)
+    }
+}
+
+/// Outcome of one defect class: the representative's verdict (assigned to
+/// every member) plus the optional sibling cross-check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassOutcome {
+    /// Index of the class in the input partition.
+    pub class_index: usize,
+    /// Number of defects in the class.
+    pub size: usize,
+    /// Universe index of the simulated representative (the class's lowest
+    /// member).
+    pub representative: usize,
+    /// The representative's verdict — extrapolated to every unsimulated
+    /// member unless the sibling audit refutes the class.
+    pub outcome: SimOutcome,
+    /// Universe index of the cross-check sibling, when this class was
+    /// selected for the sibling audit.
+    pub sibling: Option<usize>,
+    /// The sibling's verdict, when one was simulated.
+    pub sibling_outcome: Option<SimOutcome>,
+}
+
+impl ClassOutcome {
+    /// Whether the cross-check refuted the class: both the representative
+    /// and the sibling ran to a verdict and those verdicts differ.
+    /// Unresolved runs prove nothing either way and never count as
+    /// violations.
+    pub fn disagrees(&self) -> bool {
+        match (self.outcome.completed(), self.sibling_outcome) {
+            (Some(rep), Some(SimOutcome::Completed(sib))) => rep.detected != sib.detected,
+            _ => false,
+        }
+    }
+}
+
+/// Result of a class-representative campaign.
+#[derive(Debug, Clone)]
+pub struct ClassCampaignResult {
+    /// One outcome per input class, in partition order.
+    pub classes: Vec<ClassOutcome>,
+    /// Size of the full universe the coverage extrapolates over.
+    pub universe_size: usize,
+    /// Defects actually simulated (representatives + siblings).
+    pub simulated: usize,
+    /// Total campaign wall time.
+    pub total_wall: Duration,
+    /// Per-member `(likelihood, verdict)` over the full universe, with
+    /// `None` for members whose representative was unresolved and for
+    /// unsimulated members of refuted classes.
+    extrapolated: Vec<(f64, Option<bool>)>,
+}
+
+impl ClassCampaignResult {
+    /// Number of classes (= representatives simulated).
+    pub fn representatives(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of classes that received a sibling audit.
+    pub fn cross_checked(&self) -> usize {
+        self.classes.iter().filter(|c| c.sibling.is_some()).count()
+    }
+
+    /// Number of refuted classes (representative and sibling verdicts
+    /// differ). Nonzero means the partition's equivalence claim is wrong
+    /// somewhere — the refuted classes (see
+    /// [`violations`](Self::violations)) no longer extrapolate, so their
+    /// unsimulated members straddle the coverage bounds, but the
+    /// *unaudited* classes may hide the same lie.
+    pub fn violation_count(&self) -> usize {
+        self.violations().count()
+    }
+
+    /// The refuted classes.
+    pub fn violations(&self) -> impl Iterator<Item = &ClassOutcome> {
+        self.classes.iter().filter(|c| c.disagrees())
+    }
+
+    /// Simulations avoided relative to an exhaustive campaign.
+    pub fn defects_saved(&self) -> usize {
+        self.universe_size - self.simulated
+    }
+
+    fn coverage_with(&self, unresolved_detected: bool) -> Coverage {
+        let outcomes: Vec<(f64, bool)> = self
+            .extrapolated
+            .iter()
+            .map(|(l, d)| (*l, d.unwrap_or(unresolved_detected)))
+            .collect();
+        lw_coverage_exhaustive(&outcomes)
+    }
+
+    /// Extrapolated L-W coverage **lower bound** over the full universe:
+    /// every member inherits its representative's verdict; members of
+    /// unresolved or refuted classes count as escapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe is empty (prevented by
+    /// [`run_class_campaign`]'s validation).
+    pub fn coverage(&self) -> Coverage {
+        self.coverage_with(false)
+    }
+
+    /// Extrapolated L-W coverage **upper bound**: members of unresolved
+    /// or refuted classes count as detected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe is empty.
+    pub fn coverage_upper(&self) -> Coverage {
+        self.coverage_with(true)
+    }
+
+    /// Both extrapolated coverage bounds, `(lower, upper)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe is empty.
+    pub fn coverage_bounds(&self) -> (Coverage, Coverage) {
+        (self.coverage(), self.coverage_upper())
+    }
+}
+
+/// Checks that `partition` is an exact cover of `0..universe_len`.
+fn validate_partition(
+    partition: &[Vec<usize>],
+    universe_len: usize,
+) -> Result<(), ClassCampaignError> {
+    let invalid = |reason: String| ClassCampaignError::InvalidPartition { reason };
+    let mut owner: Vec<Option<usize>> = vec![None; universe_len];
+    for (ci, class) in partition.iter().enumerate() {
+        if class.is_empty() {
+            return Err(invalid(format!("class {ci} is empty")));
+        }
+        for &d in class {
+            match owner.get_mut(d) {
+                None => {
+                    return Err(invalid(format!(
+                        "class {ci} references defect {d}, but the universe has only \
+                         {universe_len} defects"
+                    )));
+                }
+                Some(slot @ None) => *slot = Some(ci),
+                Some(Some(prev)) => {
+                    return Err(invalid(format!(
+                        "defect {d} appears in both class {prev} and class {ci}"
+                    )));
+                }
+            }
+        }
+    }
+    if let Some(d) = owner.iter().position(|o| o.is_none()) {
+        return Err(invalid(format!(
+            "defect {d} is not covered by any class — coverage extrapolation \
+             requires an exact cover"
+        )));
+    }
+    Ok(())
+}
+
+/// Runs a class-representative campaign: one simulation per class (its
+/// lowest-index member), plus one seeded random sibling for an audited
+/// fraction of the multi-member classes, extrapolating the per-class
+/// verdicts to the full `universe` for the L-W coverage figure.
+///
+/// `partition` must be an exact cover of the universe's defect indices,
+/// typically the `(orbit × kind)` classes computed by the `symbist-lint`
+/// static analyzer (`AnalysisReport::partition()`). The test closure has
+/// the same contract as [`run_campaign`]'s.
+///
+/// Representative/sibling disagreements are reported in the result (see
+/// [`ClassCampaignResult::violations`]) and counted on the
+/// `symbist_analysis_class_violations_total` metric.
+pub fn run_class_campaign<D, F, R>(
+    dut: &D,
+    universe: &DefectUniverse,
+    partition: &[Vec<usize>],
+    options: &ClassCampaignOptions,
+    test: F,
+) -> Result<ClassCampaignResult, ClassCampaignError>
+where
+    D: Faultable + Clone + Send + Sync,
+    F: Fn(&D) -> R + Sync,
+    R: Into<SimOutcome>,
+{
+    if universe.is_empty() {
+        return Err(CampaignError::EmptyUniverse.into());
+    }
+    validate_partition(partition, universe.len())?;
+    let start = Instant::now();
+
+    // Per-class representative (lowest member) and optional seeded
+    // sibling. The RNG is consumed only by multi-member classes in
+    // partition order, so the draw is deterministic in (seed, partition).
+    let mut rng = Rng::seed_from_u64(options.seed);
+    let mut reps: Vec<usize> = Vec::with_capacity(partition.len());
+    let mut siblings: Vec<Option<usize>> = Vec::with_capacity(partition.len());
+    for class in partition {
+        let rep = *class.iter().min().expect("validated classes are non-empty");
+        reps.push(rep);
+        let sibling = if class.len() >= 2 && rng.bernoulli(options.cross_check_fraction) {
+            let others: Vec<usize> = class.iter().copied().filter(|&d| d != rep).collect();
+            Some(others[rng.below(others.len() as u64) as usize])
+        } else {
+            None
+        };
+        siblings.push(sibling);
+    }
+
+    // The sub-universe of selected defects, simulated exhaustively.
+    // Selection indices are distinct by construction (classes are
+    // disjoint and a sibling never equals its representative).
+    let mut selection: Vec<usize> = reps
+        .iter()
+        .copied()
+        .chain(siblings.iter().filter_map(|s| *s))
+        .collect();
+    selection.sort_unstable();
+    let sub = DefectUniverse::from_defects(
+        selection
+            .iter()
+            .map(|&d| universe.defects()[d].clone())
+            .collect(),
+    );
+    let sub_result = run_campaign(
+        dut,
+        &sub,
+        &CampaignOptions {
+            sample_size: None,
+            seed: options.seed,
+            threads: options.threads,
+            defect_deadline: options.defect_deadline,
+            newton_budget: options.newton_budget,
+            index_range: None,
+            checkpoint: None,
+        },
+        test,
+    )?;
+    // Map sub-universe records back to full-universe defect indices.
+    let outcome_of: HashMap<usize, SimOutcome> = sub_result
+        .records
+        .iter()
+        .map(|r| (selection[r.defect_index], r.outcome))
+        .collect();
+    let lookup = |d: usize| -> SimOutcome {
+        *outcome_of
+            .get(&d)
+            .expect("every selected defect has a record")
+    };
+
+    // Assemble per-class outcomes and extrapolate over the universe.
+    // Simulated defects (representative + audited sibling) always keep
+    // their own verdicts. The other members inherit the representative's
+    // verdict — unless the sibling refuted the class, in which case the
+    // equivalence claim is dead and the unsimulated members become
+    // unknown, straddling the coverage bounds instead of inheriting a
+    // verdict the partition no longer justifies.
+    let mut classes = Vec::with_capacity(partition.len());
+    let mut extrapolated: Vec<(f64, Option<bool>)> = vec![(0.0, None); universe.len()];
+    for (ci, class) in partition.iter().enumerate() {
+        let outcome = lookup(reps[ci]);
+        let class_outcome = ClassOutcome {
+            class_index: ci,
+            size: class.len(),
+            representative: reps[ci],
+            outcome,
+            sibling: siblings[ci],
+            sibling_outcome: siblings[ci].map(&lookup),
+        };
+        let rep_verdict = outcome.completed().map(|o| o.detected);
+        let inherited = if class_outcome.disagrees() {
+            None
+        } else {
+            rep_verdict
+        };
+        for &d in class {
+            let verdict = if d == reps[ci] {
+                rep_verdict
+            } else if Some(d) == siblings[ci] {
+                class_outcome
+                    .sibling_outcome
+                    .and_then(|o| o.completed().map(|c| c.detected))
+            } else {
+                inherited
+            };
+            extrapolated[d] = (universe.defects()[d].likelihood, verdict);
+        }
+        classes.push(class_outcome);
+    }
+
+    let result = ClassCampaignResult {
+        classes,
+        universe_size: universe.len(),
+        simulated: selection.len(),
+        total_wall: start.elapsed(),
+        extrapolated,
+    };
+    symbist_obs::counter!(
+        "symbist_analysis_class_violations_total",
+        "Representative-vs-sibling detection disagreements in class-representative campaigns"
+    )
+    .add(result.violation_count() as u64);
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::likelihood::LikelihoodModel;
+    use symbist_adc::fault::{
+        check_site, BlockKind, ComponentInfo, ComponentKind, DefectKind, DefectSite,
+    };
+
+    /// A toy DUT whose detection rule is configurable per test.
+    #[derive(Clone)]
+    struct ToyDut {
+        catalog: Vec<ComponentInfo>,
+        injected: Option<DefectSite>,
+    }
+
+    impl ToyDut {
+        fn new(n: usize) -> Self {
+            let catalog = (0..n)
+                .map(|i| ComponentInfo {
+                    block: BlockKind::ScArray,
+                    name: format!("c{i}"),
+                    kind: ComponentKind::Resistor,
+                    area: 1.0 + i as f64,
+                })
+                .collect();
+            Self {
+                catalog,
+                injected: None,
+            }
+        }
+    }
+
+    impl Faultable for ToyDut {
+        fn components(&self) -> &[ComponentInfo] {
+            &self.catalog
+        }
+        fn inject(&mut self, site: DefectSite) {
+            check_site(&self.catalog, site);
+            self.injected = Some(site);
+        }
+        fn clear_defects(&mut self) {
+            self.injected = None;
+        }
+        fn injected(&self) -> Option<DefectSite> {
+            self.injected
+        }
+    }
+
+    fn outcome(detected: bool) -> crate::campaign::TestOutcome {
+        crate::campaign::TestOutcome {
+            detected,
+            detection_cycle: detected.then_some(1),
+            cycles_run: 1,
+        }
+    }
+
+    /// Detection depends only on the defect kind — so a by-kind partition
+    /// is genuinely exact.
+    fn by_kind_test(dut: &ToyDut) -> crate::campaign::TestOutcome {
+        outcome(dut.injected().map(|s| s.kind.is_short()).unwrap_or(false))
+    }
+
+    /// Groups the universe's defect indices by kind.
+    fn by_kind_partition(uni: &DefectUniverse) -> Vec<Vec<usize>> {
+        let mut by_kind: std::collections::BTreeMap<String, Vec<usize>> = Default::default();
+        for (i, d) in uni.iter().enumerate() {
+            by_kind.entry(d.site.kind.to_string()).or_default().push(i);
+        }
+        by_kind.into_values().collect()
+    }
+
+    #[test]
+    fn exact_partition_matches_exhaustive_coverage() {
+        let dut = ToyDut::new(6);
+        let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        let partition = by_kind_partition(&uni);
+        let res = run_class_campaign(
+            &dut,
+            &uni,
+            &partition,
+            &ClassCampaignOptions {
+                cross_check_fraction: 1.0,
+                ..Default::default()
+            },
+            by_kind_test,
+        )
+        .unwrap();
+        // One representative + one sibling per (multi-member) class.
+        assert_eq!(res.representatives(), partition.len());
+        assert_eq!(res.cross_checked(), partition.len());
+        assert_eq!(res.simulated, 2 * partition.len());
+        assert!(res.simulated < uni.len());
+        assert_eq!(res.defects_saved(), uni.len() - res.simulated);
+        // The partition is truly exact: no violations, and the
+        // extrapolated coverage equals the exhaustive figure bit-for-bit.
+        assert_eq!(res.violation_count(), 0);
+        let exhaustive = run_campaign(&dut, &uni, &CampaignOptions::default(), by_kind_test)
+            .unwrap()
+            .coverage();
+        assert_eq!(res.coverage().value, exhaustive.value);
+        // Everything completed, so the bounds coincide.
+        let (lo, hi) = res.coverage_bounds();
+        assert_eq!(lo.value, hi.value);
+    }
+
+    #[test]
+    fn lying_partition_is_refuted_by_the_sibling() {
+        // Detection depends on the *component*, but the partition lumps
+        // all shorts together — the representative (component 0, detected)
+        // disagrees with any sibling (components 1.., escapes).
+        let dut = ToyDut::new(4);
+        let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        let mut shorts = Vec::new();
+        let mut rest = Vec::new();
+        for (i, d) in uni.iter().enumerate() {
+            if d.site.kind == DefectKind::Short {
+                shorts.push(i);
+            } else {
+                rest.push(vec![i]);
+            }
+        }
+        let mut partition = vec![shorts];
+        partition.extend(rest);
+        let res = run_class_campaign(
+            &dut,
+            &uni,
+            &partition,
+            &ClassCampaignOptions {
+                cross_check_fraction: 1.0,
+                ..Default::default()
+            },
+            |d: &ToyDut| {
+                outcome(
+                    d.injected()
+                        .map(|s| s.kind.is_short() && s.component == 0)
+                        .unwrap_or(false),
+                )
+            },
+        )
+        .unwrap();
+        assert_eq!(res.violation_count(), 1);
+        let v = res.violations().next().unwrap();
+        assert_eq!(v.class_index, 0);
+        assert_eq!(v.size, 4);
+        assert!(v.outcome.detected(), "representative is component 0");
+        assert!(!v.sibling_outcome.unwrap().detected());
+        // The refuted class stops extrapolating: its two unsimulated
+        // members turn unknown, so the bounds straddle them, while the
+        // simulated pair keeps its own (disagreeing) verdicts.
+        let (lo, hi) = res.coverage_bounds();
+        assert!(lo.value < hi.value);
+    }
+
+    #[test]
+    fn malformed_partitions_are_rejected() {
+        let dut = ToyDut::new(2);
+        let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        let all: Vec<usize> = (0..uni.len()).collect();
+        let cases: Vec<(Vec<Vec<usize>>, &str)> = vec![
+            (vec![all.clone(), vec![]], "empty class"),
+            (vec![all.clone(), vec![uni.len() + 3]], "out of range"),
+            (vec![all.clone(), vec![0]], "duplicate"),
+            (vec![all[1..].to_vec()], "uncovered defect"),
+        ];
+        for (partition, what) in cases {
+            let err = run_class_campaign(
+                &dut,
+                &uni,
+                &partition,
+                &ClassCampaignOptions::default(),
+                by_kind_test,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, ClassCampaignError::InvalidPartition { .. }),
+                "{what}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn sibling_draw_is_deterministic() {
+        let dut = ToyDut::new(8);
+        let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        let partition = by_kind_partition(&uni);
+        let opts = ClassCampaignOptions {
+            seed: 42,
+            cross_check_fraction: 0.5,
+            threads: 3,
+            ..Default::default()
+        };
+        let a = run_class_campaign(&dut, &uni, &partition, &opts, by_kind_test).unwrap();
+        let b = run_class_campaign(&dut, &uni, &partition, &opts, by_kind_test).unwrap();
+        assert_eq!(a.classes, b.classes);
+        assert_eq!(a.coverage().value, b.coverage().value);
+    }
+
+    #[test]
+    fn cross_check_can_be_disabled() {
+        let dut = ToyDut::new(5);
+        let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        let partition = by_kind_partition(&uni);
+        let res = run_class_campaign(
+            &dut,
+            &uni,
+            &partition,
+            &ClassCampaignOptions {
+                cross_check_fraction: 0.0,
+                ..Default::default()
+            },
+            by_kind_test,
+        )
+        .unwrap();
+        assert_eq!(res.simulated, partition.len());
+        assert_eq!(res.cross_checked(), 0);
+        assert_eq!(res.violation_count(), 0);
+        assert!(res.classes.iter().all(|c| c.sibling.is_none()));
+    }
+
+    #[test]
+    fn unresolved_representative_widens_the_bounds() {
+        use symbist_circuit::error::CircuitError;
+        let dut = ToyDut::new(3);
+        let uni = DefectUniverse::enumerate(&dut, &LikelihoodModel::default());
+        let partition = by_kind_partition(&uni);
+        // Shorts never converge; everything else escapes.
+        let res = run_class_campaign(
+            &dut,
+            &uni,
+            &partition,
+            &ClassCampaignOptions::default(),
+            |d: &ToyDut| -> Result<crate::campaign::TestOutcome, CircuitError> {
+                if d.injected().map(|s| s.kind.is_short()).unwrap_or(false) {
+                    Err(CircuitError::NoConvergence {
+                        analysis: "dc",
+                        iterations: 200,
+                    })
+                } else {
+                    Ok(outcome(false))
+                }
+            },
+        )
+        .unwrap();
+        // An unresolved representative never counts as a violation, and
+        // its class straddles the coverage bounds.
+        assert_eq!(res.violation_count(), 0);
+        let (lo, hi) = res.coverage_bounds();
+        assert!(lo.value < hi.value);
+        assert_eq!(lo.value, 0.0);
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod campaign;
 pub mod checkpoint;
+pub mod classes;
 pub mod coverage;
 pub mod likelihood;
 pub mod report;
@@ -38,6 +39,9 @@ pub use campaign::{
     CampaignResult, DefectRecord, SimOutcome, TestOutcome, UnresolvedCounts, UnresolvedReason,
 };
 pub use checkpoint::{checkpoint_line, merged_line, parse_checkpoint_line};
+pub use classes::{
+    run_class_campaign, ClassCampaignError, ClassCampaignOptions, ClassCampaignResult, ClassOutcome,
+};
 pub use coverage::Coverage;
 pub use likelihood::LikelihoodModel;
 pub use report::CoverageTable;

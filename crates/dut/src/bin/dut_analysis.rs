@@ -1,0 +1,61 @@
+//! Static symmetry analysis over the cap-array DUT family.
+//!
+//! Runs the stage-two analyzer (WL-refinement orbits, defect-class
+//! partition, SYM-L05x detectability diagnostics) on the programmatic
+//! sub-radix-2 / split-capacitor cap-array DUTs — no simulation, no
+//! registry, just `DutModel::build(...).analysis()` per family member.
+//!
+//! ```sh
+//! cargo run -p symbist-dut --bin dut_analysis            # text report
+//! cargo run -p symbist-dut --bin dut_analysis -- --json  # NDJSON, one
+//!                                                        # report per line
+//! ```
+//!
+//! The CI static-analysis gate runs the `--json` form twice and diffs the
+//! outputs: the analyzer (and in particular the orbit certificate) must be
+//! bit-identical across runs. Exit status is 1 if any family member's
+//! analysis reports an error-severity diagnostic.
+
+use symbist_dut::{CapArrayConfig, DutModel};
+
+fn main() {
+    let json = match std::env::args().nth(1).as_deref() {
+        None => false,
+        Some("--json") => true,
+        Some(flag) => {
+            eprintln!("unknown flag {flag:?} (usage: dut_analysis [--json])");
+            std::process::exit(2);
+        }
+    };
+
+    let family = [
+        CapArrayConfig::binary(6),
+        CapArrayConfig::conventional(6, 1.8),
+        CapArrayConfig::split_array(8, 4),
+    ];
+
+    let mut clean = true;
+    for config in &family {
+        let name = config.name();
+        let model = match DutModel::build(config.dut_spec()) {
+            Ok(model) => model,
+            Err(e) => {
+                eprintln!("{name}: spec rejected: {e}");
+                clean = false;
+                continue;
+            }
+        };
+        let report = model.analysis();
+        if json {
+            println!("{}", report.to_json_string());
+        } else {
+            println!("{}", report.render_text());
+        }
+        if report.diagnostics.has_errors() {
+            clean = false;
+        }
+    }
+    if !clean {
+        std::process::exit(1);
+    }
+}

@@ -264,6 +264,51 @@ mod tests {
     }
 
     #[test]
+    fn analysis_validates_the_shadow_replica() {
+        // P and Q are graph-identical (same code, same weights), so the
+        // replica invariance survives SYM-L052. The complementary P/N
+        // pair mirrors only under the vref ↔ gnd signal swap — not a
+        // plain automorphism of a netlist with the code baked into its
+        // switch states — so the model deliberately does not claim it
+        // symmetric, and the family analyzes clean.
+        for config in [
+            CapArrayConfig::binary(4),
+            CapArrayConfig::conventional(4, 1.8),
+            CapArrayConfig::split_array(4, 2),
+        ] {
+            let model = DutModel::build(config.dut_spec()).unwrap();
+            let report = model.analysis();
+            assert!(
+                !report.diagnostics.has_errors(),
+                "{}: {}",
+                config.name(),
+                report.diagnostics.render_text()
+            );
+            assert_eq!(report.universe_size, model.universe.len());
+            let covered: usize = report.classes.iter().map(|c| c.members.len()).sum();
+            assert_eq!(covered, report.universe_size, "classes cover the universe");
+        }
+
+        // A Q-array element with the wrong weight breaks the replica
+        // claim, and the analyzer proves it statically.
+        let mut tampered = CapArrayConfig::binary(4).dut_spec();
+        assert!(tampered.netlist.contains("RQ0 eq0 outq 12500"));
+        tampered.netlist = tampered
+            .netlist
+            .replace("RQ0 eq0 outq 12500", "RQ0 eq0 outq 47000");
+        let report = DutModel::build(tampered).unwrap().analysis();
+        assert!(
+            report
+                .diagnostics
+                .diagnostics()
+                .iter()
+                .any(|d| d.rule.code() == "SYM-L052"),
+            "tampered replica not flagged: {}",
+            report.diagnostics.render_text()
+        );
+    }
+
+    #[test]
     fn family_names_are_distinct_and_registry_safe() {
         let names = [
             CapArrayConfig::binary(8).name(),

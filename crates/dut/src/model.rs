@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use symbist::generic::{GenericBist, NodeInvariance};
+use symbist::generic::{GenericBist, NodeInvariance, SymmetryKind};
 use symbist_adc::fault::{
     check_site, BlockKind, ComponentInfo, ComponentKind, DefectKind, DefectSite, Faultable,
 };
@@ -30,6 +30,7 @@ use symbist_circuit::netlist::{Device, DeviceId, Netlist};
 use symbist_circuit::parser::parse_netlist;
 use symbist_circuit::rng::Rng;
 use symbist_defects::{DefectUniverse, LikelihoodModel, TestOutcome};
+use symbist_lint::{analyze, AnalysisModel, AnalysisReport, ObservedInvariance};
 
 use crate::spec::{DutSpec, DutSpecError, InvarianceKind};
 
@@ -97,6 +98,14 @@ impl NetlistDut {
     /// The healthy template netlist.
     pub fn template(&self) -> &Netlist {
         &self.template
+    }
+
+    /// Catalog index → template device id, parallel to
+    /// [`components`](Faultable::components). Every generic-DUT component
+    /// is a netlist card, so unlike the ADC's behavioral blocks there are
+    /// no unbound entries.
+    pub fn device_ids(&self) -> &[DeviceId] {
+        &self.devices
     }
 
     /// Materializes the netlist instance this DUT currently describes:
@@ -281,6 +290,47 @@ impl DutModel {
             universe,
             invariances,
         })
+    }
+
+    /// Stage-two static analysis of this DUT: Weisfeiler–Leman symmetry
+    /// orbits of the template netlist, the (orbit × defect kind) class
+    /// partition of the universe, and cone-of-influence detectability per
+    /// invariance (SYM-L05x/SYM-L060). Purely structural — no simulation —
+    /// and deterministic per content hash, so the registry caches it
+    /// alongside the lint report.
+    pub fn analysis(&self) -> AnalysisReport {
+        let bindings: Vec<Option<DeviceId>> =
+            self.dut.device_ids().iter().map(|&id| Some(id)).collect();
+        let invariances: Vec<ObservedInvariance> = self
+            .invariances
+            .iter()
+            .map(|inv| ObservedInvariance {
+                name: inv.name.clone(),
+                kind: match inv.kind {
+                    SymmetryKind::ComplementarySum { .. } => "complementary".into(),
+                    SymmetryKind::ReplicaDifference => "replica".into(),
+                },
+                // Only replica halves claim to be graph-identical, which
+                // is what SYM-L052's automorphism check verifies.
+                // Complementary halves mirror under the vref ↔ gnd signal
+                // swap — not a graph automorphism of an uploaded netlist
+                // whose code is baked into its switch states (unlike the
+                // ADC's static model, which is emitted at the symmetric
+                // code precisely so the swap IS an automorphism).
+                symmetric: matches!(inv.kind, SymmetryKind::ReplicaDifference),
+                observed: vec![inv.a, inv.b],
+                reference: Vec::new(),
+            })
+            .collect();
+        analyze(
+            &AnalysisModel {
+                context: format!("dut \"{}\"", self.spec.name),
+                netlist: self.dut.template(),
+                bindings: &bindings,
+                invariances: &invariances,
+            },
+            &self.universe,
+        )
     }
 
     /// Calibrates the window comparators (`δ = k·σ`) over the spec's

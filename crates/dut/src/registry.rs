@@ -22,7 +22,7 @@ use std::sync::{Arc, Mutex};
 
 use symbist::generic::GenericBist;
 use symbist_adc::fault::Faultable;
-use symbist_lint::{lint_netlist, lint_universe, LintReport};
+use symbist_lint::{lint_netlist, lint_universe, AnalysisReport, LintReport};
 use symbist_obs::{counter, gauge};
 
 use crate::json::Json;
@@ -67,6 +67,10 @@ pub struct DutEntry {
     pub model: DutModel,
     /// The lint report computed at upload ("lint once").
     pub lint: LintReport,
+    /// The stage-two static analysis (symmetry orbits, defect-class
+    /// partition, detectability) computed at upload — content-addressed
+    /// like the lint report, so identical re-uploads never re-analyze.
+    pub analysis: AnalysisReport,
 }
 
 impl DutEntry {
@@ -447,7 +451,10 @@ impl DutRegistry {
     }
 }
 
-/// Builds an entry (model + lint report). The bool is `lint.has_errors()`.
+/// Builds an entry (model + lint report + static analysis). The bool is
+/// `lint.has_errors()` — the upload gate; analysis findings (SYM-L05x) are
+/// cached advisory results, not gates, since a symmetry-broken upload is
+/// still a runnable DUT.
 fn build_entry(spec: DutSpec, seq: u64) -> Result<(DutEntry, bool), DutSpecError> {
     let id = spec.id();
     let model = DutModel::build(spec)?;
@@ -455,12 +462,25 @@ fn build_entry(spec: DutSpec, seq: u64) -> Result<(DutEntry, bool), DutSpecError
     let mut lint = lint_netlist(&context, model.dut.template());
     lint.extend(lint_universe(&model.universe, model.dut.components()));
     let has_errors = lint.has_errors();
+    // Skip the orbit computation for entries the lint gate is about to
+    // reject anyway; an empty default report never persists.
+    let analysis = if has_errors {
+        AnalysisReport::default()
+    } else {
+        counter!(
+            "symbist_dut_analyses_total",
+            "stage-two static analyses computed for registered DUTs (cache misses)"
+        )
+        .inc();
+        model.analysis()
+    };
     Ok((
         DutEntry {
             id,
             seq,
             model,
             lint,
+            analysis,
         },
         has_errors,
     ))
@@ -546,6 +566,11 @@ fn touch_metric_families() {
     counter!(
         "symbist_dut_campaigns_total",
         "campaigns run against registered DUTs"
+    )
+    .add(0);
+    counter!(
+        "symbist_dut_analyses_total",
+        "stage-two static analyses computed for registered DUTs (cache misses)"
     )
     .add(0);
     gauge!("symbist_dut_registry_entries", "DUTs currently registered").set(0);

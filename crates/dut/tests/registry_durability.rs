@@ -135,11 +135,11 @@ fn identical_reupload_answers_from_the_lint_cache() {
 #[test]
 fn registry_reloads_after_reopen() {
     let dir = temp_dir("reopen");
-    let id = {
+    let (id, certificate) = {
         let registry = open(&dir);
         let a = registry.upload(bridge_spec("alpha")).unwrap();
         registry.upload(bridge_spec("beta")).unwrap();
-        a.entry().id.clone()
+        (a.entry().id.clone(), a.entry().analysis.certificate)
     };
 
     let reopened = open(&dir);
@@ -150,6 +150,12 @@ fn registry_reloads_after_reopen() {
     // The reloaded entry is fully functional: its universe re-enumerated
     // and its lint re-evaluated from the persisted spec.
     assert_ne!(entry.model.universe.len(), 0);
+    // The static analysis is re-derived too, and — being a pure function
+    // of the content — lands on the same orbit certificate and an exact
+    // cover of the universe.
+    assert_eq!(entry.analysis.certificate, certificate);
+    let covered: usize = entry.analysis.classes.iter().map(|c| c.members.len()).sum();
+    assert_eq!(covered, entry.model.universe.len());
 }
 
 #[test]

@@ -2,8 +2,10 @@
 //! and its enumerated defect universe.
 //!
 //! ```text
-//! cargo run -p symbist-lint              # human-readable report
-//! cargo run -p symbist-lint -- --json    # machine-readable report
+//! cargo run -p symbist-lint                          # stage-one report
+//! cargo run -p symbist-lint -- --json                # machine-readable
+//! cargo run -p symbist-lint -- --analysis            # stage-two orbits
+//! cargo run -p symbist-lint -- --analysis --json     # machine-readable
 //! ```
 //!
 //! Exits `0` when no Error-level diagnostics fire, `1` otherwise (the CI
@@ -13,20 +15,28 @@ use std::process::ExitCode;
 
 use symbist_adc::{AdcConfig, SarAdc};
 use symbist_defects::{DefectUniverse, LikelihoodModel};
-use symbist_lint::lint_adc_with_universe;
+use symbist_lint::{analyze_adc_with_universe, lint_adc_with_universe};
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut analysis = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
+            "--analysis" => analysis = true,
             "--help" | "-h" => {
-                println!("usage: lint [--json]");
+                println!("usage: lint [--analysis] [--json]");
                 println!();
                 println!(
                     "Statically analyzes the built-in SAR ADC blocks, FD-symmetry \
                      declarations,\nand enumerated defect universe; exits 1 on \
                      Error-level diagnostics."
+                );
+                println!();
+                println!(
+                    "--analysis runs stage two instead: symmetry orbits, the \
+                     defect-class\npartition, and cone-of-influence detectability \
+                     (SYM-L05x/SYM-L060)."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -39,14 +49,24 @@ fn main() -> ExitCode {
 
     let adc = SarAdc::new(AdcConfig::default());
     let universe = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
-    let report = lint_adc_with_universe(&adc, &universe);
-
-    if json {
-        println!("{}", report.to_json_string());
+    let errors = if analysis {
+        let report = analyze_adc_with_universe(&adc, &universe);
+        if json {
+            println!("{}", report.to_json_string());
+        } else {
+            print!("{}", report.render_text());
+        }
+        report.diagnostics.has_errors()
     } else {
-        print!("{}", report.render_text());
-    }
-    if report.has_errors() {
+        let report = lint_adc_with_universe(&adc, &universe);
+        if json {
+            println!("{}", report.to_json_string());
+        } else {
+            print!("{}", report.render_text());
+        }
+        report.has_errors()
+    };
+    if errors {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

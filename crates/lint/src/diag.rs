@@ -70,6 +70,18 @@ pub enum Rule {
     BadLikelihood,
     /// The same injection listed twice in a universe.
     DuplicateDefect,
+    /// A defect site outside every invariance's cone of influence — no
+    /// invariance can ever observe it (an honest, provable escape).
+    StaticallyUndetectable,
+    /// An invariance whose cone of influence contains no defect site at
+    /// all — it consumes checker area but can never detect anything.
+    DeadInvariance,
+    /// A declared symmetric pair whose halves land in different structural
+    /// orbits — no automorphism exchanges them (refines L030 from
+    /// value-matching to graph-automorphism evidence).
+    SymmetryBrokenPair,
+    /// Informational orbit-partition summary for a netlist.
+    OrbitSummary,
 }
 
 impl Rule {
@@ -91,6 +103,10 @@ impl Rule {
             Rule::DanglingDefectSite => "SYM-L040",
             Rule::BadLikelihood => "SYM-L041",
             Rule::DuplicateDefect => "SYM-L042",
+            Rule::StaticallyUndetectable => "SYM-L050",
+            Rule::DeadInvariance => "SYM-L051",
+            Rule::SymmetryBrokenPair => "SYM-L052",
+            Rule::OrbitSummary => "SYM-L060",
         }
     }
 
@@ -112,13 +128,23 @@ impl Rule {
             Rule::DanglingDefectSite => "dangling-defect-site",
             Rule::BadLikelihood => "bad-likelihood",
             Rule::DuplicateDefect => "duplicate-defect",
+            Rule::StaticallyUndetectable => "statically-undetectable",
+            Rule::DeadInvariance => "dead-invariance",
+            Rule::SymmetryBrokenPair => "symmetry-broken-pair",
+            Rule::OrbitSummary => "orbit-summary",
         }
     }
 
     /// Default severity of the rule.
     pub fn severity(self) -> Severity {
         match self {
-            Rule::DanglingNode => Severity::Warning,
+            // Undetectable defects and dead invariances are honest design
+            // facts (e.g. decoupling-cap opens are expected escapes), not
+            // structural breakage — they inform, they don't gate.
+            Rule::DanglingNode | Rule::StaticallyUndetectable | Rule::DeadInvariance => {
+                Severity::Warning
+            }
+            Rule::OrbitSummary => Severity::Info,
             _ => Severity::Error,
         }
     }
@@ -325,6 +351,10 @@ mod tests {
             Rule::DanglingDefectSite,
             Rule::BadLikelihood,
             Rule::DuplicateDefect,
+            Rule::StaticallyUndetectable,
+            Rule::DeadInvariance,
+            Rule::SymmetryBrokenPair,
+            Rule::OrbitSummary,
         ];
         let mut codes: Vec<&str> = all.iter().map(|r| r.code()).collect();
         codes.sort_unstable();

@@ -28,6 +28,8 @@
 //! - `SYM-L02x` parameter sanity per device kind
 //! - `SYM-L030` FD-symmetry of declared P/N half-circuits
 //! - `SYM-L04x` defect-universe structure
+//! - `SYM-L05x`/`SYM-L060` stage two — symmetry orbits & detectability
+//!   (see [`orbit`] and [`analysis`])
 //!
 //! [`Netlist`]: symbist_circuit::netlist::Netlist
 //! [`DefectUniverse`]: symbist_defects::DefectUniverse
@@ -35,13 +37,20 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analysis;
 pub mod diag;
+pub mod orbit;
 pub mod rules;
 pub mod suite;
 pub mod symmetry;
 pub mod universe_rules;
 
+pub use analysis::{
+    analyze, analyze_adc, analyze_adc_with_universe, check_fd_pair_orbits, AnalysisModel,
+    AnalysisReport, DefectClass, ObservedInvariance,
+};
 pub use diag::{Diagnostic, LintReport, Rule, Severity};
+pub use orbit::{orbit_partition, OrbitPartition};
 pub use rules::lint_netlist;
 pub use suite::{lint_adc, lint_adc_with_universe};
 pub use symmetry::check_fd_symmetry;

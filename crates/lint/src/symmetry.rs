@@ -200,12 +200,35 @@ pub fn check_fd_symmetry(pair: &FdPair) -> LintReport {
             ));
             continue;
         }
-        if p_values.len() != n_values.len()
-            || p_values.iter().zip(&n_values).any(|(a, b)| !close(*a, *b))
-        {
+        if p_values.len() != n_values.len() {
             report.push(diag(
                 &subject,
-                format!("element values differ between halves: P {p_values:?} vs N {n_values:?}"),
+                format!(
+                    "element parameter counts differ between halves: P has {} \
+                     value(s) {p_values:?}, N has {} value(s) {n_values:?}",
+                    p_values.len(),
+                    n_values.len(),
+                ),
+            ));
+        } else if let Some((param, (pv, nv))) = p_values
+            .iter()
+            .zip(&n_values)
+            .enumerate()
+            .find(|(_, (a, b))| !close(**a, **b))
+        {
+            let delta = nv - pv;
+            let rel = if pv.abs().max(nv.abs()) > 0.0 {
+                delta.abs() / pv.abs().max(nv.abs())
+            } else {
+                0.0
+            };
+            report.push(diag(
+                &subject,
+                format!(
+                    "element values differ between halves: parameter #{param} \
+                     of {p_tag} is {pv:e} in P vs {nv:e} in N \
+                     (Δ = {delta:e}, relative {rel:.3e})"
+                ),
             ));
         }
         for (tp, tn) in pd.terminals().into_iter().zip(nd.terminals()) {

@@ -22,7 +22,7 @@ use symbist_defects::{
     run_campaign_monitored, CampaignError, CampaignMonitor, CampaignResult, DefectUniverse,
     SimOutcome, TestOutcome,
 };
-use symbist_lint::{lint_adc_with_universe, LintReport};
+use symbist_lint::{analyze_adc_with_universe, lint_adc_with_universe, AnalysisReport, LintReport};
 
 use crate::spec::{JobSpec, SpecError};
 
@@ -57,6 +57,16 @@ pub trait CampaignBackend: Send + Sync {
         checkpoint: Option<PathBuf>,
         monitor: &dyn CampaignMonitor,
     ) -> Result<CampaignResult, CampaignError>;
+
+    /// Stage-two static analysis for the spec's DUT: symmetry orbits, the
+    /// (orbit × defect kind) class partition, and cone-of-influence
+    /// detectability. Served verbatim on `GET /v1/duts/{id}/analysis` and
+    /// summarized inside `GET /v1/lint/{id}`. `None` (the default) means
+    /// the backend has no analyzer for that DUT — the routes answer `404`
+    /// and the lint response simply omits the summary.
+    fn analysis(&self, _spec: &JobSpec) -> Option<AnalysisReport> {
+        None
+    }
 
     /// The DUT registry behind this backend, if it serves one. The HTTP
     /// front-end routes `/v1/duts` through this; backends without a
@@ -126,6 +136,7 @@ pub struct AdcBackend {
     adc: SarAdc,
     universe: DefectUniverse,
     lint: LintReport,
+    analysis: AnalysisReport,
     sequential: SymBist,
     parallel: SymBist,
 }
@@ -140,6 +151,7 @@ impl AdcBackend {
         let adc = SarAdc::new(xc.adc.clone());
         let universe = DefectUniverse::enumerate(&adc, &LikelihoodModel::default());
         let lint = lint_adc_with_universe(&adc, &universe);
+        let analysis = analyze_adc_with_universe(&adc, &universe);
         let engine = |schedule| {
             let mut xc = xc.clone();
             xc.schedule = schedule;
@@ -149,6 +161,7 @@ impl AdcBackend {
             adc,
             universe,
             lint,
+            analysis,
             sequential: engine(Schedule::Sequential),
             parallel: engine(Schedule::Parallel),
         }
@@ -170,6 +183,17 @@ impl AdcBackend {
 impl CampaignBackend for AdcBackend {
     fn preflight(&self, _spec: &JobSpec) -> LintReport {
         self.lint.clone()
+    }
+
+    fn analysis(&self, spec: &JobSpec) -> Option<AnalysisReport> {
+        // Only answer for the baked-in DUT: a bare ADC server (no
+        // registry decorator) must not serve its own analysis under an
+        // arbitrary `/v1/duts/{id}/analysis` reference.
+        matches!(
+            spec.dut.as_deref(),
+            None | Some(symbist_dut::BUILTIN_ADC_DUT)
+        )
+        .then(|| self.analysis.clone())
     }
 
     fn validate(&self, spec: &JobSpec) -> Result<(), SpecError> {

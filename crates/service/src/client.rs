@@ -557,6 +557,19 @@ impl Client {
             .json()
     }
 
+    /// `GET /v1/duts/{id-or-name}/analysis`: the DUT's stage-two static
+    /// analysis (symmetry orbits, defect-class partition, detectability),
+    /// cached server-side at upload.
+    pub fn dut_analysis(&self, reference: &str) -> Result<Json, ClientError> {
+        self.request(
+            "GET",
+            &self.url(&format!("/duts/{reference}/analysis")),
+            None,
+        )?
+        .check()?
+        .json()
+    }
+
     /// `GET /v1/duts`: summaries of every registered DUT, upload order.
     pub fn list_duts(&self) -> Result<Vec<Json>, ClientError> {
         let doc = self

@@ -132,6 +132,17 @@ pub enum CoordError {
         /// What that worker derived.
         got: String,
     },
+    /// Workers disagree on the DUT's static-analysis orbit certificate —
+    /// same content id, different analyzer verdicts — so any class-level
+    /// extrapolation over merged shards would mix incompatible partitions.
+    AnalysisMismatch {
+        /// Certificate reported by the first worker.
+        expected: String,
+        /// The disagreeing worker's address.
+        worker: String,
+        /// What that worker reported.
+        got: String,
+    },
     /// Workers disagree on the universe size — they are not serving the
     /// same DUT build, so a merge would be meaningless.
     UniverseMismatch {
@@ -180,6 +191,15 @@ impl fmt::Display for CoordError {
             } => write!(
                 f,
                 "DUT id mismatch: worker {worker} derived {got}, expected {expected}"
+            ),
+            CoordError::AnalysisMismatch {
+                expected,
+                worker,
+                got,
+            } => write!(
+                f,
+                "analysis certificate mismatch: worker {worker} reported {got}, \
+                 expected {expected}"
             ),
             CoordError::UniverseMismatch {
                 expected,
@@ -430,6 +450,44 @@ pub fn run_coordinator(config: &CoordConfig) -> Result<CoordOutcome, CoordError>
             });
         }
     }
+    // Registered DUTs also carry a static-analysis certificate (a
+    // canonical hash of the symmetry-orbit partition, deterministic per
+    // content). Same content id + same analyzer ⇒ same certificate, so
+    // agreement here extends the integrity check from "same netlist" to
+    // "same defect-class partition" — the thing a class-level
+    // extrapolation over the merged records would silently depend on.
+    if let Some(id) = &generic_dut {
+        let mut expected_cert: Option<String> = None;
+        for (client, addr) in clients.iter().zip(&config.workers) {
+            let mut backoff = Backoff::new(config.seed, config.backoff_base, config.backoff_cap);
+            let cert = with_retries(config.request_retries, &mut backoff, || {
+                client
+                    .dut_analysis(id)?
+                    .get("certificate")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| {
+                        ClientError::Protocol("analysis document missing certificate".into())
+                    })
+            })
+            .map_err(|e| CoordError::Probe {
+                worker: addr.clone(),
+                reason: format!("analysis probe: {e}"),
+            })?;
+            match &expected_cert {
+                None => expected_cert = Some(cert),
+                Some(first) if *first != cert => {
+                    return Err(CoordError::AnalysisMismatch {
+                        expected: first.clone(),
+                        worker: addr.clone(),
+                        got: cert,
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
     let n = universe as usize;
     if let Some(sample) = spec.sample_size {
         if sample > n {

@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use symbist_defects::{run_campaign_monitored, CampaignError, CampaignMonitor, CampaignResult};
 use symbist_dut::{check_dut, DutEntry, DutRegistry, BUILTIN_ADC_DUT};
-use symbist_lint::LintReport;
+use symbist_lint::{AnalysisReport, LintReport};
 
 use crate::backend::{check_range, check_sample, CampaignBackend};
 use crate::spec::{JobSpec, SpecError};
@@ -103,6 +103,17 @@ impl CampaignBackend for GenericBackend {
             Some(entry) => entry.lint.clone(),
             None => LintReport::default(),
         }
+    }
+
+    fn analysis(&self, spec: &JobSpec) -> Option<AnalysisReport> {
+        if Self::is_builtin(spec) {
+            return self.inner.analysis(spec);
+        }
+        // Cached at upload ("analyze once"), like the lint report.
+        spec.dut
+            .as_deref()
+            .and_then(|r| self.registry.get(r))
+            .map(|entry| entry.analysis.clone())
     }
 
     fn run(

@@ -30,12 +30,13 @@
 //! | `POST /v1/duts`             | Register a DUT (netlist + invariances)   |
 //! | `GET /v1/duts`              | List registered DUTs                     |
 //! | `GET /v1/duts/{id}`         | DUT detail (universe size, lint report)  |
+//! | `GET /v1/duts/{id}/analysis`| Static symmetry analysis (orbits, classes)|
 //! | `GET /v1/jobs/{id}`         | Job status + live progress               |
 //! | `GET /v1/jobs/{id}/results` | NDJSON record stream (follows live jobs) |
 //! | `GET /v1/jobs/{id}/trace`   | Per-job trace spans (chrome NDJSON)      |
 //! | `DELETE /v1/jobs/{id}`      | Cancel a queued/running job              |
 //! | `GET /v1/report/{id}`       | Final coverage report                    |
-//! | `GET /v1/lint/{id}`         | Pre-flight lint report for the job's DUT |
+//! | `GET /v1/lint/{id}`         | Pre-flight lint report + analysis summary |
 //! | `GET /v1/metrics`           | Prometheus text exposition               |
 //! | `GET /v1/healthz`           | Liveness probe                           |
 //! | `GET /v1/stats`             | Service counters                         |
@@ -748,6 +749,14 @@ fn route_job(
         };
     }
     if let Some(reference) = path.strip_prefix("/duts/") {
+        if let Some(reference) = reference.strip_suffix("/analysis") {
+            if !reference.is_empty() && !reference.contains('/') {
+                return match method {
+                    "GET" => dut_analysis(stream, reference, shared),
+                    _ => write_error(stream, &ApiError::method_not_allowed(), &[]),
+                };
+            }
+        }
         return match (method, reference.contains('/')) {
             ("GET", false) => get_dut(stream, reference, shared),
             (_, false) => write_error(stream, &ApiError::method_not_allowed(), &[]),
@@ -959,6 +968,33 @@ fn get_dut(stream: &mut TcpStream, reference: &str, shared: &Shared) -> std::io:
     }
 }
 
+/// `GET /v1/duts/{id-or-name}/analysis`: the full stage-two static
+/// analysis — symmetry orbits, the (orbit × defect kind) defect-class
+/// partition, and detectability diagnostics — cached at upload time for
+/// registered DUTs, computed once at startup for the baked-in ADC (the
+/// reserved name resolves through the backend, not the registry).
+fn dut_analysis(stream: &mut TcpStream, reference: &str, shared: &Shared) -> std::io::Result<u16> {
+    let spec = JobSpec {
+        dut: Some(reference.to_string()),
+        ..JobSpec::default()
+    };
+    match shared.backend.analysis(&spec) {
+        Some(report) => match Json::parse(&report.to_json_string()) {
+            Ok(body) => write_response(stream, 200, &[], body),
+            Err(e) => write_error(
+                stream,
+                &ApiError::new(500, "internal", format!("analysis rendering failed: {e}")),
+                &[],
+            ),
+        },
+        None => write_error(
+            stream,
+            &ApiError::not_found("no analysis for this DUT"),
+            &[],
+        ),
+    }
+}
+
 fn job_status(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<u16> {
     match shared.registry.get(id) {
         Some(job) => write_response(stream, 200, &[], job.status().to_json()),
@@ -991,15 +1027,23 @@ fn cancel_job(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Re
 
 /// Returns the pre-flight lint report the submission gate evaluated for
 /// job `id`'s spec. Admitted jobs always show zero `errors`; the value is
-/// in the warnings/info detail and in auditing what the gate saw.
+/// in the warnings/info detail and in auditing what the gate saw. When
+/// the backend has a static analyzer for the job's DUT, its orbit/class
+/// summary rides along under `"analysis"` (full detail lives on
+/// `GET /v1/duts/{id}/analysis`).
 fn lint_report(stream: &mut TcpStream, id: JobId, shared: &Shared) -> std::io::Result<u16> {
     match shared.registry.get(id) {
-        Some(job) => write_response(
-            stream,
-            200,
-            &[],
-            lint_json(&shared.backend.preflight(&job.spec)),
-        ),
+        Some(job) => {
+            let mut body = lint_json(&shared.backend.preflight(&job.spec));
+            if let Some(analysis) = shared.backend.analysis(&job.spec) {
+                if let (Json::Obj(map), Ok(summary)) =
+                    (&mut body, Json::parse(&analysis.summary_json()))
+                {
+                    map.insert("analysis".into(), summary);
+                }
+            }
+            write_response(stream, 200, &[], body)
+        }
         None => write_error(stream, &ApiError::not_found("no such job"), &[]),
     }
 }

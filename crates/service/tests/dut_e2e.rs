@@ -193,6 +193,66 @@ fn generic_job_runs_the_uploaded_dut_end_to_end() {
 }
 
 #[test]
+fn analysis_endpoint_serves_the_cached_partition() {
+    let (server, client) = start_with_registry(Arc::new(SyntheticBackend::new(4)), 64, None);
+
+    let spec = CapArrayConfig::binary(3).dut_spec();
+    let doc = client.upload_dut(&spec).unwrap();
+    let id = doc.get("id").and_then(Json::as_str).unwrap().to_string();
+    let defects = doc.get("defects").and_then(Json::as_u64).unwrap();
+
+    // By id and by name: the full analysis document, with the class
+    // partition covering the whole universe.
+    for reference in [id.as_str(), "cap-array-b3-r2"] {
+        let analysis = client.dut_analysis(reference).unwrap();
+        assert_eq!(
+            analysis.get("universe_size").and_then(Json::as_u64),
+            Some(defects),
+            "analysis for {reference}"
+        );
+        let cert = analysis.get("certificate").and_then(Json::as_str).unwrap();
+        assert_eq!(cert.len(), 16, "certificate is a 64-bit hex string");
+        let classes = analysis.get("classes").and_then(Json::as_arr).unwrap();
+        let covered: u64 = classes
+            .iter()
+            .map(|c| c.get("members").and_then(Json::as_arr).unwrap().len() as u64)
+            .sum();
+        assert_eq!(covered, defects, "classes partition the universe");
+    }
+
+    // The job-facing lint route folds the orbit summary in.
+    let job = client
+        .submit(&JobSpec {
+            dut: Some(id.clone()),
+            sample_size: Some(1),
+            ..JobSpec::default()
+        })
+        .unwrap();
+    let lint = client.lint(job).unwrap();
+    let summary = lint.get("analysis").expect("lint carries analysis summary");
+    assert_eq!(
+        summary.get("class_count").and_then(Json::as_u64),
+        Some(
+            client
+                .dut_analysis(&id)
+                .unwrap()
+                .get("class_count")
+                .and_then(Json::as_u64)
+                .unwrap()
+        )
+    );
+    assert_eq!(summary.get("errors").and_then(Json::as_u64), Some(0));
+    let (_, _) = client.wait_terminal(job, POLL).unwrap();
+
+    // Unknown references 404 rather than guessing a DUT.
+    match client.dut_analysis("no-such-dut") {
+        Err(ClientError::Service(ServiceError::NotFound(_))) => {}
+        other => panic!("expected 404, got {other:?}"),
+    }
+    shut_down(server);
+}
+
+#[test]
 fn adc_campaign_is_bit_identical_across_legacy_and_registry_paths() {
     // One server, both paths: specs without `dut` take the code path that
     // predates the registry; `dut: "sar-adc"` routes through
@@ -203,6 +263,18 @@ fn adc_campaign_is_bit_identical_across_legacy_and_registry_paths() {
     };
     let adc: Arc<dyn CampaignBackend> = Arc::new(AdcBackend::new(&xc));
     let (server, client) = start_with_registry(adc, 64, None);
+
+    // The reserved name serves the backend's own startup-computed static
+    // analysis (the registry holds no such entry).
+    let analysis = client.dut_analysis("sar-adc").expect("builtin analysis");
+    assert_eq!(
+        analysis.get("universe_size").and_then(Json::as_u64),
+        Some(client.universe().unwrap()),
+    );
+    assert!(
+        analysis.get("defects_saved").and_then(Json::as_u64) > Some(0),
+        "ADC P/N pairs collapse into shared classes"
+    );
 
     // Exhaustive on one Table-I block, and LWRS-sampled on the full
     // universe — both shapes of the paper's Table-1 experiment.
